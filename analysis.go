@@ -1,0 +1,117 @@
+package iocontainer
+
+import (
+	"repro/internal/atoms"
+	"repro/internal/lammps"
+	"repro/internal/smartpointer"
+)
+
+// This file exposes the real (small-scale) molecular dynamics and
+// analytics algorithms behind the pipeline's cost models, so library
+// users can run the actual SmartPointer analyses on actual particle data
+// — the crack-detection example drives an LJ crystal to failure and
+// watches CSym/CNA find it.
+
+// Particle data.
+type (
+	// Vec3 is a 3-D vector.
+	Vec3 = atoms.Vec3
+	// Box is an orthorhombic periodic box.
+	Box = atoms.Box
+	// Snapshot is a particle system state.
+	Snapshot = atoms.Snapshot
+	// CellList accelerates neighbor queries.
+	CellList = atoms.CellList
+)
+
+// FCCLattice builds an FCC crystal of nx*ny*nz cells with lattice
+// constant a.
+func FCCLattice(nx, ny, nz int, a float64) *Snapshot { return atoms.FCCLattice(nx, ny, nz, a) }
+
+// HCPLattice builds an HCP crystal (orthohexagonal cells, ideal c/a).
+func HCPLattice(nx, ny, nz int, a float64) *Snapshot { return atoms.HCPLattice(nx, ny, nz, a) }
+
+// NewCellList indexes a snapshot for neighbor queries within cutoff.
+func NewCellList(s *Snapshot, cutoff float64) *CellList { return atoms.NewCellList(s, cutoff) }
+
+// Molecular dynamics (the LAMMPS surrogate).
+type (
+	// LJ holds Lennard-Jones parameters.
+	LJ = lammps.LJ
+	// System is an integrable MD system.
+	System = lammps.System
+)
+
+// DefaultLJ returns reduced-unit LJ parameters with the 2.5-sigma cutoff.
+func DefaultLJ() LJ { return lammps.DefaultLJ() }
+
+// NewSystem wraps a snapshot for velocity-Verlet integration.
+func NewSystem(s *Snapshot, lj LJ, dt float64) *System { return lammps.NewSystem(s, lj, dt) }
+
+// Notch carves a crack seed out of the snapshot.
+func Notch(s *Snapshot, width, yFraction float64) int { return lammps.Notch(s, width, yFraction) }
+
+// ApplyStrain stretches the box along an axis by factor (1+eps).
+func ApplyStrain(s *Snapshot, axis int, eps float64) { lammps.ApplyStrain(s, axis, eps) }
+
+// SmartPointer analyses (real algorithms).
+type (
+	// Adjacency is the bonded-atom graph Bonds produces.
+	Adjacency = smartpointer.Adjacency
+	// CSymResult holds per-atom central-symmetry parameters.
+	CSymResult = smartpointer.CSymResult
+	// CNAResult holds per-atom structural labels.
+	CNAResult = smartpointer.CNAResult
+	// Structure is a CNA label (FCC/HCP/BCC/Other).
+	Structure = smartpointer.Structure
+	// CNASignature is a common-neighbor (j,k,l) triplet.
+	CNASignature = smartpointer.CNASignature
+)
+
+// CNA structure classes.
+const (
+	StructOther = smartpointer.StructOther
+	StructFCC   = smartpointer.StructFCC
+	StructHCP   = smartpointer.StructHCP
+	StructBCC   = smartpointer.StructBCC
+)
+
+// Bonds computes the bonded-atom adjacency within cutoff.
+func Bonds(s *Snapshot, cutoff float64) *Adjacency { return smartpointer.Bonds(s, cutoff) }
+
+// BrokenBonds lists pairs bonded in ref but not in cur.
+func BrokenBonds(ref, cur *Adjacency) [][2]int32 { return smartpointer.BrokenBonds(ref, cur) }
+
+// CSym computes central-symmetry parameters (crack/defect detection).
+func CSym(s *Snapshot, cutoff, threshold float64) *CSymResult {
+	return smartpointer.CSym(s, cutoff, threshold)
+}
+
+// CNA performs common-neighbor structural labeling over an adjacency.
+func CNA(adj *Adjacency) *CNAResult { return smartpointer.CNA(adj) }
+
+// Fragment analysis (the paper's CTH future-work pipeline: raw atomic
+// data -> materials fragments -> tracking as they evolve).
+type (
+	// Fragment is one connected component of bonded atoms.
+	Fragment = smartpointer.Fragment
+	// FragmentMatch pairs fragments across timesteps.
+	FragmentMatch = smartpointer.FragmentMatch
+)
+
+// Fragments decomposes the bond graph into connected components
+// (largest first).
+func Fragments(s *Snapshot, adj *Adjacency) []*Fragment {
+	return smartpointer.Fragments(s, adj)
+}
+
+// TrackFragments matches fragments across two timesteps by shared atoms.
+func TrackFragments(prev, cur []*Fragment) []FragmentMatch {
+	return smartpointer.TrackFragments(prev, cur)
+}
+
+// Partition splits a snapshot into per-rank slabs (the inverse of Merge).
+func Partition(s *Snapshot, n int) []*Snapshot { return smartpointer.Partition(s, n) }
+
+// Merge combines per-rank partial snapshots (the Helper's aggregation).
+func Merge(parts []*Snapshot) (*Snapshot, error) { return smartpointer.Merge(parts) }

@@ -1,0 +1,123 @@
+package iocontainer
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The analysis facade is exercised the way examples/crackdetect uses it:
+// real lattice, real dynamics, real analyses.
+
+func TestFacadeMDAndAnalytics(t *testing.T) {
+	const a = 1.5496
+	snap := FCCLattice(3, 3, 3, a)
+	if snap.N() != 108 {
+		t.Fatalf("n %d", snap.N())
+	}
+	hcp := HCPLattice(3, 3, 3, a)
+	if hcp.N() != 108 {
+		t.Fatalf("hcp n %d", hcp.N())
+	}
+	cl := NewCellList(snap, a)
+	if len(cl.Neighbors(0)) == 0 {
+		t.Fatal("no neighbors")
+	}
+
+	sys := NewSystem(snap, DefaultLJ(), 0.002)
+	rng := rand.New(rand.NewSource(1))
+	sys.Thermalize(0.05, rng.Float64)
+	e0 := sys.TotalEnergy()
+	sys.Run(50)
+	e1 := sys.TotalEnergy()
+	drift := (e1 - e0) / e0
+	if drift > 0.01 || drift < -0.01 {
+		t.Fatalf("energy drift %g", drift)
+	}
+
+	adj := Bonds(snap, 0.85*a)
+	if adj.NumBonds() == 0 {
+		t.Fatal("no bonds")
+	}
+	cs := CSym(snap, 0.85*a, 1.0)
+	if len(cs.P) != snap.N() {
+		t.Fatal("csym size")
+	}
+	res := CNA(adj)
+	if res.Fraction(StructFCC)+res.Fraction(StructOther)+
+		res.Fraction(StructHCP)+res.Fraction(StructBCC) < 0.99 {
+		t.Fatal("cna fractions")
+	}
+
+	removed := Notch(snap, a, 0.5)
+	if removed == 0 {
+		t.Fatal("notch removed nothing")
+	}
+	ApplyStrain(snap, 0, 0.01)
+	cur := Bonds(snap, 0.85*a)
+	_ = BrokenBonds(cur, cur)
+
+	parts := Partition(snap, 3)
+	merged, err := Merge(parts)
+	if err != nil || merged.N() != snap.N() {
+		t.Fatalf("merge: %v n=%d", err, merged.N())
+	}
+}
+
+func TestFacadeScenarioLoading(t *testing.T) {
+	cfg, err := LoadScenarioJSON(jsonReader(`{
+		"simNodes": 64, "stagingNodes": 13, "steps": 3, "seed": 1
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil || res.Emitted != 3 {
+		t.Fatalf("res %+v err %v", res, err)
+	}
+	if _, err := LoadScenario(t.TempDir() + "/nope.json"); err == nil {
+		t.Fatal("missing scenario should fail")
+	}
+}
+
+func jsonReader(s string) io.Reader { return strings.NewReader(s) }
+
+func TestFacadeCombustion(t *testing.T) {
+	f, err := NewCombustionField(100, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Ignite(20, nil)
+	dt := 0.9 * f.MaxStableDt(1.0)
+	a := ExtractFlameFront(f, 0.5)
+	for i := 0; i < 200; i++ {
+		if err := f.Advance(dt, 1.0, 4.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := ExtractFlameFront(f, 0.5)
+	speed, err := TrackFlameFront(a, b, 200*dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speed <= 0 || speed > 2*FlameSpeed(1.0, 4.0) {
+		t.Fatalf("implausible flame speed %g", speed)
+	}
+}
+
+func TestFacadeFragments(t *testing.T) {
+	s := FCCLattice(3, 3, 3, 1.5496)
+	frags := Fragments(s, Bonds(s, 1.32))
+	if len(frags) != 1 || frags[0].Size() != s.N() {
+		t.Fatalf("fragments %v", frags)
+	}
+	matches := TrackFragments(frags, frags)
+	if len(matches) != 1 || matches[0].Prev != 0 || matches[0].Cur != 0 {
+		t.Fatalf("matches %v", matches)
+	}
+}

@@ -1,0 +1,72 @@
+package iocontainer
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Each paper table and figure has one benchmark that regenerates it
+// end-to-end (the benchmark's unit of work is "one full regeneration of
+// the artifact's data"). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/experiments prints the same artifacts as tables.
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(int64(42 + i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Sections) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkTable1Characteristics regenerates Table I (SmartPointer
+// analysis action characteristics).
+func BenchmarkTable1Characteristics(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2DataSizes regenerates Table II (weak-scaling data
+// sizes).
+func BenchmarkTable2DataSizes(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig3IncreaseProtocol regenerates the Fig. 3 protocol-round
+// trace.
+func BenchmarkFig3IncreaseProtocol(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4Increase regenerates Fig. 4 (time to increase container
+// size, swept over the increase size).
+func BenchmarkFig4Increase(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5Decrease regenerates Fig. 5 (time to decrease container
+// size).
+func BenchmarkFig5Decrease(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6Transactions regenerates Fig. 6 (D2T transaction overhead
+// across writer:reader ratios).
+func BenchmarkFig6Transactions(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Events256 regenerates Fig. 7 (256 simulation / 13 staging
+// nodes: steal from Helper, grow Bonds).
+func BenchmarkFig7Events256(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Events512 regenerates Fig. 8 (512/24: insufficient but no
+// overflow).
+func BenchmarkFig8Events512(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Events1024 regenerates Fig. 9 (1024/24: offline cascade
+// with provenance).
+func BenchmarkFig9Events1024(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10EndToEnd regenerates Fig. 10 (end-to-end latency rising,
+// then dropping sharply after the bottleneck is pruned).
+func BenchmarkFig10EndToEnd(b *testing.B) { benchExperiment(b, "fig10") }

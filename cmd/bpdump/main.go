@@ -1,0 +1,42 @@
+// Command bpdump inspects a BP (binary-pack) stream file: the step index,
+// per-step variables, and attributes — including the provenance
+// attributes the container runtime stamps during offline transitions.
+//
+// Usage:
+//
+//	bpdump [-steps N] file.bp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bp"
+)
+
+func main() {
+	maxSteps := flag.Int("steps", 8, "maximum steps to expand (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bpdump [-steps N] file.bp")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpdump:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r, err := bp.NewReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpdump:", err)
+		os.Exit(1)
+	}
+	out, err := bp.Describe(r, *maxSteps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpdump:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

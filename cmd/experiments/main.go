@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|fig3..fig10] [-seed N] [-csv]
+//
+// Each experiment prints its data series as aligned tables (or CSV) plus
+// notes comparing the measured shape to what the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, table2, fig3..fig10, extra-*), 'all', or 'extras'")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllWithExtras() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	switch {
+	case *exp == "all":
+		todo = experiments.All()
+	case *exp == "extras":
+		todo = experiments.Extras()
+	default:
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		out, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, sec := range out.Sections {
+				fmt.Printf("# %s: %s\n", out.ID, sec.Name)
+				fmt.Print(sec.Table.CSV())
+			}
+			continue
+		}
+		fmt.Println(out.String())
+	}
+}

@@ -1,0 +1,152 @@
+// Command iocontainersim runs one managed I/O-pipeline scenario and
+// prints its timeline: per-container latencies, queue depths, management
+// actions, and the run summary.
+//
+// Usage:
+//
+//	iocontainersim [-sim 256] [-staging 13] [-steps 20] [-period 15]
+//	               [-crack -1] [-seed 42] [-parallel-bonds]
+//	               [-no-management] [-no-offline] [-no-steal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+// showCharts toggles ASCII chart output (-chart).
+var showCharts bool
+
+func main() {
+	simNodes := flag.Int("sim", 256, "simulation partition size (nodes)")
+	staging := flag.Int("staging", 13, "staging partition size (nodes)")
+	steps := flag.Int("steps", 20, "output steps to run")
+	period := flag.Float64("period", 15, "output period (virtual seconds)")
+	crack := flag.Int64("crack", -1, "output step at which crack formation appears (-1: never)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	parallelBonds := flag.Bool("parallel-bonds", false, "run Bonds under the MPI-style parallel model")
+	noMgmt := flag.Bool("no-management", false, "disable the global manager's policy (baseline)")
+	noOffline := flag.Bool("no-offline", false, "never take containers offline")
+	noSteal := flag.Bool("no-steal", false, "never steal nodes from other containers")
+	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
+	chart := flag.Bool("chart", false, "render ASCII charts of the key series")
+	standby := flag.Bool("standby", false, "deploy a standby global manager")
+	killGM := flag.Float64("kill-gm", 0, "kill the primary global manager at this virtual second (0 = never)")
+	flag.Parse()
+	showCharts = *chart
+
+	if *configPath != "" {
+		cfg, err := scenario.LoadFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iocontainersim:", err)
+			os.Exit(1)
+		}
+		runAndReport(cfg)
+		return
+	}
+
+	cfg := core.Config{
+		SimNodes:     *simNodes,
+		StagingNodes: *staging,
+		Sizes:        core.DefaultSizes(*staging),
+		Steps:        *steps,
+		OutputPeriod: sim.Time(*period * float64(sim.Second)),
+		CrackStep:    *crack,
+		Seed:         *seed,
+		StandbyGM:    *standby,
+		Policy: core.PolicyConfig{
+			DisableManagement: *noMgmt,
+			DisableOffline:    *noOffline,
+			DisableStealing:   *noSteal,
+			KillGMAt:          sim.Time(*killGM * float64(sim.Second)),
+		},
+	}
+	if *parallelBonds {
+		cfg.Specs = core.SpecsWithBondsModel(smartpointer.ModelParallel)
+	}
+	runAndReport(cfg)
+}
+
+func runAndReport(cfg core.Config) {
+	rt, err := core.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iocontainersim:", err)
+		os.Exit(1)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iocontainersim:", err)
+		os.Exit(1)
+	}
+	eff := rt.Config()
+
+	fmt.Printf("scenario: %d simulation + %d staging nodes, %d steps every %s (scale: %d atoms, %.1f MB/step)\n",
+		eff.SimNodes, eff.StagingNodes, eff.Steps, eff.OutputPeriod, eff.Scale.AtomCount, eff.Scale.MB())
+	fmt.Println()
+
+	fmt.Println("management actions:")
+	if len(res.Actions) == 0 {
+		fmt.Println("  (none)")
+	}
+	for _, a := range res.Actions {
+		fmt.Printf("  %10s  %-10s %-8s n=%-3d %s\n", a.T, a.Kind, a.Target, a.N, a.Detail)
+	}
+	fmt.Println()
+
+	fmt.Println("per-container outcome:")
+	names := make([]string, 0, len(eff.Specs)+1)
+	for _, spec := range eff.Specs {
+		names = append(names, spec.Name)
+	}
+	if eff.CheckpointEvery > 0 {
+		names = append(names, "checkpoint")
+	}
+	for _, name := range names {
+		c := rt.Container(name)
+		if c == nil {
+			continue
+		}
+		lat := res.Recorder.Series("latency." + name)
+		state := res.States[name]
+		fmt.Printf("  %-7s %-8s %2d nodes  %3d steps processed", name, state, res.FinalSizes[name], c.StepsProcessed())
+		if lat.Len() > 0 {
+			fmt.Printf("  latency last/mean %.1fs/%.1fs", lat.Last().V, lat.Mean())
+		}
+		if prov := res.Provenance[name]; prov != "" {
+			fmt.Printf("  provenance=%q", prov)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	e2e := res.Recorder.Series("e2e")
+	fmt.Printf("summary: emitted=%d exited=%d dropped=%d spare=%d writer-blocked=%s e2e-samples=%d\n",
+		res.Emitted, res.Exits, res.Dropped, res.Spare, res.WriterBlocked, e2e.Len())
+	if e2e.Len() > 0 {
+		fmt.Printf("end-to-end latency: first=%.1fs last=%.1fs\n", e2e.Points[0].V, e2e.Last().V)
+	}
+
+	if showCharts {
+		for _, name := range names {
+			s := res.Recorder.Series("latency." + name)
+			if s.Len() < 2 {
+				continue
+			}
+			fmt.Printf("\nper-step latency, %s:\n", name)
+			fmt.Print(metrics.Chart(s, metrics.ChartOptions{
+				YLabel: "latency (s)", Markers: res.Recorder.Markers}))
+		}
+		if e2e.Len() >= 2 {
+			fmt.Println("\nend-to-end latency:")
+			fmt.Print(metrics.Chart(e2e, metrics.ChartOptions{
+				YLabel: "end-to-end latency (s)", Markers: res.Recorder.Markers}))
+		}
+	}
+}

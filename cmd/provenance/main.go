@@ -1,0 +1,103 @@
+// Command provenance completes the offline half of the container
+// runtime's provenance story: it reads a BP stream whose steps were
+// stamped with "provenance.pending" (what an offline transition leaves
+// behind), reports which analyses remain to be run, and — when steps
+// carry real particle data — executes the pending SmartPointer analyses
+// and writes an annotated stream.
+//
+// Usage:
+//
+//	provenance [-out annotated.bp] input.bp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/bp"
+	"repro/internal/postprocess"
+)
+
+func main() {
+	outPath := flag.String("out", "", "write an annotated stream (analyses executed where possible)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: provenance [-out annotated.bp] input.bp")
+		os.Exit(2)
+	}
+	in, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer in.Close()
+	r, err := bp.NewReader(in)
+	if err != nil {
+		fail(err)
+	}
+
+	var w *bp.Writer
+	var outFile *os.File
+	if *outPath != "" {
+		outFile, err = os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer outFile.Close()
+		w, err = bp.NewWriter(outFile)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	rep, err := postprocess.Analyze(r, w)
+	if err != nil {
+		fail(err)
+	}
+	if w != nil {
+		if err := w.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("%d step(s), %d with particle data\n\n", len(rep.Steps), rep.WithData)
+	for _, st := range rep.Steps {
+		fmt.Printf("step %d (group %q, timestep %d):\n", st.Index, st.Group, st.Timestep)
+		if len(st.Pending) == 0 {
+			fmt.Println("  no pending analyses")
+			continue
+		}
+		for _, p := range st.Pending {
+			if res, ok := st.Results[p]; ok {
+				fmt.Printf("  %-8s EXECUTED: %s\n", p, res)
+			} else {
+				fmt.Printf("  %-8s pending (no particle data in this step)\n", p)
+			}
+		}
+	}
+	counts := rep.PendingCounts()
+	if len(counts) > 0 {
+		var names []string
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var parts []string
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s: %d step(s)", n, counts[n]))
+		}
+		fmt.Printf("\nstill pending -> %s\n", strings.Join(parts, ", "))
+	} else {
+		fmt.Println("\nall provenance obligations satisfied")
+	}
+	if *outPath != "" {
+		fmt.Printf("annotated stream written to %s\n", *outPath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "provenance:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+package iocontainer
+
+import "repro/internal/combustion"
+
+// S3D-style combustion surrogate (the paper's "current work" target:
+// flame-front tracking for a combustion modeling code). The flamefront
+// example drives a real reaction–diffusion flame and runs the actual
+// front analytics the pipeline's cost models stand in for.
+type (
+	// CombustionField is a 2-D premixed-flame progress-variable field.
+	CombustionField = combustion.Field
+	// FlameFront is an extracted iso-level front.
+	FlameFront = combustion.Front
+)
+
+// NewCombustionField allocates an all-unburnt nx×ny field with grid
+// spacing dx.
+func NewCombustionField(nx, ny int, dx float64) (*CombustionField, error) {
+	return combustion.NewField(nx, ny, dx)
+}
+
+// ExtractFlameFront locates the level crossing per row.
+func ExtractFlameFront(f *CombustionField, level float64) *FlameFront {
+	return combustion.ExtractFront(f, level)
+}
+
+// TrackFlameFront returns the mean front displacement speed between two
+// extractions separated by dt.
+func TrackFlameFront(prev, cur *FlameFront, dt float64) (float64, error) {
+	return combustion.TrackFront(prev, cur, dt)
+}
+
+// FlameSpeed returns the theoretical Fisher–KPP planar front speed
+// 2·√(D·r).
+func FlameSpeed(d, r float64) float64 { return combustion.TheoreticalSpeed(d, r) }

@@ -1,0 +1,84 @@
+package iocontainer_test
+
+import (
+	"fmt"
+
+	iocontainer "repro"
+)
+
+// The Fig. 7 scenario on the public API: Bonds cannot sustain the
+// 15-second output cadence at 2 nodes; the global manager steals from the
+// over-provisioned Helper and grows Bonds.
+func Example() {
+	rt, err := iocontainer.Build(iocontainer.Config{
+		SimNodes:     256,
+		StagingNodes: 13,
+		Sizes:        iocontainer.DefaultSizes(13),
+		Steps:        20,
+		CrackStep:    -1,
+		Seed:         42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range res.Actions {
+		fmt.Printf("%s %s %d\n", a.Kind, a.Target, a.N)
+	}
+	fmt.Printf("analyzed %d/%d steps\n", res.Exits, res.Emitted)
+	// Output:
+	// decrease helper 2
+	// increase bonds 2
+	// analyzed 20/20 steps
+}
+
+// Table II's weak-scaling model.
+func ExampleScaleForNodes() {
+	for _, nodes := range []int{256, 512, 1024} {
+		s := iocontainer.ScaleForNodes(nodes)
+		fmt.Printf("%d nodes: %d atoms, %.1f MB/step\n", nodes, s.AtomCount, s.MB())
+	}
+	// Output:
+	// 256 nodes: 8819989 atoms, 67.3 MB/step
+	// 512 nodes: 17639979 atoms, 134.6 MB/step
+	// 1024 nodes: 35279958 atoms, 269.2 MB/step
+}
+
+// Real analytics on a real crystal: a perfect FCC lattice is fully
+// (4,2,1)-classified, with zero central-symmetry defects.
+func ExampleCNA() {
+	const a = 1.5496
+	crystal := iocontainer.FCCLattice(4, 4, 4, a)
+	adj := iocontainer.Bonds(crystal, 0.85*a)
+	labels := iocontainer.CNA(adj)
+	defects := iocontainer.CSym(crystal, 0.85*a, 0.1)
+	fmt.Printf("%d atoms, %d bonds\n", crystal.N(), adj.NumBonds())
+	fmt.Printf("FCC fraction %.2f, defects %d\n",
+		labels.Fraction(iocontainer.StructFCC), defects.DefectCount())
+	// Output:
+	// 256 atoms, 1536 bonds
+	// FCC fraction 1.00, defects 0
+}
+
+// D2T control transactions: a healthy trade commits; all participants
+// agree.
+func ExampleNewTransaction() {
+	eng := iocontainer.NewEngine(7)
+	mach := iocontainer.NewMachine(eng, iocontainer.RedSky())
+	tx, err := iocontainer.NewTransaction(eng, mach, iocontainer.TxnConfig{
+		Writers: 512,
+		Readers: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var st iocontainer.TxnStats
+	eng.Go("driver", func(p *iocontainer.Proc) { st = tx.Run(p) })
+	eng.Run()
+	fmt.Printf("%v, %d participants decided\n", st.Outcome, st.Decided)
+	// Output:
+	// committed, 516 participants decided
+}

@@ -1,0 +1,58 @@
+// Quickstart: build the paper's four-stage analytics pipeline, run it
+// under management, and print what the global manager did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iocontainer "repro"
+)
+
+func main() {
+	// The Fig. 7 setting: a 256-node simulation feeding a 13-node
+	// staging area with no spare nodes. Bonds cannot keep up with the
+	// 15-second output cadence at its initial size.
+	cfg := iocontainer.Config{
+		SimNodes:     256,
+		StagingNodes: 13,
+		Sizes:        iocontainer.DefaultSizes(13),
+		Steps:        20,
+		CrackStep:    -1,
+		Seed:         42,
+	}
+	rt, err := iocontainer.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %d atoms, %.1f MB per output step, every %s\n",
+		rt.Config().Scale.AtomCount, rt.Config().Scale.MB(), rt.Config().OutputPeriod)
+	fmt.Printf("run: %d steps emitted, %d analyzed end-to-end, %d dropped\n\n",
+		res.Emitted, res.Exits, res.Dropped)
+
+	fmt.Println("what the global manager did:")
+	for _, a := range res.Actions {
+		fmt.Printf("  t=%-9s %-9s %s (n=%d)\n", a.T, a.Kind, a.Target, a.N)
+	}
+
+	fmt.Println("\nbonds per-step latency (s):")
+	for _, pt := range res.Recorder.Series("latency.bonds").Points {
+		bar := ""
+		for i := 0.0; i < pt.V; i += 4 {
+			bar += "#"
+		}
+		fmt.Printf("  t=%7.1fs %6.1f %s\n", pt.T.Seconds(), pt.V, bar)
+	}
+
+	fmt.Println("\nfinal container sizes:")
+	for _, name := range []string{"helper", "bonds", "csym", "cna"} {
+		fmt.Printf("  %-7s %d nodes (%s)\n", name, res.FinalSizes[name], res.States[name])
+	}
+}

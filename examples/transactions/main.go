@@ -1,0 +1,70 @@
+// Transactions demonstrates the D2T doubly-distributed transaction
+// protocol the paper evaluates for resilient management operations
+// (Fig. 6): commit across hundreds of writers and a handful of readers,
+// abort propagation, and consistency under injected failures.
+//
+//	go run ./examples/transactions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iocontainer "repro"
+)
+
+func runOne(title string, cfg iocontainer.TxnConfig) iocontainer.TxnStats {
+	eng := iocontainer.NewEngine(11)
+	mc := iocontainer.RedSky()
+	mach := iocontainer.NewMachine(eng, mc)
+	tx, err := iocontainer.NewTransaction(eng, mach, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st iocontainer.TxnStats
+	eng.Go("driver", func(p *iocontainer.Proc) { st = tx.Run(p) })
+	eng.Run()
+
+	fmt.Printf("%-46s %s in %9.3fms, %5d msgs, tree depth %d\n",
+		title, st.Outcome, st.Duration.Milliseconds(), st.Messages, st.Depth)
+
+	// Consistency check: every participant that decided agrees.
+	for rank, o := range tx.Outcomes() {
+		if o != st.Outcome {
+			log.Fatalf("rank %d decided %v against coordinator's %v", rank, o, st.Outcome)
+		}
+	}
+	return st
+}
+
+func main() {
+	fmt.Println("D2T: a resource trade either completes everywhere or nowhere.")
+	fmt.Println()
+
+	runOne("512 writers : 4 readers, all healthy",
+		iocontainer.TxnConfig{Writers: 512, Readers: 4})
+
+	runOne("2048 writers : 16 readers, all healthy",
+		iocontainer.TxnConfig{Writers: 2048, Readers: 16})
+
+	runOne("512:4, writer 100 votes abort",
+		iocontainer.TxnConfig{Writers: 512, Readers: 4,
+			AbortVoters: map[int]bool{100: true}})
+
+	runOne("512:4, reader crashes silently",
+		iocontainer.TxnConfig{Writers: 512, Readers: 4,
+			SilentRanks: map[int]bool{514: true},
+			VoteTimeout: 2 * iocontainer.Second})
+
+	fmt.Println()
+	fmt.Println("scaling (the Fig. 6 sweep):")
+	var prev iocontainer.TxnStats
+	for _, w := range []int{128, 256, 512, 1024, 2048} {
+		st := runOne(fmt.Sprintf("  %d writers : %d readers", w, w/128),
+			iocontainer.TxnConfig{Writers: w, Readers: w / 128})
+		if prev.Duration > 0 && st.Duration > 3*prev.Duration {
+			log.Fatal("scalability regression: doubling writers should not triple time")
+		}
+		prev = st
+	}
+}

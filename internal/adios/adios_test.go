@@ -1,0 +1,411 @@
+package adios
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/bp"
+	"repro/internal/cluster"
+	"repro/internal/datatap"
+	"repro/internal/sim"
+)
+
+func testIO() (*sim.Engine, *cluster.Machine, *IO) {
+	eng := sim.NewEngine(5)
+	cfg := cluster.Franklin()
+	cfg.Nodes = 4
+	mach := cluster.New(eng, cfg)
+	return eng, mach, NewIO(eng, mach, DefaultDisk())
+}
+
+func TestDeclareGroupIdempotent(t *testing.T) {
+	_, _, io := testIO()
+	a := io.DeclareGroup("atoms")
+	b := io.DeclareGroup("atoms")
+	if a != b {
+		t.Fatal("DeclareGroup should return the same group")
+	}
+	if io.Group("atoms") != a || io.Group("nope") != nil {
+		t.Fatal("Group lookup broken")
+	}
+	if a.Method() != MethodNull {
+		t.Fatalf("initial method %q", a.Method())
+	}
+}
+
+func TestNullMethodDiscards(t *testing.T) {
+	eng, _, io := testIO()
+	g := io.DeclareGroup("g")
+	eng.Go("w", func(p *sim.Proc) {
+		sw, _ := g.Open(1)
+		sw.WriteFloat64s("x", []float64{1, 2, 3})
+		ok, err := sw.Close(p)
+		if !ok || err != nil {
+			t.Errorf("close: %v %v", ok, err)
+		}
+	})
+	eng.Run()
+	if g.StepsWritten() != 1 || g.BytesWritten() != 24 {
+		t.Fatalf("steps=%d bytes=%d", g.StepsWritten(), g.BytesWritten())
+	}
+}
+
+func TestDataTapMethodRoutesToChannel(t *testing.T) {
+	eng, mach, io := testIO()
+	ch := datatap.NewChannel(eng, mach, "ch", datatap.Config{HomeNode: 1})
+	g := io.DeclareGroup("atoms")
+	g.UseDataTap(ch.NewWriter(0))
+	r := ch.NewReader(1)
+	var got *bp.ProcessGroup
+	eng.Go("writer", func(p *sim.Proc) {
+		sw, _ := g.Open(7)
+		sw.WriteFloat64s("pos", make([]float64, 100))
+		sw.SetAttr("note", "hi")
+		if ok, err := sw.Close(p); !ok || err != nil {
+			t.Errorf("close: %v %v", ok, err)
+		}
+	})
+	eng.Go("reader", func(p *sim.Proc) {
+		m, ok := r.Fetch(p)
+		if !ok {
+			t.Error("fetch failed")
+			return
+		}
+		got = m.Data.(*bp.ProcessGroup)
+		if m.Size != 800 {
+			t.Errorf("size %d", m.Size)
+		}
+	})
+	eng.Run()
+	if got == nil || got.Timestep != 7 || got.Var("pos") == nil || got.Attrs["note"] != "hi" {
+		t.Fatalf("payload %+v", got)
+	}
+}
+
+func TestFileMethodWritesReadableBP(t *testing.T) {
+	eng, _, io := testIO()
+	sink, err := NewFileSink("out.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := io.DeclareGroup("atoms")
+	g.UseFile(sink)
+	var elapsed sim.Time
+	eng.Go("w", func(p *sim.Proc) {
+		for step := int64(0); step < 3; step++ {
+			sw, _ := g.Open(step)
+			sw.WriteInt64s("ids", []int64{step, step + 1})
+			start := p.Now()
+			if ok, err := sw.Close(p); !ok || err != nil {
+				t.Errorf("close: %v %v", ok, err)
+			}
+			elapsed = p.Now() - start
+		}
+	})
+	eng.Run()
+	if elapsed < DefaultDisk().Latency {
+		t.Fatalf("disk write charged %v; should include latency", elapsed)
+	}
+	if sink.Steps() != 3 || sink.Bytes() != 48 {
+		t.Fatalf("sink steps=%d bytes=%d", sink.Steps(), sink.Bytes())
+	}
+	r, err := sink.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 3 {
+		t.Fatalf("reader steps %d", r.Steps())
+	}
+	pg, err := r.ReadStep(2)
+	if err != nil || pg.Timestep != 2 || pg.Var("ids").Data.([]int64)[1] != 3 {
+		t.Fatalf("readback %+v %v", pg, err)
+	}
+}
+
+func TestMethodSwitchMidRunWithProvenance(t *testing.T) {
+	// The offline transition: a group streaming via DataTap switches to
+	// the file method and stamps provenance attributes.
+	eng, mach, io := testIO()
+	ch := datatap.NewChannel(eng, mach, "ch", datatap.Config{HomeNode: 1})
+	g := io.DeclareGroup("atoms")
+	g.UseDataTap(ch.NewWriter(0))
+	r := ch.NewReader(1)
+	sink, _ := NewFileSink("offline.bp")
+	eng.Go("reader", func(p *sim.Proc) {
+		for {
+			if _, ok := r.Fetch(p); !ok {
+				return
+			}
+		}
+	})
+	eng.Go("writer", func(p *sim.Proc) {
+		for step := int64(0); step < 2; step++ {
+			sw, _ := g.Open(step)
+			sw.WriteFloat64s("x", []float64{1})
+			sw.Close(p)
+		}
+		// Container goes offline: switch method, stamp provenance.
+		g.UseFile(sink)
+		g.SetAttr("provenance.pending", "bonds,csym,cna")
+		for step := int64(2); step < 4; step++ {
+			sw, _ := g.Open(step)
+			sw.WriteFloat64s("x", []float64{1})
+			sw.Close(p)
+		}
+		ch.Close()
+	})
+	eng.Run()
+	if g.Method() != MethodFile {
+		t.Fatalf("method %q", g.Method())
+	}
+	rd, err := sink.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Steps() != 2 {
+		t.Fatalf("offline steps %d", rd.Steps())
+	}
+	pg, _ := rd.ReadStep(0)
+	if pg.Attrs["provenance.pending"] != "bonds,csym,cna" {
+		t.Fatalf("provenance missing: %v", pg.Attrs)
+	}
+	if pg.Timestep != 2 {
+		t.Fatalf("first offline step %d", pg.Timestep)
+	}
+}
+
+func TestCloseTwiceFails(t *testing.T) {
+	eng, _, io := testIO()
+	g := io.DeclareGroup("g")
+	eng.Go("w", func(p *sim.Proc) {
+		sw, _ := g.Open(0)
+		if _, err := sw.Close(p); err != nil {
+			t.Error(err)
+		}
+		if _, err := sw.Close(p); err == nil {
+			t.Error("second close should fail")
+		}
+		if err := sw.Write(bp.Var{}); err == nil {
+			t.Error("write after close should fail")
+		}
+	})
+	eng.Run()
+}
+
+func TestUnboundMethodsError(t *testing.T) {
+	eng, _, io := testIO()
+	g := io.DeclareGroup("g")
+	g.method = MethodDataTap // bound method without binding
+	eng.Go("w", func(p *sim.Proc) {
+		sw, _ := g.Open(0)
+		if _, err := sw.Close(p); err == nil {
+			t.Error("datatap without binding should fail")
+		}
+		g.method = MethodFile
+		sw, _ = g.Open(1)
+		if _, err := sw.Close(p); err == nil {
+			t.Error("file without binding should fail")
+		}
+		g.method = Method("BOGUS")
+		sw, _ = g.Open(2)
+		if _, err := sw.Close(p); err == nil {
+			t.Error("unknown method should fail")
+		}
+	})
+	eng.Run()
+}
+
+func TestDataTapRejectionPropagates(t *testing.T) {
+	eng, mach, io := testIO()
+	ch := datatap.NewChannel(eng, mach, "ch", datatap.Config{HomeNode: 1})
+	g := io.DeclareGroup("g")
+	g.UseDataTap(ch.NewWriter(0))
+	ch.Close()
+	eng.Go("w", func(p *sim.Proc) {
+		sw, _ := g.Open(0)
+		ok, err := sw.Close(p)
+		if ok || err != nil {
+			t.Errorf("want ok=false err=nil, got %v %v", ok, err)
+		}
+	})
+	eng.Run()
+	if g.StepsWritten() != 0 {
+		t.Fatal("rejected step must not count")
+	}
+}
+
+func TestDiskModelWriteTime(t *testing.T) {
+	d := DiskModel{BandwidthMBps: 100, Latency: sim.Millisecond}
+	small := d.writeTime(0)
+	if small != sim.Millisecond {
+		t.Fatalf("zero-size write %v", small)
+	}
+	big := d.writeTime(100 << 20) // 100 MiB at 100 MiB/s = 1 s
+	want := sim.Millisecond + sim.Second
+	if big != want {
+		t.Fatalf("big write %v, want %v", big, want)
+	}
+	z := DiskModel{Latency: 2 * sim.Millisecond}
+	if z.writeTime(1<<20) != 2*sim.Millisecond {
+		t.Fatal("zero-bandwidth model should charge only latency")
+	}
+}
+
+func TestFileSinkAppendAfterFinishFails(t *testing.T) {
+	eng, _, io := testIO()
+	sink, _ := NewFileSink("x")
+	if _, err := sink.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	g := io.DeclareGroup("g")
+	g.UseFile(sink)
+	eng.Go("w", func(p *sim.Proc) {
+		sw, _ := g.Open(0)
+		if _, err := sw.Close(p); err == nil {
+			t.Error("append after finish should fail")
+		}
+	})
+	eng.Run()
+	if sink.Name() != "x" {
+		t.Fatal("name accessor broken")
+	}
+}
+
+func TestFileSinkSaveTo(t *testing.T) {
+	eng, _, io := testIO()
+	sink, _ := NewFileSink("x.bp")
+	g := io.DeclareGroup("g")
+	g.UseFile(sink)
+	eng.Go("w", func(p *sim.Proc) {
+		sw, _ := g.Open(3)
+		sw.WriteFloat64s("v", []float64{1, 2})
+		sw.Close(p)
+	})
+	eng.Run()
+	path := t.TempDir() + "/out.bp"
+	if err := sink.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := bp.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := r.ReadStep(0)
+	if err != nil || pg.Timestep != 3 {
+		t.Fatalf("readback %+v %v", pg, err)
+	}
+}
+
+func TestReadGroupDataTap(t *testing.T) {
+	eng, mach, io := testIO()
+	ch := datatap.NewChannel(eng, mach, "ch", datatap.Config{HomeNode: 1})
+	out := io.DeclareGroup("atoms")
+	out.UseDataTap(ch.NewWriter(0))
+	in := io.DeclareReadGroup("atoms")
+	if io.DeclareReadGroup("atoms") != in {
+		t.Fatal("DeclareReadGroup not idempotent")
+	}
+	in.UseDataTap(ch.NewReader(1))
+	var stamps []int64
+	eng.Go("writer", func(p *sim.Proc) {
+		for step := int64(0); step < 3; step++ {
+			sw, _ := out.Open(step)
+			sw.WriteFloat64s("x", []float64{float64(step)})
+			sw.Close(p)
+		}
+		ch.Close()
+	})
+	eng.Go("reader", func(p *sim.Proc) {
+		for {
+			st, ok, err := in.Next(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !ok {
+				return
+			}
+			if st.PG == nil || st.PG.Var("x") == nil {
+				t.Error("payload lost")
+			}
+			stamps = append(stamps, st.Timestep)
+		}
+	})
+	eng.Run()
+	if len(stamps) != 3 || in.StepsRead() != 3 || in.BytesRead() != 24 {
+		t.Fatalf("stamps %v read=%d bytes=%d", stamps, in.StepsRead(), in.BytesRead())
+	}
+}
+
+func TestReadGroupFile(t *testing.T) {
+	eng, _, io := testIO()
+	sink, _ := NewFileSink("f")
+	out := io.DeclareGroup("g")
+	out.UseFile(sink)
+	eng.Go("writer", func(p *sim.Proc) {
+		for step := int64(0); step < 2; step++ {
+			sw, _ := out.Open(step)
+			sw.WriteInt64s("v", []int64{step})
+			sw.Close(p)
+		}
+	})
+	eng.Run()
+	rd, err := sink.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := io.DeclareReadGroup("g-in")
+	in.UseFile(rd)
+	var elapsed sim.Time
+	eng.Go("reader", func(p *sim.Proc) {
+		start := p.Now()
+		n := 0
+		for {
+			st, ok, err := in.Next(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !ok {
+				break
+			}
+			if st.Timestep != int64(n) {
+				t.Errorf("step %d", st.Timestep)
+			}
+			n++
+		}
+		elapsed = p.Now() - start
+		if n != 2 {
+			t.Errorf("read %d steps", n)
+		}
+	})
+	eng.Run()
+	if elapsed < DefaultDisk().Latency {
+		t.Fatalf("disk read time not charged: %v", elapsed)
+	}
+}
+
+func TestReadGroupUnboundAndTimeout(t *testing.T) {
+	eng, mach, io := testIO()
+	in := io.DeclareReadGroup("nope")
+	eng.Go("r", func(p *sim.Proc) {
+		if _, _, err := in.Next(p); err == nil {
+			t.Error("unbound read group should fail")
+		}
+	})
+	ch := datatap.NewChannel(eng, mach, "ch", datatap.Config{HomeNode: 1})
+	tapped := io.DeclareReadGroup("tapped")
+	tapped.UseDataTap(ch.NewReader(1))
+	eng.Go("r2", func(p *sim.Proc) {
+		_, ok, err := tapped.NextTimeout(p, sim.Second)
+		if ok || err != nil {
+			t.Errorf("timeout read: ok=%v err=%v", ok, err)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,119 @@
+package adios
+
+import (
+	"fmt"
+
+	"repro/internal/bp"
+	"repro/internal/datatap"
+	"repro/internal/sim"
+)
+
+// ReadGroup is the read half of the ADIOS-style interface: a component
+// opens a named input group bound to a transport and steps through
+// arriving process groups. Together with Group (the write half) it gives
+// analytics actions the well-defined input and output interfaces the
+// containerized model requires.
+type ReadGroup struct {
+	io   *IO
+	name string
+
+	tap  *datatap.Reader
+	file *bp.Reader
+	next int // cursor for file-method streams
+
+	stepsRead int64
+	bytesRead int64
+}
+
+// DeclareReadGroup creates (or returns) the named input group.
+func (io *IO) DeclareReadGroup(name string) *ReadGroup {
+	if g, ok := io.readGroups[name]; ok {
+		return g
+	}
+	g := &ReadGroup{io: io, name: name}
+	io.readGroups[name] = g
+	return g
+}
+
+// Name returns the group name.
+func (g *ReadGroup) Name() string { return g.name }
+
+// StepsRead returns the number of completed read steps.
+func (g *ReadGroup) StepsRead() int64 { return g.stepsRead }
+
+// BytesRead returns the cumulative payload bytes consumed.
+func (g *ReadGroup) BytesRead() int64 { return g.bytesRead }
+
+// UseDataTap binds the group to a staged-transport reader (in-transit
+// consumption).
+func (g *ReadGroup) UseDataTap(r *datatap.Reader) {
+	g.tap, g.file = r, nil
+}
+
+// UseFile binds the group to a completed BP stream (post-processing
+// consumption).
+func (g *ReadGroup) UseFile(r *bp.Reader) {
+	g.tap, g.file = nil, r
+	g.next = 0
+}
+
+// ReadStep holds one consumed step.
+type ReadStep struct {
+	// Timestep is the application step number.
+	Timestep int64
+	// Size is the transported payload size in bytes.
+	Size int64
+	// PG is the decoded process group (may be nil for synthetic
+	// paper-scale frames arriving over DataTap).
+	PG *bp.ProcessGroup
+}
+
+// Next blocks until the next step arrives (DataTap method) or returns the
+// next on-disk step (file method), charging simulated read time. ok is
+// false at end of stream.
+func (g *ReadGroup) Next(p *sim.Proc) (ReadStep, bool, error) {
+	switch {
+	case g.tap != nil:
+		m, ok := g.tap.Fetch(p)
+		if !ok {
+			return ReadStep{}, false, nil
+		}
+		pg, _ := m.Data.(*bp.ProcessGroup)
+		g.stepsRead++
+		g.bytesRead += m.Size
+		return ReadStep{Timestep: m.Step, Size: m.Size, PG: pg}, true, nil
+	case g.file != nil:
+		if g.next >= g.file.Steps() {
+			return ReadStep{}, false, nil
+		}
+		pg, err := g.file.ReadStep(g.next)
+		if err != nil {
+			return ReadStep{}, false, fmt.Errorf("adios: read group %q: %w", g.name, err)
+		}
+		g.next++
+		size := pg.DataBytes()
+		if p != nil {
+			p.Sleep(g.io.disk.writeTime(size)) // symmetric read cost model
+		}
+		g.stepsRead++
+		g.bytesRead += size
+		return ReadStep{Timestep: pg.Timestep, Size: size, PG: pg}, true, nil
+	}
+	return ReadStep{}, false, fmt.Errorf("adios: read group %q has no transport binding", g.name)
+}
+
+// NextTimeout is Next with a deadline (DataTap method only; the file
+// method never blocks).
+func (g *ReadGroup) NextTimeout(p *sim.Proc, d sim.Time) (ReadStep, bool, error) {
+	if g.tap == nil {
+		return g.Next(p)
+	}
+	m, ok := g.tap.FetchTimeout(p, d)
+	if !ok {
+		return ReadStep{}, false, nil
+	}
+	pg, _ := m.Data.(*bp.ProcessGroup)
+	g.stepsRead++
+	g.bytesRead += m.Size
+	return ReadStep{Timestep: m.Step, Size: m.Size, PG: pg}, true, nil
+}

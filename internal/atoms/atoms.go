@@ -1,0 +1,211 @@
+// Package atoms holds the particle data structures shared by the LAMMPS
+// workload surrogate and the SmartPointer analytics: snapshots of atomic
+// positions in a periodic box, and a cell-list index for neighbor queries
+// (the O(n) building block that keeps Bonds/CSym/CNA honest).
+package atoms
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-D vector.
+type Vec3 [3]float64
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a[0] - b[0], a[1] - b[1], a[2] - b[2]} }
+
+// Scale returns a * s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a[0] * s, a[1] * s, a[2] * s} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+// Norm returns the Euclidean length.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Box is an orthorhombic periodic simulation box with edge lengths L.
+type Box struct {
+	L Vec3
+}
+
+// Wrap maps a position into [0, L) on each periodic axis.
+func (b Box) Wrap(p Vec3) Vec3 {
+	for i := 0; i < 3; i++ {
+		if b.L[i] <= 0 {
+			continue
+		}
+		p[i] = math.Mod(p[i], b.L[i])
+		if p[i] < 0 {
+			p[i] += b.L[i]
+		}
+	}
+	return p
+}
+
+// Delta returns the minimum-image displacement from a to b.
+func (b Box) Delta(a, c Vec3) Vec3 {
+	d := c.Sub(a)
+	for i := 0; i < 3; i++ {
+		if b.L[i] <= 0 {
+			continue
+		}
+		d[i] -= b.L[i] * math.Round(d[i]/b.L[i])
+	}
+	return d
+}
+
+// Dist2 returns the squared minimum-image distance between a and c.
+func (b Box) Dist2(a, c Vec3) float64 {
+	d := b.Delta(a, c)
+	return d.Dot(d)
+}
+
+// Volume returns the box volume.
+func (b Box) Volume() float64 { return b.L[0] * b.L[1] * b.L[2] }
+
+// Snapshot is the state of a particle system at one timestep.
+type Snapshot struct {
+	Step int64
+	Box  Box
+	// ID holds stable per-atom identifiers.
+	ID []int64
+	// Pos and Vel are per-atom positions and velocities.
+	Pos []Vec3
+	Vel []Vec3
+}
+
+// N returns the atom count.
+func (s *Snapshot) N() int { return len(s.Pos) }
+
+// Clone returns a deep copy.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{Step: s.Step, Box: s.Box}
+	c.ID = append([]int64(nil), s.ID...)
+	c.Pos = append([]Vec3(nil), s.Pos...)
+	c.Vel = append([]Vec3(nil), s.Vel...)
+	return c
+}
+
+// Validate checks internal consistency.
+func (s *Snapshot) Validate() error {
+	if len(s.ID) != len(s.Pos) || len(s.Pos) != len(s.Vel) {
+		return fmt.Errorf("atoms: inconsistent lengths id=%d pos=%d vel=%d",
+			len(s.ID), len(s.Pos), len(s.Vel))
+	}
+	for i := 0; i < 3; i++ {
+		if s.Box.L[i] <= 0 {
+			return fmt.Errorf("atoms: non-positive box edge %d: %g", i, s.Box.L[i])
+		}
+	}
+	return nil
+}
+
+// FCCLattice builds an FCC crystal of nx*ny*nz unit cells with lattice
+// constant a, the standard starting configuration for LJ solids (4 atoms
+// per cell).
+func FCCLattice(nx, ny, nz int, a float64) *Snapshot {
+	basis := []Vec3{
+		{0, 0, 0},
+		{0.5, 0.5, 0},
+		{0.5, 0, 0.5},
+		{0, 0.5, 0.5},
+	}
+	n := 4 * nx * ny * nz
+	s := &Snapshot{
+		Box: Box{L: Vec3{float64(nx) * a, float64(ny) * a, float64(nz) * a}},
+		ID:  make([]int64, 0, n),
+		Pos: make([]Vec3, 0, n),
+		Vel: make([]Vec3, n),
+	}
+	id := int64(0)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				for _, b := range basis {
+					p := Vec3{
+						(float64(x) + b[0]) * a,
+						(float64(y) + b[1]) * a,
+						(float64(z) + b[2]) * a,
+					}
+					s.ID = append(s.ID, id)
+					s.Pos = append(s.Pos, p)
+					id++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// HCPLattice builds an HCP crystal in its orthohexagonal representation:
+// nx*ny*nz cells of size (a, sqrt(3)a, c) with 4 atoms per cell, using the
+// ideal axial ratio c/a = sqrt(8/3). Every atom has 12 nearest neighbors
+// at distance a, which common-neighbor analysis classifies as HCP.
+func HCPLattice(nx, ny, nz int, a float64) *Snapshot {
+	c := a * math.Sqrt(8.0/3.0)
+	ly := a * math.Sqrt(3)
+	basis := []Vec3{
+		{0, 0, 0},
+		{0.5, 0.5, 0},
+		{0.5, 5.0 / 6.0, 0.5},
+		{0, 1.0 / 3.0, 0.5},
+	}
+	n := 4 * nx * ny * nz
+	s := &Snapshot{
+		Box: Box{L: Vec3{float64(nx) * a, float64(ny) * ly, float64(nz) * c}},
+		ID:  make([]int64, 0, n),
+		Pos: make([]Vec3, 0, n),
+		Vel: make([]Vec3, n),
+	}
+	id := int64(0)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				for _, b := range basis {
+					p := Vec3{
+						(float64(x) + b[0]) * a,
+						(float64(y) + b[1]) * ly,
+						(float64(z) + b[2]) * c,
+					}
+					s.ID = append(s.ID, id)
+					s.Pos = append(s.Pos, p)
+					id++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// FlattenPositions returns the positions as a flat []float64 of length
+// 3N, the layout written through the ADIOS interface.
+func (s *Snapshot) FlattenPositions() []float64 {
+	out := make([]float64, 3*len(s.Pos))
+	for i, p := range s.Pos {
+		out[3*i] = p[0]
+		out[3*i+1] = p[1]
+		out[3*i+2] = p[2]
+	}
+	return out
+}
+
+// SnapshotFromFlat reconstructs positions from the flat layout.
+func SnapshotFromFlat(step int64, box Box, ids []int64, flat []float64) (*Snapshot, error) {
+	if len(flat)%3 != 0 {
+		return nil, fmt.Errorf("atoms: flat length %d not divisible by 3", len(flat))
+	}
+	n := len(flat) / 3
+	if len(ids) != n {
+		return nil, fmt.Errorf("atoms: %d ids for %d positions", len(ids), n)
+	}
+	s := &Snapshot{Step: step, Box: box, ID: append([]int64(nil), ids...),
+		Pos: make([]Vec3, n), Vel: make([]Vec3, n)}
+	for i := 0; i < n; i++ {
+		s.Pos[i] = Vec3{flat[3*i], flat[3*i+1], flat[3*i+2]}
+	}
+	return s, nil
+}

@@ -1,0 +1,269 @@
+package atoms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) || b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Fatal("add/sub wrong")
+	}
+	if a.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Fatal("scale wrong")
+	}
+	if a.Dot(b) != 32 {
+		t.Fatal("dot wrong")
+	}
+	if (Vec3{3, 4, 0}).Norm() != 5 {
+		t.Fatal("norm wrong")
+	}
+}
+
+func TestBoxWrap(t *testing.T) {
+	b := Box{L: Vec3{10, 10, 10}}
+	p := b.Wrap(Vec3{11, -1, 25})
+	want := Vec3{1, 9, 5}
+	for i := 0; i < 3; i++ {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("wrap %v, want %v", p, want)
+		}
+	}
+}
+
+func TestMinimumImage(t *testing.T) {
+	b := Box{L: Vec3{10, 10, 10}}
+	// Atoms at 0.5 and 9.5 on x are 1.0 apart through the boundary.
+	d := b.Delta(Vec3{0.5, 0, 0}, Vec3{9.5, 0, 0})
+	if math.Abs(d[0]+1) > 1e-12 {
+		t.Fatalf("delta %v, want x=-1", d)
+	}
+	if math.Abs(b.Dist2(Vec3{0.5, 0, 0}, Vec3{9.5, 0, 0})-1) > 1e-12 {
+		t.Fatal("dist2 wrong")
+	}
+}
+
+// Property: minimum-image distance is symmetric, bounded by half-diagonal,
+// and invariant under wrapping either argument.
+func TestMinimumImageProperty(t *testing.T) {
+	b := Box{L: Vec3{7, 9, 11}}
+	f := func(ax, ay, az, cx, cy, cz float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		c := Vec3{clamp(cx), clamp(cy), clamp(cz)}
+		d1, d2 := b.Dist2(a, c), b.Dist2(c, a)
+		if math.Abs(d1-d2) > 1e-9 {
+			return false
+		}
+		maxD2 := (b.L[0]/2)*(b.L[0]/2) + (b.L[1]/2)*(b.L[1]/2) + (b.L[2]/2)*(b.L[2]/2)
+		if d1 > maxD2+1e-9 {
+			return false
+		}
+		return math.Abs(b.Dist2(b.Wrap(a), c)-d1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCCLattice(t *testing.T) {
+	s := FCCLattice(3, 3, 3, 1.5)
+	if s.N() != 4*27 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Box.L != (Vec3{4.5, 4.5, 4.5}) {
+		t.Fatalf("box %v", s.Box.L)
+	}
+	// IDs unique and dense.
+	seen := map[int64]bool{}
+	for _, id := range s.ID {
+		if seen[id] {
+			t.Fatal("duplicate id")
+		}
+		seen[id] = true
+	}
+	// Nearest-neighbor distance in FCC is a/sqrt(2).
+	want := 1.5 / math.Sqrt2
+	minD := math.Inf(1)
+	for i := 1; i < s.N(); i++ {
+		d := math.Sqrt(s.Box.Dist2(s.Pos[0], s.Pos[i]))
+		if d < minD {
+			minD = d
+		}
+	}
+	if math.Abs(minD-want) > 1e-9 {
+		t.Fatalf("nearest neighbor %g, want %g", minD, want)
+	}
+	if s.Box.Volume() != 4.5*4.5*4.5 {
+		t.Fatal("volume wrong")
+	}
+}
+
+func TestSnapshotCloneIndependent(t *testing.T) {
+	s := FCCLattice(2, 2, 2, 1)
+	c := s.Clone()
+	c.Pos[0][0] = 99
+	c.ID[0] = 99
+	if s.Pos[0][0] == 99 || s.ID[0] == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestValidateCatchesBadSnapshots(t *testing.T) {
+	s := FCCLattice(1, 1, 1, 1)
+	s.ID = s.ID[:2]
+	if s.Validate() == nil {
+		t.Fatal("length mismatch not caught")
+	}
+	s2 := FCCLattice(1, 1, 1, 1)
+	s2.Box.L[1] = 0
+	if s2.Validate() == nil {
+		t.Fatal("bad box not caught")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	s := FCCLattice(2, 2, 2, 1.2)
+	flat := s.FlattenPositions()
+	if len(flat) != 3*s.N() {
+		t.Fatalf("flat len %d", len(flat))
+	}
+	got, err := SnapshotFromFlat(7, s.Box, s.ID, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 7 || got.N() != s.N() {
+		t.Fatal("meta lost")
+	}
+	for i := range s.Pos {
+		if got.Pos[i] != s.Pos[i] {
+			t.Fatalf("pos %d mismatch", i)
+		}
+	}
+	if _, err := SnapshotFromFlat(0, s.Box, s.ID, flat[:4]); err == nil {
+		t.Fatal("bad flat length not caught")
+	}
+	if _, err := SnapshotFromFlat(0, s.Box, s.ID[:1], flat); err == nil {
+		t.Fatal("id mismatch not caught")
+	}
+}
+
+// brute force reference for neighbor queries.
+func bruteNeighbors(s *Snapshot, i int, cutoff float64) map[int]bool {
+	out := map[int]bool{}
+	for j := range s.Pos {
+		if j == i {
+			continue
+		}
+		if s.Box.Dist2(s.Pos[i], s.Pos[j]) <= cutoff*cutoff {
+			out[j] = true
+		}
+	}
+	return out
+}
+
+func TestCellListMatchesBruteForce(t *testing.T) {
+	s := FCCLattice(3, 3, 3, 1.5)
+	for _, cutoff := range []float64{0.8, 1.1, 1.6, 2.3} {
+		cl := NewCellList(s, cutoff)
+		for i := 0; i < s.N(); i += 7 {
+			want := bruteNeighbors(s, i, cutoff)
+			got := map[int]bool{}
+			cl.ForNeighbors(i, func(j int, d2 float64) {
+				if d2 > cutoff*cutoff+1e-12 {
+					t.Fatalf("neighbor beyond cutoff: %g", d2)
+				}
+				if got[j] {
+					t.Fatalf("duplicate neighbor %d", j)
+				}
+				got[j] = true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("cutoff %g atom %d: got %d neighbors, want %d",
+					cutoff, i, len(got), len(want))
+			}
+			for j := range want {
+				if !got[j] {
+					t.Fatalf("missing neighbor %d", j)
+				}
+			}
+		}
+	}
+}
+
+// Property: cell list equals brute force on random configurations.
+func TestCellListProperty(t *testing.T) {
+	f := func(seed int64, nRaw, cutRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		cutoff := 0.5 + float64(cutRaw%30)/10 // 0.5 .. 3.4
+		r := newDeterministic(seed)
+		s := &Snapshot{Box: Box{L: Vec3{6, 7, 8}},
+			ID: make([]int64, n), Pos: make([]Vec3, n), Vel: make([]Vec3, n)}
+		for i := 0; i < n; i++ {
+			s.ID[i] = int64(i)
+			s.Pos[i] = Vec3{r() * 6, r() * 7, r() * 8}
+		}
+		cl := NewCellList(s, cutoff)
+		for i := 0; i < n; i++ {
+			want := bruteNeighbors(s, i, cutoff)
+			got := map[int]bool{}
+			cl.ForNeighbors(i, func(j int, _ float64) { got[j] = true })
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range want {
+				if !got[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newDeterministic returns a cheap deterministic [0,1) generator.
+func newDeterministic(seed int64) func() float64 {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	return func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+}
+
+func TestCellListNeighborsAndPairs(t *testing.T) {
+	s := FCCLattice(2, 2, 2, 1.5)
+	cl := NewCellList(s, 1.1) // captures the 12 FCC nearest neighbors
+	for i := 0; i < s.N(); i++ {
+		if got := len(cl.Neighbors(i)); got != 12 {
+			t.Fatalf("atom %d has %d neighbors, want 12", i, got)
+		}
+	}
+	// 12 neighbors each, double counted: n*12/2 pairs.
+	if got := cl.CountPairs(); got != s.N()*12/2 {
+		t.Fatalf("pairs %d, want %d", got, s.N()*12/2)
+	}
+}
+
+func TestCellListSmallBox(t *testing.T) {
+	// Box smaller than cutoff: single cell per axis must still work.
+	s := FCCLattice(1, 1, 1, 1.0)
+	cl := NewCellList(s, 5.0)
+	for i := 0; i < s.N(); i++ {
+		if got := len(cl.Neighbors(i)); got != s.N()-1 {
+			t.Fatalf("atom %d sees %d, want all %d", i, got, s.N()-1)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package atoms
+
+import "testing"
+
+// BenchmarkCellListBuild measures spatial index construction on a
+// 2048-atom crystal.
+func BenchmarkCellListBuild(b *testing.B) {
+	s := FCCLattice(8, 8, 8, 1.5496)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := NewCellList(s, 1.32)
+		if cl == nil {
+			b.Fatal("nil cell list")
+		}
+	}
+}
+
+// BenchmarkNeighborQuery measures per-atom neighbor iteration.
+func BenchmarkNeighborQuery(b *testing.B) {
+	s := FCCLattice(8, 8, 8, 1.5496)
+	cl := NewCellList(s, 1.32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		cl.ForNeighbors(i%s.N(), func(int, float64) { n++ })
+	}
+	if n == 0 {
+		b.Fatal("no neighbors")
+	}
+}
+
+// BenchmarkMinimumImage measures the displacement kernel.
+func BenchmarkMinimumImage(b *testing.B) {
+	box := Box{L: Vec3{10, 11, 12}}
+	a, c := Vec3{0.5, 1, 2}, Vec3{9.5, 10, 11}
+	b.ReportAllocs()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += box.Dist2(a, c)
+	}
+	_ = sum
+}

@@ -1,0 +1,119 @@
+package atoms
+
+import "math"
+
+// CellList spatially hashes a snapshot so neighbor queries within a cutoff
+// touch only adjacent cells — O(n) construction and O(1) expected
+// neighbors per atom at liquid/solid densities.
+type CellList struct {
+	box    Box
+	cutoff float64
+	nc     [3]int     // cells per axis
+	cw     [3]float64 // cell widths
+	cells  [][]int32
+	pos    []Vec3
+}
+
+// NewCellList indexes the snapshot's positions with the given cutoff.
+// Each axis gets at least one cell; cells are never narrower than the
+// cutoff unless the box itself is.
+func NewCellList(s *Snapshot, cutoff float64) *CellList {
+	cl := &CellList{box: s.Box, cutoff: cutoff, pos: s.Pos}
+	for i := 0; i < 3; i++ {
+		n := int(math.Floor(s.Box.L[i] / cutoff))
+		if n < 1 {
+			n = 1
+		}
+		cl.nc[i] = n
+		cl.cw[i] = s.Box.L[i] / float64(n)
+	}
+	cl.cells = make([][]int32, cl.nc[0]*cl.nc[1]*cl.nc[2])
+	for i, p := range s.Pos {
+		idx := cl.cellIndex(s.Box.Wrap(p))
+		cl.cells[idx] = append(cl.cells[idx], int32(i))
+	}
+	return cl
+}
+
+func (cl *CellList) cellCoord(p Vec3) (c [3]int) {
+	for i := 0; i < 3; i++ {
+		c[i] = int(p[i] / cl.cw[i])
+		if c[i] >= cl.nc[i] {
+			c[i] = cl.nc[i] - 1
+		}
+		if c[i] < 0 {
+			c[i] = 0
+		}
+	}
+	return
+}
+
+func (cl *CellList) cellIndex(p Vec3) int {
+	c := cl.cellCoord(p)
+	return (c[2]*cl.nc[1]+c[1])*cl.nc[0] + c[0]
+}
+
+// ForNeighbors invokes fn for every atom j within cutoff of atom i
+// (j != i), passing the squared minimum-image distance.
+func (cl *CellList) ForNeighbors(i int, fn func(j int, dist2 float64)) {
+	pi := cl.box.Wrap(cl.pos[i])
+	c := cl.cellCoord(pi)
+	cut2 := cl.cutoff * cl.cutoff
+	// Visit the 27 neighboring cells with periodic wraparound; when an
+	// axis has fewer than 3 cells, avoid visiting the same cell twice.
+	seen := make(map[int]bool, 27)
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				cc := [3]int{
+					mod(c[0]+dx, cl.nc[0]),
+					mod(c[1]+dy, cl.nc[1]),
+					mod(c[2]+dz, cl.nc[2]),
+				}
+				idx := (cc[2]*cl.nc[1]+cc[1])*cl.nc[0] + cc[0]
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				for _, j32 := range cl.cells[idx] {
+					j := int(j32)
+					if j == i {
+						continue
+					}
+					d2 := cl.box.Dist2(cl.pos[i], cl.pos[j])
+					if d2 <= cut2 {
+						fn(j, d2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Neighbors returns the indices within cutoff of atom i.
+func (cl *CellList) Neighbors(i int) []int {
+	var out []int
+	cl.ForNeighbors(i, func(j int, _ float64) { out = append(out, j) })
+	return out
+}
+
+// CountPairs returns the number of unordered pairs within the cutoff.
+func (cl *CellList) CountPairs() int {
+	n := 0
+	for i := range cl.pos {
+		cl.ForNeighbors(i, func(j int, _ float64) {
+			if j > i {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}

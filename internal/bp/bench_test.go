@@ -1,0 +1,89 @@
+package bp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchPG(atoms int) *ProcessGroup {
+	pos := make([]float64, 3*atoms)
+	ids := make([]int64, atoms)
+	for i := range ids {
+		ids[i] = int64(i)
+		pos[3*i] = float64(i)
+	}
+	return &ProcessGroup{
+		Group:    "atoms",
+		Timestep: 7,
+		Vars: []Var{
+			{Name: "pos", Type: TFloat64, Dims: []int{atoms, 3}, Data: pos},
+			{Name: "ids", Type: TInt64, Dims: []int{atoms}, Data: ids},
+		},
+		Attrs: map[string]string{"lammps.atoms": "many"},
+	}
+}
+
+// BenchmarkEncode measures process-group serialization throughput.
+func BenchmarkEncode(b *testing.B) {
+	pg := benchPG(4096)
+	b.SetBytes(pg.DataBytes())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		if err := w.Append(pg); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures step read-back throughput.
+func BenchmarkDecode(b *testing.B) {
+	pg := benchPG(4096)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Append(pg)
+	w.Close()
+	data := buf.Bytes()
+	b.SetBytes(pg.DataBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadStep(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexedSeek measures random step access in a multi-step
+// stream.
+func BenchmarkIndexedSeek(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	small := benchPG(64)
+	for ts := int64(0); ts < 128; ts++ {
+		small.Timestep = ts
+		if err := w.Append(small); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadStep((i * 37) % 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

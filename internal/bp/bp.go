@@ -1,0 +1,493 @@
+// Package bp implements a small self-describing binary-pack container
+// format, playing the role ADIOS's BP format plays in the paper: each
+// output step of a group is appended as a "process group" carrying named,
+// typed, dimensioned variables plus string attributes (the container
+// runtime uses attributes to record data-processing provenance when an
+// analytics stage is taken offline). A footer index makes steps randomly
+// accessible for post-processing.
+//
+// Layout:
+//
+//	magic "GOBP" | version u32
+//	process group*              (see writePG)
+//	index                       (count + per-PG offsets/sizes/names)
+//	index offset u64 | magic "BPGO"
+package bp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic constants framing a BP stream.
+var (
+	headMagic = [4]byte{'G', 'O', 'B', 'P'}
+	tailMagic = [4]byte{'B', 'P', 'G', 'O'}
+)
+
+// Version is the format version written by this package.
+const Version uint32 = 1
+
+// DType enumerates variable element types.
+type DType uint8
+
+// Supported element types.
+const (
+	TFloat64 DType = iota + 1
+	TFloat32
+	TInt64
+	TInt32
+	TByte
+)
+
+// String implements fmt.Stringer.
+func (t DType) String() string {
+	switch t {
+	case TFloat64:
+		return "float64"
+	case TFloat32:
+		return "float32"
+	case TInt64:
+		return "int64"
+	case TInt32:
+		return "int32"
+	case TByte:
+		return "byte"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(t))
+}
+
+// elemSize returns the byte width of one element.
+func (t DType) elemSize() int {
+	switch t {
+	case TFloat64, TInt64:
+		return 8
+	case TFloat32, TInt32:
+		return 4
+	case TByte:
+		return 1
+	}
+	return 0
+}
+
+// Var is one variable within a process group.
+type Var struct {
+	Name string
+	Type DType
+	// Dims are the (local) dimensions; the element count is their
+	// product, or 0 dims for a scalar (count 1).
+	Dims []int
+	// Data holds the elements as one of []float64, []float32, []int64,
+	// []int32, []byte matching Type.
+	Data any
+}
+
+// Count returns the element count implied by Dims.
+func (v *Var) Count() int {
+	n := 1
+	for _, d := range v.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Float64s returns the data as []float64, converting numeric types.
+func (v *Var) Float64s() ([]float64, error) {
+	switch d := v.Data.(type) {
+	case []float64:
+		return d, nil
+	case []float32:
+		out := make([]float64, len(d))
+		for i, x := range d {
+			out[i] = float64(x)
+		}
+		return out, nil
+	case []int64:
+		out := make([]float64, len(d))
+		for i, x := range d {
+			out[i] = float64(x)
+		}
+		return out, nil
+	case []int32:
+		out := make([]float64, len(d))
+		for i, x := range d {
+			out[i] = float64(x)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("bp: var %q type %v not numeric", v.Name, v.Type)
+}
+
+// validate checks type/data/dims consistency.
+func (v *Var) validate() error {
+	if v.Name == "" {
+		return errors.New("bp: var with empty name")
+	}
+	var n int
+	switch d := v.Data.(type) {
+	case []float64:
+		if v.Type != TFloat64 {
+			return typeMismatch(v, "float64")
+		}
+		n = len(d)
+	case []float32:
+		if v.Type != TFloat32 {
+			return typeMismatch(v, "float32")
+		}
+		n = len(d)
+	case []int64:
+		if v.Type != TInt64 {
+			return typeMismatch(v, "int64")
+		}
+		n = len(d)
+	case []int32:
+		if v.Type != TInt32 {
+			return typeMismatch(v, "int32")
+		}
+		n = len(d)
+	case []byte:
+		if v.Type != TByte {
+			return typeMismatch(v, "byte")
+		}
+		n = len(d)
+	default:
+		return fmt.Errorf("bp: var %q has unsupported data %T", v.Name, v.Data)
+	}
+	if n != v.Count() {
+		return fmt.Errorf("bp: var %q dims %v imply %d elements, data has %d",
+			v.Name, v.Dims, v.Count(), n)
+	}
+	return nil
+}
+
+func typeMismatch(v *Var, got string) error {
+	return fmt.Errorf("bp: var %q declared %v but data is []%s", v.Name, v.Type, got)
+}
+
+// ProcessGroup is one appended output step.
+type ProcessGroup struct {
+	Group    string
+	Timestep int64
+	Vars     []Var
+	Attrs    map[string]string
+}
+
+// Var returns the named variable, or nil.
+func (pg *ProcessGroup) Var(name string) *Var {
+	for i := range pg.Vars {
+		if pg.Vars[i].Name == name {
+			return &pg.Vars[i]
+		}
+	}
+	return nil
+}
+
+// DataBytes returns the total payload size of all variables.
+func (pg *ProcessGroup) DataBytes() int64 {
+	var n int64
+	for i := range pg.Vars {
+		n += int64(pg.Vars[i].Count() * pg.Vars[i].Type.elemSize())
+	}
+	return n
+}
+
+// indexEntry locates one process group in the stream.
+type indexEntry struct {
+	Group    string
+	Timestep int64
+	Offset   int64
+	Size     int64
+}
+
+// --- primitive encoding ---
+
+type countingWriter struct {
+	w   io.Writer
+	off int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.off += int64(n)
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+type byteReader struct{ r io.Reader }
+
+func (br byteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(br.r, b[:])
+	return b[0], err
+}
+
+func readUvarint(r io.Reader) (uint64, error) {
+	return binary.ReadUvarint(byteReader{r})
+}
+
+const maxStringLen = 1 << 20
+
+func readString(r io.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("bp: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// --- variable payload encoding ---
+
+func writeVarData(w io.Writer, v *Var) error {
+	switch d := v.Data.(type) {
+	case []float64:
+		buf := make([]byte, 8*len(d))
+		for i, x := range d {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+		}
+		_, err := w.Write(buf)
+		return err
+	case []float32:
+		buf := make([]byte, 4*len(d))
+		for i, x := range d {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
+		}
+		_, err := w.Write(buf)
+		return err
+	case []int64:
+		buf := make([]byte, 8*len(d))
+		for i, x := range d {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+		}
+		_, err := w.Write(buf)
+		return err
+	case []int32:
+		buf := make([]byte, 4*len(d))
+		for i, x := range d {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
+		}
+		_, err := w.Write(buf)
+		return err
+	case []byte:
+		_, err := w.Write(d)
+		return err
+	}
+	return fmt.Errorf("bp: unsupported data %T", v.Data)
+}
+
+func readVarData(r io.Reader, t DType, count int) (any, error) {
+	size := t.elemSize()
+	if size == 0 {
+		return nil, fmt.Errorf("bp: unknown dtype %d", t)
+	}
+	buf := make([]byte, size*count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	switch t {
+	case TFloat64:
+		out := make([]float64, count)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		return out, nil
+	case TFloat32:
+		out := make([]float32, count)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		return out, nil
+	case TInt64:
+		out := make([]int64, count)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		return out, nil
+	case TInt32:
+		out := make([]int32, count)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		return out, nil
+	case TByte:
+		return buf, nil
+	}
+	return nil, fmt.Errorf("bp: unknown dtype %d", t)
+}
+
+// encodePG serializes a process group body.
+func encodePG(pg *ProcessGroup) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeString(&buf, pg.Group); err != nil {
+		return nil, err
+	}
+	if err := writeU64(&buf, uint64(pg.Timestep)); err != nil {
+		return nil, err
+	}
+	if err := writeUvarint(&buf, uint64(len(pg.Vars))); err != nil {
+		return nil, err
+	}
+	for i := range pg.Vars {
+		v := &pg.Vars[i]
+		if err := v.validate(); err != nil {
+			return nil, err
+		}
+		if err := writeString(&buf, v.Name); err != nil {
+			return nil, err
+		}
+		buf.WriteByte(byte(v.Type))
+		if err := writeUvarint(&buf, uint64(len(v.Dims))); err != nil {
+			return nil, err
+		}
+		for _, d := range v.Dims {
+			if d < 0 {
+				return nil, fmt.Errorf("bp: var %q has negative dim", v.Name)
+			}
+			if err := writeUvarint(&buf, uint64(d)); err != nil {
+				return nil, err
+			}
+		}
+		if err := writeVarData(&buf, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeUvarint(&buf, uint64(len(pg.Attrs))); err != nil {
+		return nil, err
+	}
+	for _, k := range sortedKeys(pg.Attrs) {
+		if err := writeString(&buf, k); err != nil {
+			return nil, err
+		}
+		if err := writeString(&buf, pg.Attrs[k]); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePG(r io.Reader) (*ProcessGroup, error) {
+	pg := &ProcessGroup{}
+	var err error
+	if pg.Group, err = readString(r); err != nil {
+		return nil, err
+	}
+	ts, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	pg.Timestep = int64(ts)
+	nvars, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nvars > 1<<16 {
+		return nil, fmt.Errorf("bp: implausible var count %d", nvars)
+	}
+	pg.Vars = make([]Var, nvars)
+	for i := range pg.Vars {
+		v := &pg.Vars[i]
+		if v.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		tb, err := byteReader{r}.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		v.Type = DType(tb)
+		ndims, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if ndims > 16 {
+			return nil, fmt.Errorf("bp: implausible rank %d", ndims)
+		}
+		v.Dims = make([]int, ndims)
+		for j := range v.Dims {
+			d, err := readUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			v.Dims[j] = int(d)
+		}
+		if v.Count() > 1<<28 {
+			return nil, fmt.Errorf("bp: var %q too large", v.Name)
+		}
+		if v.Data, err = readVarData(r, v.Type, v.Count()); err != nil {
+			return nil, err
+		}
+	}
+	nattrs, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nattrs > 1<<16 {
+		return nil, fmt.Errorf("bp: implausible attr count %d", nattrs)
+	}
+	if nattrs > 0 {
+		pg.Attrs = make(map[string]string, nattrs)
+		for i := uint64(0); i < nattrs; i++ {
+			k, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			v, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			pg.Attrs[k] = v
+		}
+	}
+	return pg, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

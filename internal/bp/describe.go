@@ -1,0 +1,55 @@
+package bp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders a human-readable summary of a BP stream: the step
+// index, and per-step group/variable/attribute details (cmd/bpdump's
+// output). maxSteps bounds how many steps are expanded (0 = all).
+func Describe(r *Reader, maxSteps int) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bp stream: %d step(s)\n", r.Steps())
+	groups := map[string]int{}
+	for i := 0; i < r.Steps(); i++ {
+		g, _, err := r.StepInfo(i)
+		if err != nil {
+			return "", err
+		}
+		groups[g]++
+	}
+	var names []string
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		fmt.Fprintf(&b, "  group %q: %d step(s)\n", g, groups[g])
+	}
+	n := r.Steps()
+	if maxSteps > 0 && n > maxSteps {
+		n = maxSteps
+	}
+	for i := 0; i < n; i++ {
+		pg, err := r.ReadStep(i)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\nstep %d: group=%q timestep=%d payload=%d bytes\n",
+			i, pg.Group, pg.Timestep, pg.DataBytes())
+		for vi := range pg.Vars {
+			v := &pg.Vars[vi]
+			fmt.Fprintf(&b, "  var %-16s %-8s dims=%v count=%d\n",
+				v.Name, v.Type, v.Dims, v.Count())
+		}
+		for _, k := range sortedKeys(pg.Attrs) {
+			fmt.Fprintf(&b, "  attr %-15s = %q\n", k, pg.Attrs[k])
+		}
+	}
+	if n < r.Steps() {
+		fmt.Fprintf(&b, "\n(%d more steps)\n", r.Steps()-n)
+	}
+	return b.String(), nil
+}

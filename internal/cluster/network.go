@@ -1,0 +1,100 @@
+package cluster
+
+import "repro/internal/sim"
+
+// The interconnect model charges each transfer
+//
+//	latency(hops) + size/bandwidth
+//
+// while serializing on the sender's NIC injection port and the receiver's
+// ejection port (separate tx/rx resources, so opposing transfers cannot
+// deadlock). This is a store-and-forward approximation: good enough to
+// reproduce the paper's message-round protocol costs and queueing shapes
+// without per-flit detail.
+
+// latencyBetween returns the wire latency between two nodes under the
+// configured topology.
+func (m *Machine) latencyBetween(from, to int) sim.Time {
+	lat := m.cfg.LinkLatency
+	if m.cfg.Topology != nil {
+		hops := m.cfg.Topology.Hops(from, to)
+		if hops > 1 {
+			lat += sim.Time(hops-1) * m.cfg.PerHopLatency
+		}
+		if hops == 0 {
+			return 0 // intra-node
+		}
+	} else if from == to {
+		return 0
+	}
+	return lat
+}
+
+// transferTime returns size/bandwidth for the configured NIC rate.
+func (m *Machine) transferTime(size int64) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	bytesPerSec := m.cfg.LinkBandwidthMBps * 1024 * 1024
+	return sim.Time(float64(size) / bytesPerSec * float64(sim.Second))
+}
+
+// Send moves size bytes from node `from` to node `to`, blocking p for the
+// full transfer duration. Intra-node sends cost only a memcpy-scale time.
+func (m *Machine) Send(p *sim.Proc, from, to int, size int64) {
+	start := m.eng.Now()
+	if from == to {
+		// Intra-node: charge memory-bandwidth-scale copy (10x NIC rate).
+		p.Sleep(m.transferTime(size) / 10)
+		m.account(size, m.eng.Now()-start)
+		return
+	}
+	src, dst := m.nodes[from], m.nodes[to]
+	src.tx.Acquire(p, 1)
+	p.Sleep(m.transferTime(size))
+	src.tx.Release(1)
+	p.Sleep(m.latencyBetween(from, to))
+	dst.rx.Acquire(p, 1)
+	p.Sleep(m.transferTime(size))
+	dst.rx.Release(1)
+	m.account(size, m.eng.Now()-start)
+}
+
+// RDMAGet models a one-sided pull: p (running at node `reader`) sends a
+// small request to `target` and the data flows back. This is DataTap's
+// fetch primitive: the reader schedules the get when it is ready.
+func (m *Machine) RDMAGet(p *sim.Proc, reader, target int, size int64) {
+	start := m.eng.Now()
+	if reader == target {
+		p.Sleep(m.transferTime(size) / 10)
+		m.account(size, m.eng.Now()-start)
+		return
+	}
+	// Request message (64-byte descriptor).
+	p.Sleep(m.latencyBetween(reader, target) + m.transferTime(64))
+	// Response: serialized on target's tx port and reader's rx port.
+	src, dst := m.nodes[target], m.nodes[reader]
+	src.tx.Acquire(p, 1)
+	p.Sleep(m.transferTime(size))
+	src.tx.Release(1)
+	p.Sleep(m.latencyBetween(target, reader))
+	dst.rx.Acquire(p, 1)
+	p.Sleep(m.transferTime(size))
+	dst.rx.Release(1)
+	m.account(size+64, m.eng.Now()-start)
+}
+
+// EstimateSend returns the uncontended time a Send of size bytes between
+// the two nodes would take; managers use it for decision making.
+func (m *Machine) EstimateSend(from, to int, size int64) sim.Time {
+	if from == to {
+		return m.transferTime(size) / 10
+	}
+	return 2*m.transferTime(size) + m.latencyBetween(from, to)
+}
+
+func (m *Machine) account(bytes int64, d sim.Time) {
+	m.stats.Messages++
+	m.stats.Bytes += bytes
+	m.stats.TotalTime += d
+}

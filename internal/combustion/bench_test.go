@@ -1,0 +1,34 @@
+package combustion
+
+import "testing"
+
+// BenchmarkAdvance measures one explicit integration step of a
+// 400x32 field.
+func BenchmarkAdvance(b *testing.B) {
+	f, err := NewField(400, 32, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Ignite(40, nil)
+	dt := 0.9 * f.MaxStableDt(1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Advance(dt, 1.0, 4.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractFront measures front extraction.
+func BenchmarkExtractFront(b *testing.B) {
+	f, _ := NewField(400, 32, 0.25)
+	f.Ignite(200, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr := ExtractFront(f, 0.5)
+		if fr.Valid() == 0 {
+			b.Fatal("no front")
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package combustion is the S3D-flavored workload surrogate for the
+// paper's "current work": flame front tracking and visualization for a
+// combustion modeling code. It provides a 2-D reaction–diffusion model of
+// a premixed flame (Fisher–KPP progress variable) plus the front
+// analytics the pipeline would run in a container: iso-level front
+// extraction, front length/wrinkling, and front tracking across steps.
+//
+// The model is small but physically honest: the progress variable obeys
+//
+//	∂c/∂t = D ∇²c + r·c·(1−c)
+//
+// whose planar front travels at the classical speed v = 2·√(D·r) — the
+// validation target of the package's tests.
+package combustion
+
+import (
+	"fmt"
+	"math"
+)
+
+// Field is a 2-D scalar progress-variable field: c=0 unburnt, c=1 burnt.
+// The x boundaries are zero-flux (inflow/outflow walls); y is periodic.
+type Field struct {
+	NX, NY int
+	// DX is the grid spacing (same in both directions).
+	DX float64
+	// C holds the field row-major: C[j*NX+i].
+	C []float64
+	// Step counts integration steps taken.
+	Step int64
+}
+
+// NewField allocates an all-unburnt field.
+func NewField(nx, ny int, dx float64) (*Field, error) {
+	if nx < 3 || ny < 1 || dx <= 0 {
+		return nil, fmt.Errorf("combustion: bad field dims %dx%d dx=%g", nx, ny, dx)
+	}
+	return &Field{NX: nx, NY: ny, DX: dx, C: make([]float64, nx*ny)}, nil
+}
+
+// At returns c at column i, row j.
+func (f *Field) At(i, j int) float64 { return f.C[j*f.NX+i] }
+
+// Set assigns c at column i, row j.
+func (f *Field) Set(i, j int, v float64) { f.C[j*f.NX+i] = v }
+
+// Ignite sets the region x < width (in grid columns) fully burnt,
+// optionally perturbing the interface column by perturb(j) columns per
+// row (nil = planar ignition).
+func (f *Field) Ignite(width int, perturb func(j int) float64) {
+	for j := 0; j < f.NY; j++ {
+		edge := float64(width)
+		if perturb != nil {
+			edge += perturb(j)
+		}
+		for i := 0; i < f.NX; i++ {
+			if float64(i) < edge {
+				f.Set(i, j, 1)
+			}
+		}
+	}
+}
+
+// MaxStableDt returns the explicit-integration stability bound for
+// diffusivity D (the 2-D FTCS limit dx²/(4D)).
+func (f *Field) MaxStableDt(d float64) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return f.DX * f.DX / (4 * d)
+}
+
+// Advance integrates one explicit step of the reaction–diffusion
+// equation with diffusivity d and reaction rate r. It rejects unstable
+// timesteps.
+func (f *Field) Advance(dt, d, r float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("combustion: non-positive dt %g", dt)
+	}
+	if dt > f.MaxStableDt(d) {
+		return fmt.Errorf("combustion: dt %g exceeds stability bound %g", dt, f.MaxStableDt(d))
+	}
+	nx, ny := f.NX, f.NY
+	out := make([]float64, len(f.C))
+	inv2 := 1 / (f.DX * f.DX)
+	for j := 0; j < ny; j++ {
+		jm := (j - 1 + ny) % ny
+		jp := (j + 1) % ny
+		for i := 0; i < nx; i++ {
+			c := f.At(i, j)
+			// Zero-flux x boundaries mirror the edge value.
+			cl, cr := c, c
+			if i > 0 {
+				cl = f.At(i-1, j)
+			}
+			if i < nx-1 {
+				cr = f.At(i+1, j)
+			}
+			lap := (cl + cr + f.At(i, jm) + f.At(i, jp) - 4*c) * inv2
+			v := c + dt*(d*lap+r*c*(1-c))
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			out[j*nx+i] = v
+		}
+	}
+	f.C = out
+	f.Step++
+	return nil
+}
+
+// Burnt returns the burnt fraction of the domain.
+func (f *Field) Burnt() float64 {
+	sum := 0.0
+	for _, v := range f.C {
+		sum += v
+	}
+	return sum / float64(len(f.C))
+}
+
+// Front is the extracted flame front: one x-position (in physical units)
+// per row where c crosses the iso-level.
+type Front struct {
+	// X[j] is the front position of row j; NaN if the row has no
+	// crossing (fully burnt or fully unburnt).
+	X []float64
+	// DX is the grid spacing, kept for length computations.
+	DX float64
+}
+
+// ExtractFront locates the rightmost level-crossing per row with linear
+// interpolation — the flame-front extraction an S3D analytics container
+// performs on each arriving step.
+func ExtractFront(f *Field, level float64) *Front {
+	fr := &Front{X: make([]float64, f.NY), DX: f.DX}
+	for j := 0; j < f.NY; j++ {
+		fr.X[j] = math.NaN()
+		for i := f.NX - 2; i >= 0; i-- {
+			a, b := f.At(i, j), f.At(i+1, j)
+			if (a >= level && b < level) || (a < level && b >= level) {
+				t := (level - a) / (b - a)
+				fr.X[j] = (float64(i) + t) * f.DX
+				break
+			}
+		}
+	}
+	return fr
+}
+
+// Valid reports how many rows have a front crossing.
+func (fr *Front) Valid() int {
+	n := 0
+	for _, x := range fr.X {
+		if !math.IsNaN(x) {
+			n++
+		}
+	}
+	return n
+}
+
+// Mean returns the average front position over valid rows.
+func (fr *Front) Mean() float64 {
+	sum, n := 0.0, 0
+	for _, x := range fr.X {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Length returns the front's arc length (periodic in y): the wrinkling
+// measure flame analytics report. A planar front of NY rows has length
+// NY·dx.
+func (fr *Front) Length() float64 {
+	n := len(fr.X)
+	if n < 2 {
+		return 0
+	}
+	total := 0.0
+	for j := 0; j < n; j++ {
+		xa, xb := fr.X[j], fr.X[(j+1)%n]
+		if math.IsNaN(xa) || math.IsNaN(xb) {
+			continue
+		}
+		dxp := xb - xa
+		total += math.Sqrt(dxp*dxp + fr.DX*fr.DX)
+	}
+	return total
+}
+
+// Wrinkling returns Length normalized by the planar length (1.0 = flat).
+func (fr *Front) Wrinkling() float64 {
+	planar := float64(len(fr.X)) * fr.DX
+	if planar == 0 {
+		return 0
+	}
+	return fr.Length() / planar
+}
+
+// TrackFront returns the mean displacement speed between two extracted
+// fronts separated by elapsed time dt — the tracking step of the
+// pipeline, and the quantity validated against 2·√(D·r).
+func TrackFront(prev, cur *Front, dt float64) (float64, error) {
+	if dt <= 0 {
+		return 0, fmt.Errorf("combustion: non-positive dt %g", dt)
+	}
+	if len(prev.X) != len(cur.X) {
+		return 0, fmt.Errorf("combustion: row mismatch %d vs %d", len(prev.X), len(cur.X))
+	}
+	sum, n := 0.0, 0
+	for j := range prev.X {
+		if math.IsNaN(prev.X[j]) || math.IsNaN(cur.X[j]) {
+			continue
+		}
+		sum += cur.X[j] - prev.X[j]
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("combustion: no common front rows")
+	}
+	return sum / float64(n) / dt, nil
+}
+
+// TheoreticalSpeed returns the Fisher–KPP planar front speed 2·√(D·r).
+func TheoreticalSpeed(d, r float64) float64 { return 2 * math.Sqrt(d*r) }

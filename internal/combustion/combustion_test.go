@@ -1,0 +1,175 @@
+package combustion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField(2, 4, 0.1); err == nil {
+		t.Fatal("too-narrow field should fail")
+	}
+	if _, err := NewField(10, 0, 0.1); err == nil {
+		t.Fatal("zero rows should fail")
+	}
+	if _, err := NewField(10, 4, 0); err == nil {
+		t.Fatal("zero dx should fail")
+	}
+	f, err := NewField(10, 4, 0.1)
+	if err != nil || f.Burnt() != 0 {
+		t.Fatalf("fresh field: %v burnt=%g", err, f.Burnt())
+	}
+}
+
+func TestIgniteAndBounds(t *testing.T) {
+	f, _ := NewField(50, 8, 0.1)
+	f.Ignite(10, nil)
+	if got := f.Burnt(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("burnt %g, want 0.2", got)
+	}
+	// Advance keeps c in [0,1].
+	for i := 0; i < 50; i++ {
+		if err := f.Advance(0.002, 1.0, 5.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range f.C {
+		if v < 0 || v > 1 {
+			t.Fatalf("c out of bounds: %g", v)
+		}
+	}
+	if f.Step != 50 {
+		t.Fatalf("step %d", f.Step)
+	}
+}
+
+func TestAdvanceRejectsUnstableDt(t *testing.T) {
+	f, _ := NewField(20, 4, 0.1)
+	bound := f.MaxStableDt(1.0) // 0.0025
+	if math.Abs(bound-0.0025) > 1e-12 {
+		t.Fatalf("stability bound %g", bound)
+	}
+	if err := f.Advance(2*bound, 1.0, 1.0); err == nil {
+		t.Fatal("unstable dt accepted")
+	}
+	if err := f.Advance(-1, 1.0, 1.0); err == nil {
+		t.Fatal("negative dt accepted")
+	}
+	if !math.IsInf(f.MaxStableDt(0), 1) {
+		t.Fatal("zero diffusivity should have no bound")
+	}
+}
+
+func TestExtractFrontOnStepProfile(t *testing.T) {
+	f, _ := NewField(100, 4, 0.5)
+	f.Ignite(30, nil) // c=1 for i<30, 0 beyond
+	fr := ExtractFront(f, 0.5)
+	if fr.Valid() != 4 {
+		t.Fatalf("valid rows %d", fr.Valid())
+	}
+	// Crossing between i=29 (c=1) and i=30 (c=0) at t=0.5: x=(29.5)*dx.
+	want := 29.5 * 0.5
+	for _, x := range fr.X {
+		if math.Abs(x-want) > 1e-9 {
+			t.Fatalf("front at %g, want %g", x, want)
+		}
+	}
+	// Planar front: wrinkling factor 1.
+	if w := fr.Wrinkling(); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("wrinkling %g", w)
+	}
+}
+
+func TestFrontAbsentRows(t *testing.T) {
+	f, _ := NewField(20, 3, 1)
+	// Row 0 fully burnt, rows 1..2 untouched.
+	for i := 0; i < 20; i++ {
+		f.Set(i, 0, 1)
+	}
+	fr := ExtractFront(f, 0.5)
+	if !math.IsNaN(fr.X[0]) || fr.Valid() != 0 {
+		t.Fatalf("expected no crossings, got %v", fr.X)
+	}
+	if !math.IsNaN(fr.Mean()) {
+		t.Fatal("mean of empty front should be NaN")
+	}
+}
+
+// TestKPPFrontSpeed validates the core physics: the traveling front moves
+// at 2*sqrt(D*r) once developed.
+func TestKPPFrontSpeed(t *testing.T) {
+	d, r := 1.0, 4.0
+	f, _ := NewField(400, 4, 0.25)
+	f.Ignite(40, nil)
+	dt := 0.9 * f.MaxStableDt(d)
+	// Let the front develop its traveling profile (front reaches ~x=27).
+	for i := 0; i < 300; i++ {
+		if err := f.Advance(dt, d, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := ExtractFront(f, 0.5)
+	steps := 800
+	for i := 0; i < steps; i++ {
+		if err := f.Advance(dt, d, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := ExtractFront(f, 0.5)
+	speed, err := TrackFront(start, end, float64(steps)*dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TheoreticalSpeed(d, r) // 4.0
+	if math.Abs(speed-want)/want > 0.10 {
+		t.Fatalf("front speed %.3f, theory %.3f (>10%% off)", speed, want)
+	}
+}
+
+// TestDiffusionSmoothsWrinkles: a perturbed ignition line is wrinkled; as
+// the front propagates, curvature burns out and wrinkling decays toward
+// planar — the physical behaviour the front-length analytics watch for.
+func TestDiffusionSmoothsWrinkles(t *testing.T) {
+	d, r := 1.0, 2.0
+	f, _ := NewField(300, 32, 0.25)
+	f.Ignite(40, func(j int) float64 {
+		return 12 * math.Sin(2*math.Pi*float64(j)/32)
+	})
+	dt := 0.9 * f.MaxStableDt(d)
+	w0 := ExtractFront(f, 0.5).Wrinkling()
+	if w0 < 1.1 {
+		t.Fatalf("initial wrinkling %g; perturbation too weak for the test", w0)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := f.Advance(dt, d, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1 := ExtractFront(f, 0.5).Wrinkling()
+	if w1 >= w0 {
+		t.Fatalf("wrinkling grew: %g -> %g", w0, w1)
+	}
+	if w1 > 1.15 {
+		t.Fatalf("front failed to flatten: %g", w1)
+	}
+}
+
+func TestTrackFrontValidation(t *testing.T) {
+	a := &Front{X: []float64{1, 2}, DX: 1}
+	b := &Front{X: []float64{2, 3}, DX: 1}
+	if _, err := TrackFront(a, b, 0); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+	c := &Front{X: []float64{1}, DX: 1}
+	if _, err := TrackFront(a, c, 1); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	nanF := &Front{X: []float64{math.NaN(), math.NaN()}, DX: 1}
+	if _, err := TrackFront(nanF, nanF, 1); err == nil {
+		t.Fatal("no common rows accepted")
+	}
+	v, err := TrackFront(a, b, 2)
+	if err != nil || math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("speed %g err %v", v, err)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"repro/internal/smartpointer"
+)
+
+// ComponentSpec describes one analytics action embedded in a container:
+// its Table I characteristics, calibrated cost model, and pipeline role.
+type ComponentSpec struct {
+	// Name is the container/component name ("bonds", "csym", ...).
+	Name string
+	// Kind selects the SmartPointer action.
+	Kind smartpointer.Kind
+	// Model is the compute model the component runs under; it must be
+	// one the kind supports.
+	Model smartpointer.ComputeModel
+	// Cost predicts per-step service time.
+	Cost smartpointer.CostModel
+	// OutputFactor scales the component's output volume relative to its
+	// input (Bonds adds an adjacency list; CSym/CNA reduce to
+	// annotations).
+	OutputFactor float64
+	// Essential components may never be taken offline (the Helper: it
+	// is the I/O aggregation point the simulation depends on).
+	Essential bool
+	// ActivateOnCrack components idle until crack formation appears in
+	// the data (CNA: "running the components... is really only merited
+	// when some interesting application-level event... has occurred").
+	ActivateOnCrack bool
+	// DeactivateOnCrack components stop consuming once crack formation
+	// appears (CSym hands the pipeline's post-break branch to CNA).
+	DeactivateOnCrack bool
+	// MinSize is the smallest node count stealing may leave the
+	// container with (default 1). The Helper's floor reflects its
+	// aggregation tree's memory requirements.
+	MinSize int
+	// DiskOutput marks a terminal stage that writes its results to
+	// stable storage (checkpoint aggregation); its replicas bind their
+	// ADIOS groups to the disk sink from the start.
+	DiskOutput bool
+	// SLAPeriods relaxes the component's deadline to this many output
+	// periods (default 1). Checkpoint aggregation "need not complete
+	// writing data to stable storage until the next timestep arrives"
+	// only in the strictest case; bulk storage can be given more slack —
+	// the per-container metric diversity of §III-A.
+	SLAPeriods int
+}
+
+// Validate checks the spec against the component's Table I row.
+func (s ComponentSpec) Validate() error {
+	ch := smartpointer.CharacteristicsFor(s.Kind)
+	if !ch.Supports(s.Model) {
+		return &SpecError{Name: s.Name, Msg: "compute model " + s.Model.String() +
+			" not supported by " + s.Kind.String()}
+	}
+	if s.Name == "" {
+		return &SpecError{Name: s.Name, Msg: "empty component name"}
+	}
+	if s.OutputFactor < 0 {
+		return &SpecError{Name: s.Name, Msg: "negative output factor"}
+	}
+	return nil
+}
+
+// SpecError reports an invalid component specification.
+type SpecError struct {
+	Name string
+	Msg  string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string { return "core: component " + e.Name + ": " + e.Msg }
+
+// SpecsWithBondsModel returns DefaultSpecs with the Bonds stage switched
+// to the given compute model. The weak-scaling experiments run Bonds as a
+// parallel (MPI-style) component at the larger scales, where round-robin
+// replication of a 10+ minute serial step is useless; Table I lists both
+// as supported.
+func SpecsWithBondsModel(m smartpointer.ComputeModel) []ComponentSpec {
+	specs := DefaultSpecs()
+	for i := range specs {
+		if specs[i].Kind == smartpointer.KindBonds {
+			specs[i].Model = m
+		}
+	}
+	return specs
+}
+
+// DefaultSpecs returns the four-stage SmartPointer pipeline configuration
+// the paper evaluates, with the calibrated cost models.
+func DefaultSpecs() []ComponentSpec {
+	models := smartpointer.DefaultCostModels()
+	return []ComponentSpec{
+		{
+			Name:         "helper",
+			Kind:         smartpointer.KindHelper,
+			Model:        smartpointer.ModelTree,
+			Cost:         models[smartpointer.KindHelper],
+			OutputFactor: 1.0,
+			Essential:    true,
+			MinSize:      4,
+		},
+		{
+			Name:         "bonds",
+			Kind:         smartpointer.KindBonds,
+			Model:        smartpointer.ModelRR,
+			Cost:         models[smartpointer.KindBonds],
+			OutputFactor: 1.5, // atomic data + adjacency list
+		},
+		{
+			Name:              "csym",
+			Kind:              smartpointer.KindCSym,
+			Model:             smartpointer.ModelRR,
+			Cost:              models[smartpointer.KindCSym],
+			OutputFactor:      0.1, // per-atom annotations
+			DeactivateOnCrack: false,
+		},
+		{
+			Name:            "cna",
+			Kind:            smartpointer.KindCNA,
+			Model:           smartpointer.ModelRR,
+			Cost:            models[smartpointer.KindCNA],
+			OutputFactor:    0.05, // structural labels
+			ActivateOnCrack: true,
+		},
+	}
+}

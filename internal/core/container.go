@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adios"
+	"repro/internal/bp"
+	"repro/internal/cluster"
+	"repro/internal/datatap"
+	"repro/internal/evpath"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+// State is a container's lifecycle state.
+type State int
+
+// Container states.
+const (
+	StateOnline State = iota
+	StateOffline
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == StateOffline {
+		return "offline"
+	}
+	return "online"
+}
+
+// metadataMsgBytes is the size of one endpoint-metadata exchange message
+// during resizes (the intra-container traffic that dominates Fig. 4).
+const metadataMsgBytes = 1024
+
+// ctlMsgBytes is the size of a manager-to-manager control message.
+const ctlMsgBytes = 256
+
+// replicaPollInterval bounds how long a replica waits in Fetch before
+// rechecking its stop flag.
+const replicaPollInterval = time1s
+
+const time1s = sim.Second
+
+// Container embeds one analytics component into a managed execution
+// environment (paper §III): it owns whole staging nodes, runs the
+// component's replicas on them, measures per-step latency at its
+// boundaries, and executes the resize/offline legs of the control
+// protocols on request from the global manager.
+type Container struct {
+	rt   *Runtime
+	spec ComponentSpec
+
+	nodes    []*cluster.Node
+	replicas []*replica
+
+	input  *datatap.Channel
+	output *datatap.Channel // nil for terminal stages
+	// taps are additional output channels receiving a duplicate of every
+	// forwarded step (mid-run observers such as visualization
+	// containers).
+	taps []*datatap.Channel
+
+	// downstream names the container consuming our output (dependency
+	// edge for offline cascades); empty for terminal stages.
+	downstream string
+
+	state  State
+	active bool // consuming (ActivateOnCrack components start passive)
+	// observer containers consume duplicated taps; their completions are
+	// not pipeline exits.
+	observer bool
+
+	// mgr is the local container manager's event context, pinned to the
+	// container's first node.
+	mgrEV   *evpath.Manager
+	mailbox *evpath.Mailbox
+	toGM    *evpath.Stone // bridge to the global manager's control mailbox
+
+	// diskSinks receives output when the downstream is offline (one
+	// shared sink; per-replica ADIOS groups all point at it).
+	diskSink   *adios.FileSink
+	diskGroups []*adios.Group
+	writeDisk  bool
+	provenance string
+
+	// Monitoring.
+	samples     int64
+	lastService sim.Time
+	crackSeen   bool
+	// probe applies the configured monitoring rate/aggregation before
+	// samples cross the machine (nil = direct reporting).
+	probe *monitor.Probe
+
+	// stepsProcessed counts steps fully processed by this container.
+	stepsProcessed int64
+}
+
+// replica is one running instance of the component.
+type replica struct {
+	c      *Container
+	idx    int
+	node   *cluster.Node
+	reader *datatap.Reader
+	writer *datatap.Writer
+	// tapWriters duplicate output onto observer channels.
+	tapWriters map[*datatap.Channel]*datatap.Writer
+	group      *adios.Group // per-replica ADIOS group for disk fallback
+	stop       bool
+	done       *sim.Event
+	proc       *sim.Proc
+	busy       bool
+	// abort interrupts an in-flight computation (MPI-style teardown or
+	// offline kill); recreated for each processed step.
+	abort *sim.Event
+	// curMeta is the step being computed, for requeue on abort.
+	curMeta *datatap.Meta
+}
+
+// Name returns the container's component name.
+func (c *Container) Name() string { return c.spec.Name }
+
+// Spec returns the component specification.
+func (c *Container) Spec() ComponentSpec { return c.spec }
+
+// State returns the lifecycle state.
+func (c *Container) State() State { return c.state }
+
+// Active reports whether the container is consuming its input.
+func (c *Container) Active() bool { return c.active && c.state == StateOnline }
+
+// Size returns the current node (== replica) count.
+func (c *Container) Size() int { return len(c.nodes) }
+
+// Nodes returns the owned nodes (shared slice; do not mutate).
+func (c *Container) Nodes() []*cluster.Node { return c.nodes }
+
+// Input returns the container's input channel.
+func (c *Container) Input() *datatap.Channel { return c.input }
+
+// StepsProcessed returns the number of steps the container completed.
+func (c *Container) StepsProcessed() int64 { return c.stepsProcessed }
+
+// DiskSink returns the sink used after offline transitions (may be nil if
+// never used). Finish it to inspect provenance-stamped output.
+func (c *Container) DiskSink() *adios.FileSink { return c.diskSink }
+
+// ThroughputPeriod returns the minimum sustainable step period at the
+// current size (local-manager knowledge: the component's speedup curve).
+func (c *Container) ThroughputPeriod() sim.Time {
+	return c.spec.Cost.ThroughputPeriod(c.rt.cfg.Scale.AtomCount, c.spec.Model,
+		len(c.replicas), c.crackSeen)
+}
+
+// SLAPeriod returns the per-step deadline this container is managed
+// against: the output period scaled by the component's SLA relaxation
+// (checkpoint aggregation tolerates multiple periods; crack discovery
+// does not).
+func (c *Container) SLAPeriod() sim.Time {
+	k := c.spec.SLAPeriods
+	if k < 1 {
+		k = 1
+	}
+	return sim.Time(k) * c.rt.cfg.OutputPeriod
+}
+
+// ReplicasNeeded answers the global manager's query: the total replica
+// count needed to sustain the container's SLA period (0 = unattainable
+// below max).
+func (c *Container) ReplicasNeeded(max int) int {
+	return c.spec.Cost.ReplicasToSustain(c.rt.cfg.Scale.AtomCount, c.spec.Model,
+		c.SLAPeriod(), c.crackSeen, max)
+}
+
+// newContainer builds a container (not yet started) on the given nodes.
+func (rt *Runtime) newContainer(spec ComponentSpec, nodes []*cluster.Node,
+	input, output *datatap.Channel, downstream string) (*Container, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: container %s needs at least one node", spec.Name)
+	}
+	c := &Container{
+		rt:         rt,
+		spec:       spec,
+		input:      input,
+		output:     output,
+		downstream: downstream,
+		state:      StateOnline,
+		active:     !spec.ActivateOnCrack,
+	}
+	c.mgrEV = evpath.NewManager(rt.eng, rt.mach, nodes[0].ID)
+	c.mailbox = evpath.NewMailbox(c.mgrEV, 0)
+	c.nodes = append(c.nodes, nodes...)
+	return c, nil
+}
+
+// start launches the container's manager process, heartbeat monitor, and
+// initial replicas (without aprun cost: the initial deployment happens
+// inside the batch job's startup, as in the paper's experiments).
+func (c *Container) start() {
+	c.toGM = c.mgrEV.NewBridge(c.rt.gm.inbox(), 0)
+	if c.rt.cfg.MonitorSampleEvery > 0 || c.rt.cfg.MonitorAggregateN > 1 {
+		c.probe = monitor.NewProbe(c.toGM)
+		c.probe.Every = c.rt.cfg.MonitorSampleEvery
+		c.probe.AggregateN = c.rt.cfg.MonitorAggregateN
+	}
+	for _, n := range c.nodes {
+		c.addReplica(n)
+	}
+	c.rt.eng.Go(c.spec.Name+"-mgr", c.managerLoop)
+	c.rt.eng.Go(c.spec.Name+"-heartbeat", c.heartbeatLoop)
+}
+
+// heartbeatLoop reports queue pressure even while every replica is stuck
+// in a long computation: without it, a badly under-provisioned container
+// would emit no samples at all and the global manager would be blind to
+// exactly the situations it must act on (paper §III-E: monitoring
+// captures metrics "at the container boundaries").
+func (c *Container) heartbeatLoop(p *sim.Proc) {
+	interval := c.rt.cfg.Policy.Interval
+	for {
+		p.Sleep(interval)
+		if c.state == StateOffline || c.rt.gm.ctl.Closed() {
+			return
+		}
+		if !c.Active() || c.input == nil {
+			continue
+		}
+		if q := c.input.QueueLen(); q > 0 {
+			c.report(p, monitor.Sample{
+				Container: c.spec.Name,
+				Step:      -1, // pressure sample, not a completion
+				Latency:   c.input.HeadAge(p.Now()),
+				Service:   c.lastService,
+				QueueLen:  q,
+				At:        p.Now(),
+			})
+		}
+	}
+}
+
+// addReplica creates and starts a replica on node n.
+func (c *Container) addReplica(n *cluster.Node) *replica {
+	r := &replica{
+		c:    c,
+		idx:  len(c.replicas),
+		node: n,
+		done: sim.NewEvent(c.rt.eng),
+	}
+	if c.input != nil {
+		r.reader = c.input.NewReader(n.ID)
+	}
+	if c.output != nil {
+		r.writer = c.output.NewWriter(n.ID)
+	}
+	r.tapWriters = make(map[*datatap.Channel]*datatap.Writer, len(c.taps))
+	for _, tap := range c.taps {
+		r.tapWriters[tap] = tap.NewWriter(n.ID)
+	}
+	r.group = c.rt.io.DeclareGroup(fmt.Sprintf("%s.out.%d", c.spec.Name, r.idx))
+	if c.writeDisk || c.spec.DiskOutput {
+		c.bindReplicaToDisk(r)
+	}
+	c.replicas = append(c.replicas, r)
+	c.diskGroups = append(c.diskGroups, r.group)
+	r.proc = c.rt.eng.Go(fmt.Sprintf("%s-replica-%d", c.spec.Name, r.idx), r.run)
+	return r
+}
+
+// bindReplicaToDisk points a replica's ADIOS group at the shared disk
+// sink with the container's provenance attributes.
+func (c *Container) bindReplicaToDisk(r *replica) {
+	if c.diskSink == nil {
+		sink, err := adios.NewFileSink(c.spec.Name + ".offline.bp")
+		if err != nil {
+			panic(err) // in-memory sink creation cannot fail in practice
+		}
+		c.diskSink = sink
+	}
+	r.group.UseFile(c.diskSink)
+	if c.provenance != "" {
+		r.group.SetAttr(AttrProvenance, c.provenance)
+	}
+}
+
+// isFetcher reports whether this replica pulls steps from the input. RR
+// and serial replicas all fetch whole steps; under the tree and parallel
+// (MPI) models the replicas cooperate on each step, so only the lead
+// replica fetches while the others represent tree/rank members.
+func (r *replica) isFetcher() bool {
+	switch r.c.spec.Model {
+	case smartpointer.ModelTree, smartpointer.ModelParallel:
+		return len(r.c.replicas) > 0 && r == r.c.replicas[0]
+	}
+	return true
+}
+
+// run is a replica's main loop: fetch a step, compute, forward.
+func (r *replica) run(p *sim.Proc) {
+	defer r.done.Fire()
+	c := r.c
+	for {
+		if r.stop {
+			return
+		}
+		if !c.Active() || !r.isFetcher() {
+			// Passive (pre-crack CNA), offline, or a non-lead
+			// tree/rank member: idle without consuming. A closed input
+			// means there will never be anything to do — exit rather
+			// than poll forever (a replica can reach this state when a
+			// resize completes after the run's shutdown began).
+			if c.input == nil || c.input.Closed() {
+				return
+			}
+			p.Sleep(replicaPollInterval)
+			continue
+		}
+		m, ok := r.reader.FetchTimeout(p, replicaPollInterval)
+		if !ok {
+			if c.input.Closed() {
+				return
+			}
+			continue
+		}
+		r.busy = true
+		r.process(p, m)
+		r.busy = false
+	}
+}
+
+// process executes the component on one fetched step. The computation is
+// interruptible: an MPI-style teardown (or offline kill) fires r.abort,
+// in which case the step is requeued (teardown) or dropped (offline)
+// rather than forwarded.
+func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
+	c := r.c
+	pg, _ := m.Data.(*bp.ProcessGroup)
+	fi := FrameInfo{Step: m.Step, Atoms: c.rt.cfg.Scale.AtomCount}
+	if pg != nil {
+		if decoded, err := DecodeFrame(pg); err == nil {
+			fi = decoded
+			if fi.Atoms == 0 {
+				fi.Atoms = c.rt.cfg.Scale.AtomCount
+			}
+		}
+	}
+	if fi.Crack && !c.crackSeen {
+		c.crackSeen = true
+		c.notifyCrack(p)
+	}
+	st := c.spec.Cost.ServiceTime(fi.Atoms, c.spec.Model, len(c.replicas), fi.Crack)
+	r.curMeta = m
+	r.abort = sim.NewEvent(c.rt.eng)
+	interrupted := r.abort.WaitTimeout(p, st)
+	r.abort = nil
+	r.curMeta = nil
+	if interrupted {
+		if c.state == StateOffline {
+			c.rt.dropped++
+			return
+		}
+		if !c.input.Requeue(m) {
+			c.rt.dropped++
+		}
+		return
+	}
+	c.lastService = st
+	c.stepsProcessed++
+	latency := p.Now() - m.Created
+	c.report(p, monitor.Sample{
+		Container: c.spec.Name,
+		Step:      m.Step,
+		Latency:   latency,
+		Service:   st,
+		QueueLen:  c.input.QueueLen(),
+		At:        p.Now(),
+	})
+	r.forward(p, m, pg, fi)
+}
+
+// forward routes the processed step downstream: to the output channel
+// when the downstream container is online, else to disk with provenance,
+// else (terminal stage) records pipeline exit.
+func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi FrameInfo) {
+	c := r.c
+	outSize := int64(float64(m.Size) * c.spec.OutputFactor)
+	// Observers get a duplicate of every step regardless of where the
+	// primary output goes; a saturated tap drops rather than stalls the
+	// pipeline (TryPut semantics via a bounded tap queue).
+	for tap, w := range r.tapWriters {
+		out := pg
+		if pg != nil {
+			clone := *pg
+			out = &clone
+		}
+		if !tap.Full() {
+			w.Write(p, m.Step, outSize, out)
+		}
+	}
+	switch {
+	case c.observer:
+		// Observation only: nothing downstream, no exit accounting.
+	case c.writeDisk || c.spec.DiskOutput:
+		sw, err := r.group.Open(m.Step)
+		if err == nil {
+			sw.PadBytes(outSize)
+			if pg != nil && pg.Attrs != nil {
+				for k, v := range pg.Attrs {
+					sw.SetAttr(k, v)
+				}
+			}
+			if c.provenance != "" {
+				sw.SetAttr(AttrProvenance, c.provenance)
+			}
+			if _, err := sw.Close(p); err != nil {
+				c.rt.fail(err)
+			}
+		}
+		c.rt.recordExit(p.Now(), fi)
+	case c.output != nil:
+		out := pg
+		if pg != nil {
+			clone := *pg
+			out = &clone
+		}
+		r.writer.Write(p, m.Step, outSize, out)
+	default:
+		// Terminal stage: the step has left the pipeline.
+		c.rt.recordExit(p.Now(), fi)
+	}
+}
+
+// report sends a monitoring sample to the global manager over the
+// monitoring overlay, through the configured probe when one is set.
+func (c *Container) report(p *sim.Proc, s monitor.Sample) {
+	c.samples++
+	c.rt.recordSample(s)
+	if c.probe != nil {
+		c.probe.Offer(p, s)
+		return
+	}
+	c.toGM.Submit(p, monitor.Event(s))
+}
+
+// MonitoringTraffic reports how many monitoring events this container
+// sent across the machine versus how many samples it captured — the
+// perturbation §III-E's flexible monitoring exists to control.
+func (c *Container) MonitoringTraffic() (captured, sent int64) {
+	if c.probe != nil {
+		return c.probe.Seen(), c.probe.Sent()
+	}
+	return c.samples, c.samples
+}
+
+// notifyCrack tells the global manager crack formation was observed (the
+// pipeline's dynamic-branch trigger).
+func (c *Container) notifyCrack(p *sim.Proc) {
+	c.toGM.Submit(p, &evpath.Event{Type: msgCrackDetected, Size: ctlMsgBytes,
+		Data: &CrackNotice{From: c.spec.Name, Step: c.stepsProcessed}})
+}

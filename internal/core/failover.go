@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/evpath"
+	"repro/internal/sim"
+)
+
+// The paper singles the global manager out as "a potential single point
+// of failure" and points at ZooKeeper-style methods for resilience. This
+// file implements the mechanism: a standby global manager on another
+// staging node watches the primary's heartbeats; on silence it adopts the
+// spare pool (recomputed from authoritative container ownership), rehomes
+// every container's upward overlay onto itself, and resumes the policy.
+
+// msgGMHeartbeat is the primary's liveness beacon to the standby.
+const msgGMHeartbeat = "ctl.gm_heartbeat"
+
+// msgRehome redirects a container's upward traffic to a new manager.
+const msgRehome = "ctl.rehome"
+
+// GMHeartbeat is the beacon payload.
+type GMHeartbeat struct {
+	At sim.Time
+}
+
+// RehomeReq points the container's monitoring/response bridge at a new
+// global manager inbox.
+type RehomeReq struct {
+	Seq   int64
+	Inbox *evpath.Stone
+}
+
+// RehomeResp acknowledges the switch (sent via the NEW bridge — its
+// arrival proves the new path works).
+type RehomeResp struct{ Seq int64 }
+
+// Rehome redirects a container to this manager via a control round.
+func (gm *GlobalManager) Rehome(p *sim.Proc, target string) bool {
+	resp, _ := gm.call(p, target,
+		func(seq int64) any { return &RehomeReq{Seq: seq, Inbox: gm.inbox()} },
+		func(d any) bool { r, ok := d.(*RehomeResp); return ok && r.Seq == gm.seq },
+	).(*RehomeResp)
+	return resp != nil
+}
+
+// standbyLoop is the standby manager's process: pump the mailbox
+// (recording primary heartbeats), and take over once the primary has
+// been silent for three intervals.
+func (gm *GlobalManager) standbyLoop(p *sim.Proc) {
+	grace := 3 * gm.policy.Interval
+	for {
+		deadline := p.Now() + gm.policy.Interval
+		for p.Now() < deadline {
+			ev, ok := gm.ctl.RecvTimeout(p, deadline-p.Now())
+			if !ok {
+				if gm.ctl.Closed() {
+					return
+				}
+				break
+			}
+			gm.dispatch(ev)
+		}
+		if gm.ctl.Closed() {
+			return
+		}
+		// No heartbeat yet means the primary hasn't started beating;
+		// give it the grace period from t=0.
+		if p.Now()-gm.lastPrimaryBeat <= grace {
+			continue
+		}
+		gm.takeOver(p)
+		gm.run(p) // continue as the active manager
+		return
+	}
+}
+
+// takeOver promotes the standby: adopt the spare pool from authoritative
+// ownership and rehome every surviving container.
+func (gm *GlobalManager) takeOver(p *sim.Proc) {
+	rt := gm.rt
+	rt.gm = gm
+	gm.spare = rt.unownedStagingNodes()
+	for _, c := range rt.containers {
+		if c.State() != StateOnline {
+			continue
+		}
+		gm.Rehome(p, c.Name())
+	}
+	gm.record(p, Action{T: p.Now(), Kind: "failover", Target: "global-manager",
+		N: len(gm.spare), Detail: "standby took over"})
+}
+
+// unownedStagingNodes recomputes the spare pool as the staging nodes not
+// owned by any container — the authoritative inventory a recovering
+// manager rebuilds from.
+func (rt *Runtime) unownedStagingNodes() []*cluster.Node {
+	owned := map[int]bool{}
+	for _, c := range rt.containers {
+		for _, n := range c.nodes {
+			owned[n.ID] = true
+		}
+	}
+	var out []*cluster.Node
+	for _, n := range rt.stagingNodes {
+		if !owned[n.ID] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

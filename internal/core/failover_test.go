@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+func TestFailoverStandbyTakesOver(t *testing.T) {
+	cfg := fig7Config()
+	cfg.StandbyGM = true
+	cfg.Policy.KillGMAt = 40 * sim.Second // before any management action
+	res := runScenario(t, cfg)
+	// The failover is on the record...
+	if !hasAction(res, "failover", "global-manager") {
+		t.Fatalf("no failover recorded: %v", res.Actions)
+	}
+	// ...and the standby completed the Fig. 7 management sequence the
+	// primary never got to perform.
+	if !hasAction(res, "decrease", "helper") || !hasAction(res, "increase", "bonds") {
+		t.Fatalf("standby did not manage: %v", res.Actions)
+	}
+	if res.FinalSizes["bonds"] <= 2 {
+		t.Fatalf("bottleneck never fixed: %v", res.FinalSizes)
+	}
+	if res.Emitted != 20 || res.Exits != 20 {
+		t.Fatalf("run damaged: emitted=%d exits=%d", res.Emitted, res.Exits)
+	}
+	// Node conservation across the takeover.
+	total := res.Spare
+	for _, n := range res.FinalSizes {
+		total += n
+	}
+	if total != cfg.StagingNodes {
+		t.Fatalf("nodes %d != %d after failover", total, cfg.StagingNodes)
+	}
+	// The failover happens after the grace period, not instantly.
+	for _, a := range res.Actions {
+		if a.Kind == "failover" && a.T < 40*sim.Second {
+			t.Fatalf("failover at %v, before the primary died", a.T)
+		}
+	}
+}
+
+func TestStandbyStaysQuietWhilePrimaryHealthy(t *testing.T) {
+	cfg := fig7Config()
+	cfg.StandbyGM = true // no kill: the primary stays up
+	res := runScenario(t, cfg)
+	if hasAction(res, "failover", "global-manager") {
+		t.Fatalf("spurious failover: %v", res.Actions)
+	}
+	// The primary performed the usual management.
+	if !hasAction(res, "increase", "bonds") {
+		t.Fatalf("primary never managed: %v", res.Actions)
+	}
+}
+
+func TestDeadGMWithoutStandbyLeavesBottleneck(t *testing.T) {
+	cfg := fig7Config()
+	cfg.Policy.KillGMAt = 40 * sim.Second
+	res := runScenario(t, cfg)
+	if len(res.Actions) != 0 {
+		t.Fatalf("dead manager acted: %v", res.Actions)
+	}
+	if res.FinalSizes["bonds"] != 2 {
+		t.Fatalf("bonds resized by a ghost: %v", res.FinalSizes)
+	}
+}
+
+func TestFailoverDuringOverloadStillOfflines(t *testing.T) {
+	// The harsher scenario: the primary dies mid-crisis at 1024 nodes;
+	// the standby must pick up the overflow handling (offline cascade).
+	cfg := fig9Config()
+	cfg.StandbyGM = true
+	cfg.Policy.KillGMAt = 100 * sim.Second // after the spare increase
+	cfg.Policy.OfflinePatience = 6
+	res := runScenario(t, cfg)
+	if !hasAction(res, "failover", "global-manager") {
+		t.Fatalf("no failover: %v", res.Actions)
+	}
+	if res.States["bonds"] != "offline" {
+		t.Fatalf("standby never pruned the bottleneck: %v", res.States)
+	}
+	if res.Provenance["helper"] == "" {
+		t.Fatal("provenance lost across failover")
+	}
+}
+
+func TestFailoverWithMonitoringProbe(t *testing.T) {
+	cfg := fig7Config()
+	cfg.StandbyGM = true
+	cfg.Policy.KillGMAt = 40 * sim.Second
+	cfg.MonitorAggregateN = 2 // probes active
+	res := runScenario(t, cfg)
+	if !hasAction(res, "failover", "global-manager") {
+		t.Fatalf("no failover: %v", res.Actions)
+	}
+	// The standby must still see monitoring after the rehome (otherwise
+	// it could never find the bottleneck).
+	if !hasAction(res, "increase", "bonds") {
+		t.Fatalf("standby blind after rehome with probes: %v", res.Actions)
+	}
+}
+
+// Regression: a parallel relaunch that completes after the run's shutdown
+// horizon must not leave non-fetcher replicas polling forever (this
+// exact configuration once livelocked the engine).
+func TestShutdownDuringParallelRelaunch(t *testing.T) {
+	cfg := Config{
+		SimNodes:     320,
+		StagingNodes: 16,
+		Sizes:        map[string]int{"helper": 4, "bonds": 2, "csym": 1, "cna": 1},
+		Steps:        6,
+		CrackStep:    3,
+		Seed:         3028629120847420069,
+		Specs:        SpecsWithBondsModel(smartpointer.ModelParallel),
+		Policy:       PolicyConfig{DisableStealing: true},
+	}
+	rt, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The engine must fully drain: no replica may still be scheduling
+	// wake events.
+	if rt.Engine().Pending() != 0 {
+		t.Fatalf("engine still has %d pending events", rt.Engine().Pending())
+	}
+}

@@ -1,0 +1,600 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/evpath"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+// PolicyConfig tunes the global manager's SLA enforcement.
+type PolicyConfig struct {
+	// Interval is the management tick period (default: the output
+	// period).
+	Interval sim.Time
+	// MinSamples is how many samples a container's window needs before
+	// it can be diagnosed (default 2).
+	MinSamples int
+	// TriggerQueueLen is the input backlog that makes a container a
+	// management candidate (default 2).
+	TriggerQueueLen int
+	// OfflineQueueLen is the backlog at which an unsatisfiable
+	// bottleneck is taken offline (default max(4, queueCap/3)).
+	OfflineQueueLen int
+	// Cooldown is the minimum time between management actions (default
+	// 2 intervals).
+	Cooldown sim.Time
+	// WindowSpan bounds the monitoring windows (default 10 intervals).
+	WindowSpan sim.Time
+	// DisableManagement turns the policy off (baseline runs for the
+	// figures' "unmanaged" comparison).
+	DisableManagement bool
+	// DisableOffline keeps the policy from pruning containers (ablation).
+	DisableOffline bool
+	// DisableStealing keeps the policy from decreasing other containers
+	// (ablation: spare nodes only).
+	DisableStealing bool
+	// OfflinePatience is how many consecutive ticks the overflow
+	// condition must persist before an unsatisfiable bottleneck is
+	// pruned (default 4) — transients should not cost a pipeline stage.
+	OfflinePatience int
+	// TransactionalTrades wraps each resource steal in a D2T control
+	// transaction (paper §III-A(5)): the nodes removed from the victim
+	// are guaranteed to be added to the recipient or returned. Aborted
+	// trades roll back.
+	TransactionalTrades bool
+	// InjectTradeFailures makes the first N trade transactions fail (a
+	// participant goes silent), exercising the rollback path.
+	InjectTradeFailures int
+	// KillGMAt, when > 0, makes the primary global manager die (stop
+	// serving) at that virtual time — the failure the standby exists
+	// for.
+	KillGMAt sim.Time
+	// CustomTick, when non-nil, replaces the built-in policy evaluation
+	// each management interval — the user-defined management policies
+	// the paper's user-space design exists to permit. The function may
+	// use the GlobalManager's exported operations (Query, Increase,
+	// Decrease, Offline, SetOutput, Activate, LaunchContainer) and its
+	// Aggregator for monitoring state. Crack-branch handling still runs
+	// before it.
+	CustomTick func(gm *GlobalManager, p *sim.Proc)
+}
+
+func (pc PolicyConfig) withDefaults(outputPeriod sim.Time, queueCap int) PolicyConfig {
+	if pc.Interval <= 0 {
+		pc.Interval = outputPeriod
+	}
+	if pc.MinSamples <= 0 {
+		pc.MinSamples = 2
+	}
+	if pc.TriggerQueueLen <= 0 {
+		pc.TriggerQueueLen = 2
+	}
+	if pc.OfflineQueueLen <= 0 {
+		pc.OfflineQueueLen = queueCap / 3
+		if pc.OfflineQueueLen < 4 {
+			pc.OfflineQueueLen = 4
+		}
+	}
+	if pc.Cooldown <= 0 {
+		pc.Cooldown = 2 * pc.Interval
+	}
+	if pc.WindowSpan <= 0 {
+		pc.WindowSpan = 10 * pc.Interval
+	}
+	if pc.OfflinePatience <= 0 {
+		pc.OfflinePatience = 4
+	}
+	return pc
+}
+
+// Action records one management decision for the experiment timelines.
+type Action struct {
+	T      sim.Time
+	Kind   string // "increase", "decrease", "offline", "activate", "set_output"
+	Target string
+	N      int
+	Detail string
+}
+
+// GlobalManager enforces cross-container SLAs: bottleneck detection from
+// the monitoring overlay, resource trades between containers, and offline
+// transitions when the staging area cannot sustain the load (paper
+// §III-D).
+type GlobalManager struct {
+	rt   *Runtime
+	node int
+	ev   *evpath.Manager
+	// root receives all container traffic; an evpath split routes
+	// protocol responses to rsp and everything else (monitoring samples,
+	// crack notices) to ctl, so the policy pump and an in-flight
+	// synchronous call never compete for the same mailbox.
+	root   *evpath.Stone
+	ctl    *evpath.Mailbox
+	rsp    *evpath.Mailbox
+	agg    *monitor.Aggregator
+	policy PolicyConfig
+
+	toContainer   map[string]*evpath.Stone
+	spare         []*cluster.Node
+	seq           int64
+	lastAction    sim.Time
+	actionTaken   bool
+	crackSeen     bool
+	branchDone    bool
+	overflowTicks map[string]int
+	// pending buffers protocol responses that were received outside the
+	// op that is waiting for them (the pump loop and an in-flight call
+	// share the control mailbox).
+	pending []any
+	// toStandby carries liveness beacons to the standby manager.
+	toStandby *evpath.Stone
+	// lastPrimaryBeat is when the standby last heard the primary.
+	lastPrimaryBeat sim.Time
+
+	actions []Action
+}
+
+// Actions returns the management decisions taken so far.
+func (gm *GlobalManager) Actions() []Action { return append([]Action(nil), gm.actions...) }
+
+// Spare returns the current spare staging node count.
+func (gm *GlobalManager) Spare() int { return len(gm.spare) }
+
+// Aggregator exposes the monitoring state (for tests and experiments).
+func (gm *GlobalManager) Aggregator() *monitor.Aggregator { return gm.agg }
+
+func newGlobalManager(rt *Runtime, node int, policy PolicyConfig, spare []*cluster.Node) *GlobalManager {
+	gm := &GlobalManager{
+		rt:            rt,
+		node:          node,
+		policy:        policy,
+		spare:         spare,
+		toContainer:   make(map[string]*evpath.Stone),
+		overflowTicks: make(map[string]int),
+	}
+	gm.ev = evpath.NewManager(rt.eng, rt.mach, node)
+	gm.ctl = evpath.NewMailbox(gm.ev, 0)
+	gm.rsp = evpath.NewMailbox(gm.ev, 0)
+	respRoute := gm.ev.NewStone(evpath.TypeFilter(msgResp))
+	respRoute.Link(gm.rsp.Stone)
+	otherRoute := gm.ev.NewStone(evpath.Filter(func(ev *evpath.Event) bool {
+		return ev.Type != msgResp
+	}))
+	otherRoute.Link(gm.ctl.Stone)
+	gm.root = gm.ev.NewStone(nil)
+	gm.root.Link(respRoute).Link(otherRoute)
+	gm.agg = monitor.NewAggregator(policy.WindowSpan)
+	return gm
+}
+
+// connect builds the control bridge to a container's mailbox.
+func (gm *GlobalManager) connect(c *Container) {
+	gm.toContainer[c.Name()] = gm.ev.NewBridge(c.mailbox.Stone, 0)
+}
+
+// inbox returns the stone containers bridge their upward traffic to.
+func (gm *GlobalManager) inbox() *evpath.Stone { return gm.root }
+
+// closeBridges drains and stops the manager's courier processes.
+func (gm *GlobalManager) closeBridges() {
+	for _, s := range gm.toContainer {
+		s.CloseBridge()
+	}
+	if gm.toStandby != nil {
+		gm.toStandby.CloseBridge()
+	}
+}
+
+// run is the global manager process: pump monitoring/control traffic and
+// tick the policy at each interval.
+func (gm *GlobalManager) run(p *sim.Proc) {
+	for {
+		if gm.policy.KillGMAt > 0 && p.Now() >= gm.policy.KillGMAt {
+			return // the primary dies silently
+		}
+		if gm.toStandby != nil {
+			gm.toStandby.Submit(p, &evpath.Event{Type: msgGMHeartbeat,
+				Size: ctlMsgBytes, Data: &GMHeartbeat{At: p.Now()}})
+		}
+		deadline := p.Now() + gm.policy.Interval
+		for p.Now() < deadline {
+			ev, ok := gm.ctl.RecvTimeout(p, deadline-p.Now())
+			if !ok {
+				if gm.ctl.Closed() {
+					return
+				}
+				break
+			}
+			gm.dispatch(ev)
+		}
+		if gm.ctl.Closed() {
+			return
+		}
+		if gm.policy.DisableManagement {
+			continue
+		}
+		if gm.crackSeen && !gm.branchDone {
+			gm.branch(p)
+		}
+		if gm.policy.CustomTick != nil {
+			gm.policy.CustomTick(gm, p)
+			continue
+		}
+		gm.tick(p)
+	}
+}
+
+// dispatch routes one monitoring/notice event (responses never reach this
+// path; the overlay split sends them to the response mailbox).
+func (gm *GlobalManager) dispatch(ev *evpath.Event) {
+	switch data := ev.Data.(type) {
+	case monitor.Sample:
+		gm.agg.Ingest(data)
+	case *CrackNotice:
+		gm.crackSeen = true
+	case *GMHeartbeat:
+		gm.lastPrimaryBeat = data.At
+	}
+}
+
+// takePending removes and returns the first buffered response matching
+// the predicate.
+func (gm *GlobalManager) takePending(match func(any) bool) any {
+	for i, v := range gm.pending {
+		if match(v) {
+			gm.pending = append(gm.pending[:i], gm.pending[i+1:]...)
+			return v
+		}
+	}
+	return nil
+}
+
+// call performs one synchronous control round with a container: send the
+// request, pump overlay traffic until the matching response arrives.
+func (gm *GlobalManager) call(p *sim.Proc, target string, mk func(seq int64) any, match func(any) bool) any {
+	gm.seq++
+	stone, ok := gm.toContainer[target]
+	if !ok {
+		gm.rt.fail(fmt.Errorf("core: no control bridge to container %q", target))
+		return nil
+	}
+	req := mk(gm.seq)
+	stone.Submit(p, &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req})
+	for {
+		if v := gm.takePending(match); v != nil {
+			return v
+		}
+		ev, ok := gm.rsp.Recv(p)
+		if !ok {
+			return nil
+		}
+		if match(ev.Data) {
+			return ev.Data
+		}
+		// A response for a different caller; buffer it.
+		gm.pending = append(gm.pending, ev.Data)
+	}
+}
+
+func msgTypeFor(req any) string {
+	switch req.(type) {
+	case *IncreaseReq:
+		return msgIncrease
+	case *DecreaseReq:
+		return msgDecrease
+	case *OfflineReq:
+		return msgOffline
+	case *SetOutputReq:
+		return msgSetOutput
+	case *QueryReq:
+		return msgQuery
+	case *ActivateReq:
+		return msgActivate
+	case *AddTapReq:
+		return msgAddTap
+	case *RehomeReq:
+		return msgRehome
+	}
+	return "ctl.unknown"
+}
+
+// Increase grows a container onto the given nodes via the full protocol
+// round; it returns the container-side cost breakdown.
+func (gm *GlobalManager) Increase(p *sim.Proc, target string, nodes []*cluster.Node) *IncreaseResp {
+	resp, _ := gm.call(p, target,
+		func(seq int64) any { return &IncreaseReq{Seq: seq, Nodes: nodes} },
+		func(d any) bool { r, ok := d.(*IncreaseResp); return ok && r.Seq == gm.seq },
+	).(*IncreaseResp)
+	if resp != nil {
+		gm.record(p, Action{T: p.Now(), Kind: "increase", Target: target, N: len(nodes)})
+	}
+	return resp
+}
+
+// Decrease shrinks a container by n replicas, reclaiming their nodes into
+// the spare pool; it returns the protocol response.
+func (gm *GlobalManager) Decrease(p *sim.Proc, target string, n int) *DecreaseResp {
+	resp, _ := gm.call(p, target,
+		func(seq int64) any { return &DecreaseReq{Seq: seq, N: n} },
+		func(d any) bool { r, ok := d.(*DecreaseResp); return ok && r.Seq == gm.seq },
+	).(*DecreaseResp)
+	if resp != nil {
+		gm.spare = append(gm.spare, resp.Nodes...)
+		gm.record(p, Action{T: p.Now(), Kind: "decrease", Target: target, N: n})
+	}
+	return resp
+}
+
+// Offline removes a container (and lets the caller handle cascades).
+func (gm *GlobalManager) Offline(p *sim.Proc, target string) *OfflineResp {
+	resp, _ := gm.call(p, target,
+		func(seq int64) any { return &OfflineReq{Seq: seq} },
+		func(d any) bool { r, ok := d.(*OfflineResp); return ok && r.Seq == gm.seq },
+	).(*OfflineResp)
+	if resp != nil {
+		gm.spare = append(gm.spare, resp.Nodes...)
+		gm.rt.dropped += resp.Dropped
+		gm.record(p, Action{T: p.Now(), Kind: "offline", Target: target, N: resp.Dropped})
+	}
+	return resp
+}
+
+// SetOutput redirects a container's output to disk with provenance.
+func (gm *GlobalManager) SetOutput(p *sim.Proc, target, provenance string) {
+	gm.call(p, target,
+		func(seq int64) any { return &SetOutputReq{Seq: seq, Provenance: provenance} },
+		func(d any) bool { r, ok := d.(*SetOutputResp); return ok && r.Seq == gm.seq },
+	)
+	gm.record(p, Action{T: p.Now(), Kind: "set_output", Target: target, Detail: provenance})
+}
+
+// Query asks a container's local manager for its needs.
+func (gm *GlobalManager) Query(p *sim.Proc, target string, max int) *QueryResp {
+	resp, _ := gm.call(p, target,
+		func(seq int64) any { return &QueryReq{Seq: seq, Max: max} },
+		func(d any) bool { r, ok := d.(*QueryResp); return ok && r.Seq == gm.seq },
+	).(*QueryResp)
+	return resp
+}
+
+// Activate toggles a container's consumption.
+func (gm *GlobalManager) Activate(p *sim.Proc, target string, active bool) {
+	gm.call(p, target,
+		func(seq int64) any { return &ActivateReq{Seq: seq, Active: active} },
+		func(d any) bool { r, ok := d.(*ActivateResp); return ok && r.Seq == gm.seq },
+	)
+	gm.record(p, Action{T: p.Now(), Kind: "activate", Target: target,
+		Detail: fmt.Sprintf("active=%v", active)})
+}
+
+func (gm *GlobalManager) record(p *sim.Proc, a Action) {
+	gm.actions = append(gm.actions, a)
+	gm.lastAction = p.Now()
+	gm.actionTaken = true
+	gm.rt.rec.Mark(a.T, fmt.Sprintf("%s %s %d %s", a.Kind, a.Target, a.N, a.Detail))
+}
+
+// tick runs one built-in policy evaluation.
+func (gm *GlobalManager) tick(p *sim.Proc) {
+	if gm.actionTaken && p.Now()-gm.lastAction < gm.policy.Cooldown {
+		return
+	}
+	// Work down the pressured containers by average latency until one
+	// can actually be helped: a stage stalled by downstream backpressure
+	// shows long latencies too, but its local manager reports no
+	// resource need, so the policy moves past it to the true bottleneck.
+	for _, bneck := range gm.findBottlenecks() {
+		total := gm.rt.cfg.StagingNodes
+		q := gm.Query(p, bneck.Name(), total)
+		if q == nil {
+			return
+		}
+		want := 0
+		unattainable := q.Needed == 0
+		if unattainable {
+			want = total // take whatever exists
+		} else {
+			want = q.Needed - q.Size
+		}
+		if want <= 0 {
+			continue
+		}
+		grant := gm.gather(p, bneck, want, unattainable)
+		if len(grant) > 0 {
+			gm.Increase(p, bneck.Name(), grant)
+			return
+		}
+		// Nothing left to give. If the backlog has been heading for
+		// overflow for OfflinePatience consecutive ticks, prune the
+		// bottleneck from the data path (paper Fig. 9/10).
+		w := gm.agg.Window(bneck.Name())
+		if w != nil && w.LastQueueLen() >= gm.policy.OfflineQueueLen {
+			gm.overflowTicks[bneck.Name()]++
+		} else {
+			gm.overflowTicks[bneck.Name()] = 0
+		}
+		if !gm.policy.DisableOffline && !bneck.Spec().Essential &&
+			gm.overflowTicks[bneck.Name()] >= gm.policy.OfflinePatience {
+			gm.offlineCascade(p, bneck)
+		}
+		return
+	}
+}
+
+// findBottlenecks returns online, active containers showing backlog
+// pressure, ordered by descending average latency.
+func (gm *GlobalManager) findBottlenecks() []*Container {
+	var candidates []string
+	for _, c := range gm.rt.containers {
+		if !c.Active() {
+			continue
+		}
+		w := gm.agg.Window(c.Name())
+		if w == nil || w.Len() < gm.policy.MinSamples {
+			continue
+		}
+		if w.LastQueueLen() >= gm.policy.TriggerQueueLen || w.QueueTrend() > 0 {
+			candidates = append(candidates, c.Name())
+		}
+	}
+	var out []*Container
+	for _, name := range gm.agg.Ranked(candidates) {
+		out = append(out, gm.rt.byName[name])
+	}
+	return out
+}
+
+// gather collects up to want nodes: spare first, then — only when the
+// need is attainable — steals from over-provisioned containers.
+func (gm *GlobalManager) gather(p *sim.Proc, bneck *Container, want int, unattainable bool) []*cluster.Node {
+	var grant []*cluster.Node
+	take := want
+	if take > len(gm.spare) {
+		take = len(gm.spare)
+	}
+	grant = append(grant, gm.spare[:take]...)
+	gm.spare = gm.spare[take:]
+	want -= take
+	if want <= 0 || unattainable || gm.policy.DisableStealing {
+		return grant
+	}
+	// Steal from the single most over-provisioned container (one victim
+	// per action, like the paper's Fig. 7 Helper decrease; further
+	// shortfalls are addressed at later ticks if the bottleneck
+	// persists).
+	victim, surplus := gm.mostOverProvisioned(p, bneck)
+	if victim == nil || surplus <= 0 {
+		return grant
+	}
+	n := surplus
+	if n > want {
+		n = want
+	}
+	before := len(gm.spare)
+	resp := gm.Decrease(p, victim.Name(), n)
+	if resp == nil {
+		return grant
+	}
+	stolen := append([]*cluster.Node(nil), gm.spare[before:]...)
+	gm.spare = gm.spare[:before]
+	if gm.policy.TransactionalTrades && !gm.tradeTxn(p, victim, bneck) {
+		// The trade transaction aborted: the removal must not stand
+		// without the matching addition. Return the nodes to the victim.
+		gm.record(p, Action{T: p.Now(), Kind: "trade-abort", Target: bneck.Name(),
+			N: len(stolen), Detail: "rolled back to " + victim.Name()})
+		gm.Increase(p, victim.Name(), stolen)
+		return grant
+	}
+	grant = append(grant, stolen...)
+	return grant
+}
+
+// tradeTxn runs a D2T control transaction across the trade's three
+// parties (global manager + donor manager as the writer side, recipient
+// manager as the reader side) and reports whether it committed. Injected
+// failures make a participant go silent, forcing a consistent abort.
+func (gm *GlobalManager) tradeTxn(p *sim.Proc, victim, bneck *Container) bool {
+	cfg := txn.Config{Writers: 2, Readers: 1, VoteTimeout: sim.Second}
+	if gm.policy.InjectTradeFailures > 0 {
+		gm.policy.InjectTradeFailures--
+		cfg.SilentRanks = map[int]bool{1: true} // the donor-side manager fails
+	}
+	tx, err := txn.New(gm.rt.eng, gm.rt.mach, cfg)
+	if err != nil {
+		gm.rt.fail(err)
+		return false
+	}
+	st := tx.Run(p)
+	return st.Outcome == txn.Committed
+}
+
+// mostOverProvisioned picks the container with the largest surplus above
+// its own needs (respecting MinSize floors), excluding the bottleneck.
+func (gm *GlobalManager) mostOverProvisioned(p *sim.Proc, bneck *Container) (*Container, int) {
+	var best *Container
+	bestSurplus := 0
+	for _, c := range gm.rt.containers {
+		if c == bneck || c.State() != StateOnline || len(c.nodes) == 0 {
+			continue
+		}
+		if !c.Active() {
+			// Inactive containers (pre-crack CNA) hold their nodes in
+			// reserve for the event they exist for; stealing them
+			// would violate the isolation requirement (§III-A(ii)).
+			continue
+		}
+		q := gm.Query(p, c.Name(), gm.rt.cfg.StagingNodes)
+		if q == nil {
+			continue
+		}
+		floor := c.spec.MinSize
+		if floor < 1 {
+			floor = 1
+		}
+		need := q.Needed
+		if need < floor {
+			need = floor
+		}
+		surplus := q.Size - need
+		if surplus > bestSurplus {
+			best, bestSurplus = c, surplus
+		}
+	}
+	return best, bestSurplus
+}
+
+// offlineCascade prunes the bottleneck and its active downstream
+// dependents, after redirecting the upstream container's output to disk
+// with provenance listing every analysis that will now be pending.
+func (gm *GlobalManager) offlineCascade(p *sim.Proc, bneck *Container) {
+	affected := gm.rt.downstreamClosure(bneck)
+	var pending []string
+	for _, c := range affected {
+		pending = append(pending, c.Name())
+	}
+	// Provenance also names inactive dependents (analyses that never
+	// ran).
+	for _, c := range gm.rt.containers {
+		if !contains(pending, c.Name()) && gm.rt.isDownstreamOf(bneck, c) {
+			pending = append(pending, c.Name())
+		}
+	}
+	if up := gm.rt.upstreamOf(bneck); up != nil {
+		gm.SetOutput(p, up.Name(), strings.Join(pending, ","))
+	}
+	for _, c := range affected {
+		gm.Offline(p, c.Name())
+	}
+}
+
+// branch executes the pipeline's dynamic branch on crack detection: CSym
+// hands over to CNA ("Bonds then kills itself and notifies the next
+// stage, CNA, to start reading data").
+func (gm *GlobalManager) branch(p *sim.Proc) {
+	gm.branchDone = true
+	for _, c := range gm.rt.containers {
+		if c.State() != StateOnline {
+			continue
+		}
+		if c.spec.ActivateOnCrack && !c.active {
+			gm.Activate(p, c.Name(), true)
+		}
+		if c.spec.DeactivateOnCrack && c.active {
+			gm.Activate(p, c.Name(), false)
+		}
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

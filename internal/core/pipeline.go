@@ -1,0 +1,602 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adios"
+	"repro/internal/cluster"
+	"repro/internal/datatap"
+	"repro/internal/lammps"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+// Config assembles a complete managed pipeline run: the machine split
+// into simulation and staging partitions, the component stages and their
+// initial sizes, the workload, and the management policy.
+type Config struct {
+	// SimNodes and StagingNodes partition the batch allocation (paper
+	// ratios range 1:512 to 1:2048; the experiments use 256:13, 512:24,
+	// 1024:24).
+	SimNodes, StagingNodes int
+	// Machine overrides the machine model (default: Franklin sized to
+	// SimNodes+StagingNodes).
+	Machine *cluster.Config
+	// Specs lists the pipeline stages in order (default: DefaultSpecs).
+	Specs []ComponentSpec
+	// Sizes maps component name to initial node count. Unlisted
+	// components get 1 node. The sum must fit within StagingNodes;
+	// leftovers become the spare pool.
+	Sizes map[string]int
+	// OutputPeriod is the simulation's output cadence (default 15 s).
+	OutputPeriod sim.Time
+	// Steps is the number of output steps the simulation emits.
+	Steps int
+	// CrackStep (≥ 0) injects crack formation at that output step.
+	CrackStep int64
+	// QueueCap bounds each channel's metadata queue (default 30).
+	QueueCap int
+	// WriterBufBytes bounds each DataTap writer buffer (default 1 GiB).
+	WriterBufBytes int64
+	// Scale overrides the workload scale (default from SimNodes).
+	Scale lammps.Scale
+	// Policy tunes the global manager.
+	Policy PolicyConfig
+	// Seed drives all randomness.
+	Seed int64
+	// DrainTime extends the run after the last output step so the
+	// pipeline can flush (default 4 output periods).
+	DrainTime sim.Time
+	// CheckpointEvery, when > 0, makes the simulation emit a full-state
+	// checkpoint every k output steps, aggregated to stable storage by a
+	// dedicated checkpoint container with a relaxed SLA.
+	CheckpointEvery int
+	// CheckpointNodes sizes the checkpoint container (default 1). Its
+	// nodes come out of the staging partition like everyone else's.
+	CheckpointNodes int
+	// SpreadPlacement assigns staging nodes to containers round-robin
+	// instead of in contiguous blocks. With a topology-aware machine
+	// model this scatters each container across the interconnect — the
+	// placement question the paper leaves as future work, exposed here
+	// for the placement ablation benchmark.
+	SpreadPlacement bool
+	// MonitorSampleEvery rate-limits each container's monitoring
+	// reports: at most one sample per interval crosses the machine
+	// (0 = every sample). §III-E: "how often they are captured".
+	MonitorSampleEvery sim.Time
+	// StandbyGM deploys a standby global manager on the second staging
+	// node that takes over if the primary dies (§III-B's single point
+	// of failure, addressed ZooKeeper-style with heartbeats and
+	// failover).
+	StandbyGM bool
+	// MonitorAggregateN pre-aggregates N samples into one averaged
+	// report at the container boundary before it crosses the machine
+	// (0/1 = none). §III-E: "how they are processed and where".
+	MonitorAggregateN int
+	// TraceSteps records each step's per-stage completion times in
+	// Result.StepTrace (diagnostic; off by default).
+	TraceSteps bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SimNodes <= 0 {
+		c.SimNodes = 256
+	}
+	if c.StagingNodes <= 0 {
+		c.StagingNodes = 13
+	}
+	if c.Specs == nil {
+		c.Specs = DefaultSpecs()
+	}
+	if c.OutputPeriod <= 0 {
+		c.OutputPeriod = 15 * sim.Second
+	}
+	if c.Steps <= 0 {
+		c.Steps = 20
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 30
+	}
+	if c.WriterBufBytes <= 0 {
+		c.WriterBufBytes = 4 << 30 // half a Franklin node's memory
+	}
+	if c.Scale.AtomCount == 0 {
+		c.Scale = lammps.ScaleForNodes(c.SimNodes)
+	}
+	if c.DrainTime <= 0 {
+		c.DrainTime = 4 * c.OutputPeriod
+	}
+	if c.Sizes == nil {
+		c.Sizes = map[string]int{}
+	}
+	c.Policy = c.Policy.withDefaults(c.OutputPeriod, c.QueueCap)
+	return c
+}
+
+// DefaultSizes returns the initial container sizing used by the paper's
+// experiment configurations for a given staging area.
+func DefaultSizes(stagingNodes int) map[string]int {
+	switch {
+	case stagingNodes >= 24:
+		// Figs. 8/9: 24 staging nodes, 4 spare at the start.
+		return map[string]int{"helper": 8, "bonds": 4, "csym": 4, "cna": 4}
+	default:
+		// Fig. 7: 13 staging nodes, no spare.
+		return map[string]int{"helper": 6, "bonds": 2, "csym": 2, "cna": 3}
+	}
+}
+
+// Runtime is an assembled pipeline run.
+type Runtime struct {
+	cfg      Config
+	eng      *sim.Engine
+	mach     *cluster.Machine
+	launcher *cluster.Launcher
+	io       *adios.IO
+
+	containers   []*Container
+	byName       map[string]*Container
+	channels     []*datatap.Channel
+	ckptChannel  *datatap.Channel
+	gm           *GlobalManager
+	standby      *GlobalManager
+	stagingNodes []*cluster.Node
+	rec          *metrics.Recorder
+
+	producerDone bool
+	emitted      int
+	exits        int64
+	dropped      int
+	firstErr     error
+	stepTrace    map[int64]map[string]sim.Time
+}
+
+// Build assembles (but does not run) a pipeline runtime.
+func Build(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{cfg: cfg, byName: map[string]*Container{}, rec: metrics.NewRecorder()}
+	if cfg.TraceSteps {
+		rt.stepTrace = make(map[int64]map[string]sim.Time)
+	}
+	rt.eng = sim.NewEngine(cfg.Seed)
+	machCfg := cluster.Franklin()
+	if cfg.Machine != nil {
+		machCfg = *cfg.Machine
+	}
+	machCfg.Nodes = cfg.SimNodes + cfg.StagingNodes
+	rt.mach = cluster.New(rt.eng, machCfg)
+	rt.launcher = cluster.NewLauncher(rt.mach)
+	rt.io = adios.NewIO(rt.eng, rt.mach, adios.DefaultDisk())
+
+	all, err := rt.mach.Allocate(cfg.SimNodes + cfg.StagingNodes)
+	if err != nil {
+		return nil, err
+	}
+	_, staging, err := all.Split(cfg.SimNodes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assign container nodes front-to-back (contiguous blocks keep a
+	// container's replicas topologically close) or interleaved when
+	// SpreadPlacement is set; leftovers are spare.
+	stagingNodes := staging.Nodes()
+	if cfg.SpreadPlacement {
+		stagingNodes = interleave(stagingNodes, len(cfg.Specs))
+	}
+	next := 0
+	nodesFor := map[string][]*cluster.Node{}
+	for _, spec := range cfg.Specs {
+		n := cfg.Sizes[spec.Name]
+		if n <= 0 {
+			n = 1
+		}
+		if next+n > len(stagingNodes) {
+			return nil, fmt.Errorf("core: container sizes exceed %d staging nodes", len(stagingNodes))
+		}
+		nodesFor[spec.Name] = stagingNodes[next : next+n]
+		next += n
+	}
+	spare := stagingNodes[next:]
+	rt.stagingNodes = stagingNodes
+
+	// The global manager runs on the first staging node.
+	rt.gm = newGlobalManager(rt, stagingNodes[0].ID, cfg.Policy, spare)
+	if cfg.StandbyGM {
+		standbyPolicy := cfg.Policy
+		standbyPolicy.KillGMAt = 0 // the standby does not inherit the death sentence
+		standbyNode := stagingNodes[0].ID
+		if len(stagingNodes) > 1 {
+			standbyNode = stagingNodes[1].ID
+		}
+		rt.standby = newGlobalManager(rt, standbyNode, standbyPolicy, nil)
+		rt.gm.toStandby = rt.gm.ev.NewBridge(rt.standby.inbox(), 0)
+	}
+
+	// Channels: producer→stage0, then stage i→stage i+1. The last two
+	// stages (CSym, CNA) share the branch channel when the pipeline has
+	// the default 4-stage shape: both read the Bonds output.
+	branched := len(cfg.Specs) == 4 && cfg.Specs[3].ActivateOnCrack
+	nChannels := len(cfg.Specs)
+	if branched {
+		nChannels = 3
+	}
+	rt.channels = make([]*datatap.Channel, nChannels)
+	for i := range rt.channels {
+		consumer := cfg.Specs[i].Name
+		home := nodesFor[consumer][0].ID
+		rt.channels[i] = datatap.NewChannel(rt.eng, rt.mach,
+			fmt.Sprintf("ch.%d.%s", i, consumer),
+			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes, HomeNode: home})
+	}
+
+	for i, spec := range cfg.Specs {
+		var input, output *datatap.Channel
+		var downstream string
+		switch {
+		case branched && i >= 2:
+			input = rt.channels[2] // CSym and CNA both read Bonds output
+		case branched && i == 1:
+			input, output = rt.channels[1], rt.channels[2]
+			downstream = cfg.Specs[2].Name
+		default:
+			input = rt.channels[i]
+			if i+1 < len(rt.channels) {
+				output = rt.channels[i+1]
+				downstream = cfg.Specs[i+1].Name
+			}
+		}
+		c, err := rt.newContainer(spec, nodesFor[spec.Name], input, output, downstream)
+		if err != nil {
+			return nil, err
+		}
+		rt.containers = append(rt.containers, c)
+		rt.byName[spec.Name] = c
+	}
+	// Optional checkpoint path: a dedicated aggregation container with a
+	// relaxed SLA drains the simulation's checkpoint stream to disk.
+	if cfg.CheckpointEvery > 0 {
+		nCkpt := cfg.CheckpointNodes
+		if nCkpt <= 0 {
+			nCkpt = 1
+		}
+		if nCkpt > len(rt.gm.spare) {
+			return nil, fmt.Errorf("core: checkpoint container needs %d nodes, %d spare",
+				nCkpt, len(rt.gm.spare))
+		}
+		ckptNodes := rt.gm.spare[:nCkpt]
+		rt.gm.spare = rt.gm.spare[nCkpt:]
+		models := smartpointer.DefaultCostModels()
+		spec := ComponentSpec{
+			Name:       "checkpoint",
+			Kind:       smartpointer.KindHelper,
+			Model:      smartpointer.ModelTree,
+			Cost:       models[smartpointer.KindHelper],
+			Essential:  true, // losing checkpoints violates reliability SLAs
+			DiskOutput: true,
+			SLAPeriods: cfg.CheckpointEvery, // relaxed: due by the next checkpoint
+		}
+		rt.ckptChannel = datatap.NewChannel(rt.eng, rt.mach, "ch.ckpt",
+			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes,
+				HomeNode: ckptNodes[0].ID})
+		c, err := rt.newContainer(spec, ckptNodes, rt.ckptChannel, nil, "")
+		if err != nil {
+			return nil, err
+		}
+		rt.containers = append(rt.containers, c)
+		rt.byName[spec.Name] = c
+		rt.channels = append(rt.channels, rt.ckptChannel)
+	}
+	for _, c := range rt.containers {
+		c.start()
+		rt.gm.connect(c)
+		if rt.standby != nil {
+			rt.standby.connect(c)
+		}
+	}
+	rt.eng.Go("global-manager", rt.gm.run)
+	if rt.standby != nil {
+		rt.eng.Go("standby-manager", rt.standby.standbyLoop)
+	}
+	rt.eng.Go("lammps-producer", rt.producer)
+	return rt, nil
+}
+
+// producer drives the simulated LAMMPS run into the first channel.
+func (rt *Runtime) producer(p *sim.Proc) {
+	group := rt.io.DeclareGroup("lammps.out")
+	group.UseDataTap(rt.channels[0].NewWriter(0)) // sim partition node 0
+	w := lammps.Workload{
+		Scale:           rt.cfg.Scale,
+		OutputPeriod:    rt.cfg.OutputPeriod,
+		Steps:           rt.cfg.Steps,
+		CrackStep:       rt.cfg.CrackStep,
+		CheckpointEvery: rt.cfg.CheckpointEvery,
+		OnStep: func(step int64, sw *adios.StepWriter) {
+			sw.SetAttr(AttrBirth, fmt.Sprintf("%d", int64(rt.eng.Now())))
+		},
+	}
+	if rt.cfg.CrackStep == 0 && rt.cfg.Steps > 0 {
+		w.CrackStep = 0
+	}
+	if rt.cfg.CrackStep < 0 {
+		w.CrackStep = -1
+	}
+	var ckptGroup *adios.Group
+	if rt.ckptChannel != nil {
+		ckptGroup = rt.io.DeclareGroup("lammps.ckpt")
+		ckptGroup.UseDataTap(rt.ckptChannel.NewWriter(0))
+	}
+	n, err := w.Run(p, group, ckptGroup)
+	if err != nil {
+		rt.fail(err)
+	}
+	rt.emitted = n
+	rt.producerDone = true
+}
+
+// Run executes the scenario to its virtual-time horizon, then shuts the
+// pipeline down cleanly.
+func (rt *Runtime) Run() (*Result, error) {
+	horizon := sim.Time(rt.cfg.Steps)*rt.cfg.OutputPeriod + rt.cfg.DrainTime
+	rt.eng.RunUntil(horizon)
+	rt.shutdown()
+	rt.eng.Run()
+	if rt.firstErr != nil {
+		return nil, rt.firstErr
+	}
+	return rt.result(), nil
+}
+
+// shutdown closes channels and mailboxes so every process exits.
+func (rt *Runtime) shutdown() {
+	for _, ch := range rt.channels {
+		ch.Resume() // unblock any writer parked on a pause
+		ch.Close()
+	}
+	for _, c := range rt.containers {
+		for _, r := range c.replicas {
+			r.stop = true
+		}
+		c.mailbox.Close()
+		c.toGM.CloseBridge()
+	}
+	rt.gm.closeBridges()
+	rt.gm.ctl.Close()
+	rt.gm.rsp.Close()
+	if rt.standby != nil {
+		rt.standby.closeBridges()
+		rt.standby.ctl.Close()
+		rt.standby.rsp.Close()
+	}
+}
+
+// interleave reorders nodes with stride k so consecutive assignment
+// slots land far apart in machine order.
+func interleave(nodes []*cluster.Node, k int) []*cluster.Node {
+	if k < 2 || len(nodes) < 2 {
+		return nodes
+	}
+	out := make([]*cluster.Node, 0, len(nodes))
+	for off := 0; off < k; off++ {
+		for i := off; i < len(nodes); i += k {
+			out = append(out, nodes[i])
+		}
+	}
+	return out
+}
+
+// Shutdown terminates the pipeline early and drains all processes. It is
+// for callers driving the runtime step-by-step (microbenchmarks); Run
+// calls the same path internally.
+func (rt *Runtime) Shutdown() {
+	rt.shutdown()
+	rt.eng.Run()
+}
+
+// TakeSpare removes up to n nodes from the global manager's spare pool
+// (for experiments that drive resize protocols directly).
+func (rt *Runtime) TakeSpare(n int) []*cluster.Node {
+	if n > len(rt.gm.spare) {
+		n = len(rt.gm.spare)
+	}
+	nodes := rt.gm.spare[:n]
+	rt.gm.spare = rt.gm.spare[n:]
+	return nodes
+}
+
+// fail records the first runtime error.
+func (rt *Runtime) fail(err error) {
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+}
+
+// recordSample feeds the experiment recorder. Heartbeat pressure samples
+// (Step < 0) go to separate series so the per-step latency curves match
+// the paper's figures.
+func (rt *Runtime) recordSample(s monitor.Sample) {
+	t := s.At
+	if s.Step < 0 {
+		rt.rec.Series("pressure."+s.Container).Add(t, s.Latency.Seconds())
+		rt.rec.Series("queue."+s.Container).Add(t, float64(s.QueueLen))
+		return
+	}
+	rt.rec.Series("latency."+s.Container).Add(t, s.Latency.Seconds())
+	rt.rec.Series("queue."+s.Container).Add(t, float64(s.QueueLen))
+	rt.rec.Series("service."+s.Container).Add(t, s.Service.Seconds())
+	if rt.stepTrace != nil {
+		st := rt.stepTrace[s.Step]
+		if st == nil {
+			st = make(map[string]sim.Time)
+			rt.stepTrace[s.Step] = st
+		}
+		st[s.Container] = t
+	}
+}
+
+// recordExit notes a step leaving the pipeline. Checkpoint flushes go to
+// their own series so the end-to-end analytics latency stays clean.
+func (rt *Runtime) recordExit(t sim.Time, fi FrameInfo) {
+	if fi.Kind == "checkpoint" {
+		if fi.Birth > 0 {
+			rt.rec.Series("ckpt.flush").Add(t, (t - fi.Birth).Seconds())
+		}
+		return
+	}
+	rt.exits++
+	if fi.Birth > 0 {
+		rt.rec.Series("e2e").Add(t, (t - fi.Birth).Seconds())
+	}
+}
+
+// upstreamOf returns the container feeding c (nil if c is fed by the
+// simulation itself).
+func (rt *Runtime) upstreamOf(c *Container) *Container {
+	for _, u := range rt.containers {
+		if u == c {
+			continue
+		}
+		if u.output != nil && u.output == c.input {
+			return u
+		}
+	}
+	return nil
+}
+
+// isDownstreamOf reports whether d consumes (transitively) what c
+// produces.
+func (rt *Runtime) isDownstreamOf(c, d *Container) bool {
+	if c == d {
+		return false
+	}
+	cur := c
+	for depth := 0; depth < len(rt.containers); depth++ {
+		if cur.output == nil {
+			return false
+		}
+		var next *Container
+		for _, cand := range rt.containers {
+			if cand.input == cur.output {
+				if cand == d {
+					return true
+				}
+				if next == nil {
+					next = cand
+				}
+			}
+		}
+		if next == nil {
+			return false
+		}
+		cur = next
+	}
+	return false
+}
+
+// downstreamClosure returns c plus every *active online* container
+// transitively consuming its output, in pipeline order.
+func (rt *Runtime) downstreamClosure(c *Container) []*Container {
+	affected := []*Container{c}
+	frontier := map[*datatap.Channel]bool{}
+	if c.output != nil {
+		frontier[c.output] = true
+	}
+	for _, cand := range rt.containers {
+		if cand == c || !cand.Active() {
+			continue
+		}
+		if cand.input != nil && frontier[cand.input] {
+			affected = append(affected, cand)
+			if cand.output != nil {
+				frontier[cand.output] = true
+			}
+		}
+	}
+	return affected
+}
+
+// --- results ---
+
+// Result summarizes a completed run for the experiment harness.
+type Result struct {
+	Recorder *metrics.Recorder
+	Actions  []Action
+	// Emitted is the number of steps the simulation wrote.
+	Emitted int
+	// ProducerFinished reports whether the simulation completed all its
+	// steps (false when backpressure still blocked it at the horizon).
+	ProducerFinished bool
+	// Exits is the number of steps that left the pipeline (analyzed or
+	// provenance-stamped to disk).
+	Exits int64
+	// Dropped counts steps discarded from queues at offline time.
+	Dropped int
+	// WriterBlocked is total virtual time the simulation's writer spent
+	// blocked (the application-blocking metric containers exist to
+	// minimize).
+	WriterBlocked sim.Time
+	// States maps container name to final state ("online"/"offline").
+	States map[string]string
+	// FinalSizes maps container name to final node count.
+	FinalSizes map[string]int
+	// Spare is the final spare node count.
+	Spare int
+	// Provenance maps container name to the provenance attribute it
+	// stamped on disk output (empty if none).
+	Provenance map[string]string
+	// StepTrace (when Config.TraceSteps) maps step -> container -> the
+	// virtual time the container finished that step.
+	StepTrace map[int64]map[string]sim.Time
+}
+
+func (rt *Runtime) result() *Result {
+	res := &Result{
+		Recorder:         rt.rec,
+		Actions:          rt.gm.Actions(),
+		Emitted:          rt.emitted,
+		ProducerFinished: rt.producerDone,
+		Exits:            rt.exits,
+		Dropped:          rt.dropped,
+		WriterBlocked:    rt.channels[0].Stats().WriterBlocked,
+		States:           map[string]string{},
+		FinalSizes:       map[string]int{},
+		Spare:            rt.gm.Spare(),
+		Provenance:       map[string]string{},
+	}
+	res.StepTrace = rt.stepTrace
+	for _, c := range rt.containers {
+		res.States[c.Name()] = c.State().String()
+		res.FinalSizes[c.Name()] = c.Size()
+		if c.provenance != "" {
+			res.Provenance[c.Name()] = c.provenance
+		}
+	}
+	return res
+}
+
+// Container returns a container by name (for tests and experiments).
+func (rt *Runtime) Container(name string) *Container { return rt.byName[name] }
+
+// Containers returns the pipeline's containers in stage order (custom
+// policies iterate this).
+func (rt *Runtime) Containers() []*Container {
+	return append([]*Container(nil), rt.containers...)
+}
+
+// GM returns the global manager.
+func (rt *Runtime) GM() *GlobalManager { return rt.gm }
+
+// Engine returns the simulation engine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Machine returns the machine model.
+func (rt *Runtime) Machine() *cluster.Machine { return rt.mach }
+
+// Recorder returns the metrics recorder.
+func (rt *Runtime) Recorder() *metrics.Recorder { return rt.rec }
+
+// Config returns the effective (default-filled) configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/datatap"
+	"repro/internal/evpath"
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+// Control message event types on the management overlay.
+const (
+	msgIncrease      = "ctl.increase"
+	msgDecrease      = "ctl.decrease"
+	msgOffline       = "ctl.offline"
+	msgSetOutput     = "ctl.set_output"
+	msgQuery         = "ctl.query"
+	msgActivate      = "ctl.activate"
+	msgAddTap        = "ctl.add_tap"
+	msgResp          = "ctl.resp"
+	msgCrackDetected = "ctl.crack"
+)
+
+// IncreaseReq asks a container to grow onto the given nodes (paper
+// Fig. 3). The global manager has already reserved the nodes.
+type IncreaseReq struct {
+	Seq   int64
+	Nodes []*cluster.Node
+}
+
+// IncreaseResp reports a completed increase with its cost breakdown: the
+// aprun-like launch (reported separately, as the paper factors it out of
+// Fig. 4) and the intra-container metadata exchange that dominates.
+type IncreaseResp struct {
+	Seq    int64
+	Launch sim.Time
+	Intra  sim.Time
+	Size   int
+}
+
+// DecreaseReq asks a container to shed n replicas.
+type DecreaseReq struct {
+	Seq int64
+	N   int
+}
+
+// DecreaseResp returns the released nodes and the cost breakdown: the
+// upstream DataTap writer pause (the dominant Fig. 5 term) and the victim
+// drain.
+type DecreaseResp struct {
+	Seq       int64
+	Nodes     []*cluster.Node
+	PauseWait sim.Time
+	Drain     sim.Time
+	Size      int
+}
+
+// OfflineReq takes the container offline entirely.
+type OfflineReq struct {
+	Seq int64
+}
+
+// OfflineResp returns all nodes and the count of queued steps dropped.
+type OfflineResp struct {
+	Seq     int64
+	Nodes   []*cluster.Node
+	Dropped int
+}
+
+// SetOutputReq redirects a container's output to disk with provenance
+// (the upstream half of an offline transition).
+type SetOutputReq struct {
+	Seq        int64
+	Provenance string
+}
+
+// SetOutputResp acknowledges the switch.
+type SetOutputResp struct{ Seq int64 }
+
+// QueryReq asks the local manager what it needs to sustain the SLA.
+type QueryReq struct {
+	Seq int64
+	Max int
+}
+
+// QueryResp carries the local manager's answer.
+type QueryResp struct {
+	Seq    int64
+	Size   int
+	Needed int // total replicas needed; 0 = unattainable within Max
+	Period sim.Time
+}
+
+// ActivateReq toggles consumption (the pipeline's dynamic branch).
+type ActivateReq struct {
+	Seq    int64
+	Active bool
+}
+
+// ActivateResp acknowledges the toggle.
+type ActivateResp struct{ Seq int64 }
+
+// AddTapReq attaches an observer channel that receives a duplicate of
+// every step the container forwards (mid-run visualization taps).
+type AddTapReq struct {
+	Seq int64
+	Ch  *datatap.Channel
+}
+
+// AddTapResp acknowledges the tap.
+type AddTapResp struct{ Seq int64 }
+
+// CrackNotice informs the global manager of observed crack formation.
+type CrackNotice struct {
+	From string
+	Step int64
+}
+
+// managerLoop is the container's local manager process: it serves control
+// requests from the global manager, one at a time.
+func (c *Container) managerLoop(p *sim.Proc) {
+	for {
+		ev, ok := c.mailbox.Recv(p)
+		if !ok {
+			return
+		}
+		switch req := ev.Data.(type) {
+		case *IncreaseReq:
+			launch, intra := c.doIncrease(p, req.Nodes)
+			c.reply(p, &IncreaseResp{Seq: req.Seq, Launch: launch, Intra: intra,
+				Size: len(c.replicas)})
+		case *DecreaseReq:
+			nodes, pause, drain := c.doDecrease(p, req.N)
+			c.reply(p, &DecreaseResp{Seq: req.Seq, Nodes: nodes, PauseWait: pause,
+				Drain: drain, Size: len(c.replicas)})
+		case *OfflineReq:
+			nodes, dropped := c.doOffline(p)
+			c.reply(p, &OfflineResp{Seq: req.Seq, Nodes: nodes, Dropped: dropped})
+			return // the manager itself shuts down with its container
+		case *SetOutputReq:
+			c.doSetOutput(req.Provenance)
+			c.reply(p, &SetOutputResp{Seq: req.Seq})
+		case *QueryReq:
+			c.reply(p, &QueryResp{Seq: req.Seq, Size: len(c.replicas),
+				Needed: c.ReplicasNeeded(req.Max), Period: c.ThroughputPeriod()})
+		case *ActivateReq:
+			c.active = req.Active
+			c.reply(p, &ActivateResp{Seq: req.Seq})
+		case *AddTapReq:
+			c.doAddTap(req.Ch)
+			c.reply(p, &AddTapResp{Seq: req.Seq})
+		case *RehomeReq:
+			c.toGM.CloseBridge()
+			c.toGM = c.mgrEV.NewBridge(req.Inbox, 0)
+			if c.probe != nil {
+				// The probe must follow the new upward path.
+				c.probe.Out = c.toGM
+			}
+			c.reply(p, &RehomeResp{Seq: req.Seq})
+		default:
+			c.rt.fail(fmt.Errorf("core: container %s got unknown control %T",
+				c.spec.Name, ev.Data))
+			return
+		}
+	}
+}
+
+func (c *Container) reply(p *sim.Proc, data any) {
+	c.toGM.Submit(p, &evpath.Event{Type: msgResp, Size: ctlMsgBytes, Data: data})
+}
+
+// doIncrease implements the increase protocol's container-side legs
+// (paper Fig. 3): launch the new replicas (aprun cost, reported
+// separately), then run the metadata-exchange rounds that let the new
+// replicas communicate — with the container manager, with every existing
+// replica, and with the upstream DataTap writers. The exchange is the
+// dominant inherent cost and grows with the size of the increase, which
+// is exactly the Fig. 4 result.
+func (c *Container) doIncrease(p *sim.Proc, nodes []*cluster.Node) (launch, intra sim.Time) {
+	if len(nodes) == 0 {
+		return 0, 0
+	}
+	if c.spec.Model == smartpointer.ModelParallel && len(c.replicas) > 0 {
+		return c.doParallelRelaunch(p, nodes)
+	}
+	job, err := c.rt.launcher.Launch(p, c.spec.Name, nodes)
+	if err != nil {
+		c.rt.fail(err)
+		return 0, 0
+	}
+	launch = job.LaunchCost
+	intraStart := p.Now()
+	c.exchangeMetadata(p, nodes, c.replicas)
+	intra = p.Now() - intraStart
+	for _, n := range nodes {
+		c.nodes = append(c.nodes, n)
+		c.addReplica(n)
+	}
+	return launch, intra
+}
+
+// exchangeMetadata runs the endpoint-metadata rounds for newNodes joining
+// a container with the given existing replicas.
+func (c *Container) exchangeMetadata(p *sim.Proc, newNodes []*cluster.Node, existing []*replica) {
+	mgrNode := c.mgrEV.Node()
+	writers := c.input.Writers()
+	for _, n := range newNodes {
+		// New replica registers with the container manager.
+		c.rt.mach.Send(p, n.ID, mgrNode, metadataMsgBytes)
+		// Pairwise endpoint exchange with every existing replica.
+		for _, ex := range existing {
+			c.rt.mach.Send(p, n.ID, ex.node.ID, metadataMsgBytes)
+			c.rt.mach.Send(p, ex.node.ID, n.ID, metadataMsgBytes)
+		}
+		// Connect to the upstream DataTap writers.
+		for _, w := range writers {
+			c.rt.mach.Send(p, n.ID, w.Node(), metadataMsgBytes)
+		}
+	}
+}
+
+// doParallelRelaunch grows an MPI-style parallel component, which cannot
+// simply add ranks: "increasing the container size would require its
+// complete teardown and restarting a new instance with an increased
+// number of MPI ranks" (paper §III-D). The in-flight step is aborted and
+// requeued so no timestep is lost, all replicas are torn down, and a new
+// instance is launched over the combined node set.
+func (c *Container) doParallelRelaunch(p *sim.Proc, nodes []*cluster.Node) (launch, intra sim.Time) {
+	pauseInput := c.input
+	pauseInput.Pause(p)
+	for _, r := range c.replicas {
+		r.stop = true
+		if r.busy && r.abort != nil {
+			r.abort.Fire()
+		}
+	}
+	for _, r := range c.replicas {
+		r.done.Wait(p)
+	}
+	allNodes := append(append([]*cluster.Node(nil), c.nodes...), nodes...)
+	c.replicas = nil
+	c.nodes = nil
+	job, err := c.rt.launcher.Launch(p, c.spec.Name, allNodes)
+	if err != nil {
+		c.rt.fail(err)
+		return 0, 0
+	}
+	launch = job.LaunchCost
+	intraStart := p.Now()
+	c.exchangeMetadata(p, allNodes, nil)
+	intra = p.Now() - intraStart
+	for _, n := range allNodes {
+		c.nodes = append(c.nodes, n)
+		c.addReplica(n)
+	}
+	pauseInput.Resume()
+	return launch, intra
+}
+
+// doDecrease implements the decrease protocol: pause the upstream DataTap
+// writers so no timestep is lost, drain and remove n victim replicas,
+// resume. The pause wait dominates (paper Fig. 5).
+func (c *Container) doDecrease(p *sim.Proc, n int) (released []*cluster.Node, pause, drain sim.Time) {
+	if n <= 0 {
+		return nil, 0, 0
+	}
+	if n > len(c.replicas) {
+		n = len(c.replicas)
+	}
+	pause = c.input.Pause(p)
+	drainStart := p.Now()
+	victims := c.replicas[len(c.replicas)-n:]
+	for _, v := range victims {
+		// Control message asking the replica to drain and exit.
+		c.rt.mach.Send(p, c.mgrEV.Node(), v.node.ID, ctlMsgBytes)
+		v.stop = true
+	}
+	for _, v := range victims {
+		v.done.Wait(p)
+	}
+	drain = p.Now() - drainStart
+	c.replicas = c.replicas[:len(c.replicas)-n]
+	released = append(released, c.nodes[len(c.nodes)-n:]...)
+	c.nodes = c.nodes[:len(c.nodes)-n]
+	c.input.Resume()
+	return released, pause, drain
+}
+
+// doOffline removes the container from the data path: all replicas drain
+// and exit, all nodes are released, and queued steps are dropped (their
+// pending analyses are exactly what the upstream provenance attributes
+// record). The input channel closes so upstream cannot block on it.
+func (c *Container) doOffline(p *sim.Proc) (released []*cluster.Node, dropped int) {
+	c.state = StateOffline
+	c.active = false
+	// No pause here: offline is a kill. The upstream already switched its
+	// output to disk; pausing could deadlock against an upstream writer
+	// blocked on this container's own unpulled backlog.
+	for _, r := range c.replicas {
+		c.rt.mach.Send(p, c.mgrEV.Node(), r.node.ID, ctlMsgBytes)
+		r.stop = true
+		if r.busy && r.abort != nil {
+			// Offline is a kill, not a drain: abandon in-flight work.
+			r.abort.Fire()
+		}
+	}
+	for _, r := range c.replicas {
+		r.done.Wait(p)
+	}
+	dropped = c.input.QueueLen()
+	c.input.Close()
+	released = append(released, c.nodes...)
+	c.nodes = nil
+	c.replicas = nil
+	c.mailbox.Close()
+	return released, dropped
+}
+
+// doAddTap attaches an observer channel and gives every replica a writer
+// endpoint on it.
+func (c *Container) doAddTap(ch *datatap.Channel) {
+	c.taps = append(c.taps, ch)
+	for _, r := range c.replicas {
+		r.tapWriters[ch] = ch.NewWriter(r.node.ID)
+	}
+}
+
+// doSetOutput switches every replica's ADIOS output to the disk sink with
+// provenance attributes — the upstream half of an offline transition
+// ("each component replica in the upstream container has to switch its
+// output method within ADIOS to write to disk using the attribute system
+// to mark the provenance").
+func (c *Container) doSetOutput(provenance string) {
+	c.writeDisk = true
+	c.provenance = provenance
+	for _, r := range c.replicas {
+		c.bindReplicaToDisk(r)
+	}
+}

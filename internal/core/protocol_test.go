@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bp"
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+type testPG struct{ attrs map[string]string }
+
+func (t *testPG) toBP() *bp.ProcessGroup {
+	return &bp.ProcessGroup{Group: "t", Attrs: t.attrs}
+}
+
+func TestStampBirth(t *testing.T) {
+	pg := &bp.ProcessGroup{Group: "g"}
+	StampBirth(pg, 42*sim.Second)
+	fi, err := DecodeFrame(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Birth != 42*sim.Second {
+		t.Fatalf("birth %v", fi.Birth)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	models := smartpointer.DefaultCostModels()
+	good := ComponentSpec{Name: "x", Kind: smartpointer.KindBonds,
+		Model: smartpointer.ModelRR, Cost: models[smartpointer.KindBonds]}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Kind = smartpointer.KindCSym
+	bad.Model = smartpointer.ModelParallel
+	if err := bad.Validate(); err == nil {
+		t.Fatal("CSym+Parallel should be rejected (Table I)")
+	}
+	bad = good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty name should be rejected")
+	}
+	bad = good
+	bad.OutputFactor = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative output factor should be rejected")
+	}
+	if (&SpecError{Name: "n", Msg: "m"}).Error() == "" {
+		t.Fatal("SpecError message empty")
+	}
+}
+
+func TestDefaultSpecsMatchTable1(t *testing.T) {
+	for _, spec := range DefaultSpecs() {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+	specs := SpecsWithBondsModel(smartpointer.ModelParallel)
+	for _, s := range specs {
+		if s.Kind == smartpointer.KindBonds && s.Model != smartpointer.ModelParallel {
+			t.Fatal("bonds model not overridden")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// protoRuntime builds a tiny two-stage pipeline for protocol-level tests:
+// a fast producer, one helper-like stage, one bonds-like stage.
+func protoRuntime(t *testing.T, bondsNodes int, model smartpointer.ComputeModel) *Runtime {
+	t.Helper()
+	cfg := Config{
+		SimNodes:     16,
+		StagingNodes: 13,
+		Sizes:        map[string]int{"helper": 4, "bonds": bondsNodes, "csym": 1, "cna": 1},
+		Steps:        4,
+		CrackStep:    -1,
+		Seed:         11,
+		Specs:        SpecsWithBondsModel(model),
+		Policy:       PolicyConfig{DisableManagement: true},
+	}
+	rt, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestIncreaseProtocolBreakdown(t *testing.T) {
+	rt := protoRuntime(t, 2, smartpointer.ModelRR)
+	var resp *IncreaseResp
+	rt.eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Second)
+		nodes := rt.gm.spare[:2]
+		rt.gm.spare = rt.gm.spare[2:]
+		resp = rt.gm.Increase(p, "bonds", nodes)
+	})
+	rt.eng.RunUntil(120 * sim.Second)
+	if resp == nil {
+		t.Fatal("no increase response")
+	}
+	if resp.Size != 4 {
+		t.Fatalf("size %d, want 4", resp.Size)
+	}
+	if resp.Launch < 3*sim.Second || resp.Launch > 27*sim.Second {
+		t.Fatalf("launch cost %v outside aprun range", resp.Launch)
+	}
+	if resp.Intra <= 0 {
+		t.Fatal("intra-container exchange cost missing")
+	}
+	// The paper's Fig. 4 claim: intra-container metadata exchange
+	// dominates the inherent (non-aprun) protocol cost; it must at least
+	// be nonzero and scale with the increase (covered by the bench).
+	if rt.Container("bonds").Size() != 4 {
+		t.Fatalf("container size %d", rt.Container("bonds").Size())
+	}
+	rt.shutdown()
+	rt.eng.Run()
+}
+
+func TestDecreaseProtocolReleasesNodes(t *testing.T) {
+	rt := protoRuntime(t, 4, smartpointer.ModelRR)
+	var resp *DecreaseResp
+	rt.eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Second)
+		resp = rt.gm.Decrease(p, "bonds", 2)
+	})
+	rt.eng.RunUntil(200 * sim.Second)
+	if resp == nil {
+		t.Fatal("no decrease response")
+	}
+	if len(resp.Nodes) != 2 || resp.Size != 2 {
+		t.Fatalf("released %d, size %d", len(resp.Nodes), resp.Size)
+	}
+	if rt.Container("bonds").Size() != 2 {
+		t.Fatalf("container size %d", rt.Container("bonds").Size())
+	}
+	if rt.gm.Spare() < 2 {
+		t.Fatalf("spare %d after release", rt.gm.Spare())
+	}
+	// Decrease must not lose steps: the channel was paused during the
+	// removal and remaining replicas continue.
+	rt.shutdown()
+	rt.eng.Run()
+}
+
+func TestDecreaseMoreThanSizeClamps(t *testing.T) {
+	rt := protoRuntime(t, 2, smartpointer.ModelRR)
+	var resp *DecreaseResp
+	rt.eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Second)
+		resp = rt.gm.Decrease(p, "bonds", 99)
+	})
+	rt.eng.RunUntil(200 * sim.Second)
+	if resp == nil || len(resp.Nodes) != 2 {
+		t.Fatalf("resp %+v", resp)
+	}
+	rt.shutdown()
+	rt.eng.Run()
+}
+
+func TestParallelIncreaseTearsDownAndRelaunches(t *testing.T) {
+	rt := protoRuntime(t, 2, smartpointer.ModelParallel)
+	var resp *IncreaseResp
+	rt.eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Second) // let a step get in flight
+		nodes := rt.gm.spare[:3]
+		rt.gm.spare = rt.gm.spare[3:]
+		resp = rt.gm.Increase(p, "bonds", nodes)
+	})
+	rt.eng.RunUntil(400 * sim.Second)
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	if resp.Size != 5 {
+		t.Fatalf("size %d, want 5 after relaunch", resp.Size)
+	}
+	if rt.Container("bonds").Size() != 5 {
+		t.Fatal("node set not merged")
+	}
+	rt.shutdown()
+	rt.eng.Run()
+	// The aborted in-flight step must have been requeued, not lost:
+	// eventually every emitted step is processed or still queued.
+	c := rt.Container("bonds")
+	if c.StepsProcessed()+int64(c.Input().QueueLen())+int64(rt.dropped) < int64(rt.emitted) {
+		t.Fatalf("steps unaccounted: processed=%d queued=%d dropped=%d emitted=%d",
+			c.StepsProcessed(), c.Input().QueueLen(), rt.dropped, rt.emitted)
+	}
+}
+
+func TestOfflineDirectCall(t *testing.T) {
+	rt := protoRuntime(t, 2, smartpointer.ModelRR)
+	var offResp *OfflineResp
+	rt.eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Second)
+		rt.gm.SetOutput(p, "helper", "bonds,csym,cna")
+		offResp = rt.gm.Offline(p, "bonds")
+	})
+	rt.eng.RunUntil(300 * sim.Second)
+	if offResp == nil {
+		t.Fatal("no offline response")
+	}
+	if rt.Container("bonds").State() != StateOffline {
+		t.Fatal("bonds not offline")
+	}
+	if len(offResp.Nodes) != 2 {
+		t.Fatalf("released %d nodes", len(offResp.Nodes))
+	}
+	// Upstream now writes to disk.
+	if got := rt.Container("helper").provenance; got != "bonds,csym,cna" {
+		t.Fatalf("provenance %q", got)
+	}
+	rt.shutdown()
+	rt.eng.Run()
+	sink := rt.Container("helper").DiskSink()
+	if sink == nil || sink.Steps() == 0 {
+		t.Fatal("helper wrote nothing to disk after offline")
+	}
+}
+
+func TestQueryRound(t *testing.T) {
+	rt := protoRuntime(t, 2, smartpointer.ModelRR)
+	var q *QueryResp
+	rt.eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(sim.Second)
+		q = rt.gm.Query(p, "bonds", 24)
+	})
+	rt.eng.RunUntil(30 * sim.Second)
+	if q == nil {
+		t.Fatal("no query response")
+	}
+	if q.Size != 2 {
+		t.Fatalf("size %d", q.Size)
+	}
+	// 16-node sim scale is tiny: 2 replicas more than sustain it.
+	if q.Needed > 2 || q.Needed < 1 {
+		t.Fatalf("needed %d", q.Needed)
+	}
+	if q.Period <= 0 {
+		t.Fatal("period missing")
+	}
+	rt.shutdown()
+	rt.eng.Run()
+}
+
+func TestActivateRound(t *testing.T) {
+	rt := protoRuntime(t, 2, smartpointer.ModelRR)
+	rt.eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(sim.Second)
+		if rt.Container("cna").Active() {
+			t.Error("cna should start passive")
+		}
+		rt.gm.Activate(p, "cna", true)
+		if !rt.Container("cna").Active() {
+			t.Error("cna not activated")
+		}
+		rt.gm.Activate(p, "cna", false)
+		if rt.Container("cna").Active() {
+			t.Error("cna not deactivated")
+		}
+	})
+	rt.eng.RunUntil(30 * sim.Second)
+	rt.shutdown()
+	rt.eng.Run()
+}
+
+func TestStateString(t *testing.T) {
+	if StateOnline.String() != "online" || StateOffline.String() != "offline" {
+		t.Fatal("state strings wrong")
+	}
+}

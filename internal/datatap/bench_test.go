@@ -1,0 +1,56 @@
+package datatap
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// BenchmarkStagedTransfer measures write→fetch round trips through the
+// staged transport (including the simulated network).
+func BenchmarkStagedTransfer(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	cfg := cluster.Franklin()
+	cfg.Nodes = 4
+	mach := cluster.New(eng, cfg)
+	ch := NewChannel(eng, mach, "bench", Config{HomeNode: 1})
+	w := ch.NewWriter(0)
+	r := ch.NewReader(1)
+	eng.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			w.Write(p, int64(i), 1<<20, nil)
+		}
+		ch.Close()
+	})
+	eng.Go("reader", func(p *sim.Proc) {
+		for {
+			if _, ok := r.Fetch(p); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	eng.Run()
+	if ch.Stats().StepsPulled != int64(b.N) {
+		b.Fatalf("pulled %d, want %d", ch.Stats().StepsPulled, b.N)
+	}
+}
+
+// BenchmarkPauseResume measures the pause/resume consistency round.
+func BenchmarkPauseResume(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	ch := NewChannel(eng, nil, "bench", Config{})
+	ch.NewWriter(0)
+	ch.NewWriter(1)
+	eng.Go("manager", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			ch.Pause(p)
+			ch.Resume()
+		}
+	})
+	b.ResetTimer()
+	eng.Run()
+}

@@ -1,0 +1,373 @@
+// Package datatap implements the asynchronous staged data transport the
+// paper's containers move data with (DataTap/DataStager): a writer buffers
+// its output locally, pushes a small metadata descriptor to the consuming
+// side, and the reader *pulls* the payload with an RDMA get when it is
+// ready — so output proceeds asynchronously and pulls can be scheduled to
+// limit interconnect contention.
+//
+// The behaviours the paper's evaluation leans on are modeled faithfully:
+//
+//   - writers can be *paused* (and later resumed) so a downstream
+//     container can resize without losing timesteps — waiting for writers
+//     to pause is the dominant cost of the 'decrease' operation (Fig. 5);
+//   - the reader-side metadata queue is bounded; a full queue blocks
+//     writers and hence the application, which is exactly the condition
+//     container management works to avoid (Fig. 9);
+//   - writer buffers are finite, so an unconsumed backlog eventually
+//     blocks the writer.
+package datatap
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Meta is the descriptor pushed from writer to reader; the payload itself
+// stays in the writer's buffer until pulled.
+type Meta struct {
+	// Step is the application timestep this payload belongs to.
+	Step int64
+	// Size is the payload size in bytes.
+	Size int64
+	// SrcNode is the writer's node (the RDMA get target).
+	SrcNode int
+	// Created is when the writer made the payload available.
+	Created sim.Time
+	// Data is the payload (carried by reference; the simulated transfer
+	// cost is charged from Size).
+	Data any
+	// release frees the writer-side buffer space once pulled.
+	release func()
+}
+
+// Stats aggregates channel activity.
+type Stats struct {
+	StepsWritten int64
+	StepsPulled  int64
+	BytesPulled  int64
+	MaxQueue     int
+	// WriterBlocked accumulates total virtual time writers spent blocked
+	// on a full queue or full buffer — the "application blocking" metric.
+	WriterBlocked sim.Time
+	// PauseWait accumulates time spent waiting for writers to pause.
+	PauseWait sim.Time
+}
+
+// Config parameterizes a channel.
+type Config struct {
+	// QueueCap bounds the reader-side metadata queue (0 = unbounded).
+	QueueCap int
+	// WriterBufBytes bounds each writer's payload buffer (0 = unbounded).
+	WriterBufBytes int64
+	// HomeNode is where the metadata queue lives (a reader-side node);
+	// descriptor pushes are charged as messages to this node.
+	HomeNode int
+	// PullTokens bounds how many payload pulls may be in flight at once
+	// (0 = unlimited). This is DataStager's pull scheduling: limiting
+	// concurrent gets keeps the readers from saturating the writers'
+	// NICs and slowing the application's own output, at the price of
+	// serializing reader-side transfers.
+	PullTokens int
+	// PullSpacing adds a minimum gap between pull starts (0 = none),
+	// smoothing bursts off the interconnect.
+	PullSpacing sim.Time
+}
+
+// descriptorBytes is the on-wire size of a metadata push.
+const descriptorBytes = 128
+
+// Channel is one staged transport hop between pipeline stages: any number
+// of writers feed a shared metadata queue drained by any number of
+// readers.
+type Channel struct {
+	name    string
+	eng     *sim.Engine
+	mach    *cluster.Machine
+	cfg     Config
+	meta    *sim.Queue[*Meta]
+	writers []*Writer
+	paused  bool
+	resume  *sim.Event
+	stats   Stats
+	closed  bool
+	// pullTokens (non-nil when scheduling is on) bounds concurrent
+	// pulls; lastPullAt enforces the configured spacing.
+	pullTokens *sim.Resource
+	lastPullAt sim.Time
+}
+
+// NewChannel creates a channel. mach may be nil for cost-free tests.
+func NewChannel(eng *sim.Engine, mach *cluster.Machine, name string, cfg Config) *Channel {
+	c := &Channel{
+		name: name,
+		eng:  eng,
+		mach: mach,
+		cfg:  cfg,
+		meta: sim.NewQueue[*Meta](eng, cfg.QueueCap),
+	}
+	if cfg.PullTokens > 0 {
+		c.pullTokens = sim.NewResource(eng, cfg.PullTokens)
+	}
+	return c
+}
+
+// Name returns the channel's name.
+func (c *Channel) Name() string { return c.name }
+
+// QueueLen returns the current metadata backlog.
+func (c *Channel) QueueLen() int { return c.meta.Len() }
+
+// QueueCap returns the metadata queue bound (0 = unbounded).
+func (c *Channel) QueueCap() int { return c.cfg.QueueCap }
+
+// Full reports whether the metadata queue is at capacity (a Put would
+// block). Lossy observers check this to drop rather than stall.
+func (c *Channel) Full() bool {
+	return c.cfg.QueueCap > 0 && c.meta.Len() >= c.cfg.QueueCap
+}
+
+// Stats returns a snapshot of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Paused reports whether writers are currently paused.
+func (c *Channel) Paused() bool { return c.paused }
+
+// Writers returns the attached writer endpoints (shared slice; do not
+// mutate). Resize protocols use it to enumerate the upstream endpoints a
+// new replica must exchange metadata with.
+func (c *Channel) Writers() []*Writer { return c.writers }
+
+// HeadAge returns how long the oldest queued descriptor has been waiting
+// (0 if the queue is empty) — the queue-pressure signal container
+// monitoring heartbeats report while a slow component is still computing.
+func (c *Channel) HeadAge(now sim.Time) sim.Time {
+	m, ok := c.meta.Peek()
+	if !ok {
+		return 0
+	}
+	return now - m.Created
+}
+
+// Requeue returns a previously fetched descriptor to the queue (used when
+// an MPI-style teardown aborts an in-flight step so it is not lost). The
+// payload's buffer space was already released; the descriptor re-enters
+// the shared queue for another replica to process.
+func (c *Channel) Requeue(m *Meta) bool {
+	if c.closed {
+		return false
+	}
+	m.release = func() {}
+	c.stats.StepsPulled--
+	c.stats.BytesPulled -= m.Size
+	return c.meta.TryPut(m)
+}
+
+// Close closes the metadata queue; readers drain and then see ok=false.
+// Writers blocked on buffer space are released (their writes fail), so no
+// process stays parked behind a closed channel.
+func (c *Channel) Close() {
+	c.closed = true
+	c.meta.Close()
+	for _, w := range c.writers {
+		// Wake any Acquire waiter; the subsequent Put fails cleanly.
+		w.buf.Grow(1 << 61)
+	}
+	if c.paused {
+		c.Resume()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (c *Channel) Closed() bool { return c.closed }
+
+// Writer is one producer endpoint (one upstream replica or simulation
+// aggregation point).
+type Writer struct {
+	ch   *Channel
+	node int
+	buf  *sim.Resource // buffer bytes
+	// busy / wantPause implement the pause handshake: a pause issued
+	// mid-write completes when the write finishes.
+	busy      bool
+	idle      *sim.Event
+	nWrites   int64
+	nBlocked  sim.Time
+	pausedEvs int64
+}
+
+// NewWriter attaches a writer on the given node.
+func (c *Channel) NewWriter(node int) *Writer {
+	bufCap := int(c.cfg.WriterBufBytes)
+	if c.cfg.WriterBufBytes == 0 {
+		bufCap = 1 << 62
+	}
+	w := &Writer{ch: c, node: node, buf: sim.NewResource(c.eng, bufCap)}
+	c.writers = append(c.writers, w)
+	return w
+}
+
+// Node returns the writer's node ID.
+func (w *Writer) Node() int { return w.node }
+
+// BufferedBytes returns the bytes currently held in the writer's buffer.
+func (w *Writer) BufferedBytes() int64 { return int64(w.buf.InUse()) }
+
+// Write makes one timestep's payload available: it buffers the payload,
+// pushes the descriptor to the channel's home node, and returns. It blocks
+// if the writer is paused, its buffer is full, or the metadata queue is
+// full — blocking here is precisely the "application blocking on I/O" the
+// containers runtime manages against. It returns false if the channel was
+// closed.
+func (w *Writer) Write(p *sim.Proc, step int64, size int64, data any) bool {
+	if w.ch.closed {
+		return false
+	}
+	start := w.ch.eng.Now()
+	for w.ch.paused {
+		w.pausedEvs++
+		w.ch.resume.Wait(p)
+	}
+	w.busy = true
+	// Reserve buffer space (may block on backlog).
+	w.buf.Acquire(p, int(size))
+	// Local buffer copy at memory bandwidth (10x NIC rate approximation).
+	if w.ch.mach != nil {
+		w.ch.mach.Send(p, w.node, w.node, size)
+	}
+	m := &Meta{
+		Step:    step,
+		Size:    size,
+		SrcNode: w.node,
+		Created: w.ch.eng.Now(),
+		Data:    data,
+	}
+	m.release = func() { w.buf.Release(int(size)) }
+	// Push the descriptor to the queue's home node.
+	if w.ch.mach != nil && w.node != w.ch.cfg.HomeNode {
+		w.ch.mach.Send(p, w.node, w.ch.cfg.HomeNode, descriptorBytes)
+	}
+	ok := w.ch.meta.Put(p, m)
+	if !ok {
+		m.release()
+		w.finishWrite(start)
+		return false
+	}
+	w.ch.stats.StepsWritten++
+	if l := w.ch.meta.Len(); l > w.ch.stats.MaxQueue {
+		w.ch.stats.MaxQueue = l
+	}
+	w.finishWrite(start)
+	return true
+}
+
+func (w *Writer) finishWrite(start sim.Time) {
+	w.nWrites++
+	blocked := w.ch.eng.Now() - start
+	w.nBlocked += blocked
+	w.ch.stats.WriterBlocked += blocked
+	w.busy = false
+	if w.idle != nil {
+		w.idle.Fire()
+		w.idle = nil
+	}
+}
+
+// Reader is one consumer endpoint (one downstream replica).
+type Reader struct {
+	ch   *Channel
+	node int
+}
+
+// NewReader attaches a reader on the given node.
+func (c *Channel) NewReader(node int) *Reader {
+	return &Reader{ch: c, node: node}
+}
+
+// Node returns the reader's node ID.
+func (r *Reader) Node() int { return r.node }
+
+// Fetch takes the next available descriptor and pulls its payload
+// (RDMA get from the writer's buffer), blocking until data arrives.
+// ok is false once the channel is closed and drained.
+func (r *Reader) Fetch(p *sim.Proc) (*Meta, bool) {
+	m, ok := r.ch.meta.Get(p)
+	if !ok {
+		return nil, false
+	}
+	r.pull(p, m)
+	return m, true
+}
+
+// FetchTimeout is Fetch with a deadline for the descriptor wait.
+func (r *Reader) FetchTimeout(p *sim.Proc, d sim.Time) (*Meta, bool) {
+	m, ok := r.ch.meta.GetTimeout(p, d)
+	if !ok {
+		return nil, false
+	}
+	r.pull(p, m)
+	return m, true
+}
+
+func (r *Reader) pull(p *sim.Proc, m *Meta) {
+	if r.ch.pullTokens != nil {
+		r.ch.pullTokens.Acquire(p, 1)
+		if gap := r.ch.cfg.PullSpacing; gap > 0 {
+			if wait := r.ch.lastPullAt + gap - r.ch.eng.Now(); wait > 0 {
+				p.Sleep(wait)
+			}
+			r.ch.lastPullAt = r.ch.eng.Now()
+		}
+	}
+	if r.ch.mach != nil {
+		r.ch.mach.RDMAGet(p, r.node, m.SrcNode, m.Size)
+	}
+	if r.ch.pullTokens != nil {
+		r.ch.pullTokens.Release(1)
+	}
+	m.release()
+	r.ch.stats.StepsPulled++
+	r.ch.stats.BytesPulled += m.Size
+}
+
+// Pause asks every writer to stop producing and waits until all in-flight
+// writes finish — the consistency step the 'decrease' protocol requires so
+// no timestep is lost while downstream replicas are removed. It returns
+// the time spent waiting.
+func (c *Channel) Pause(p *sim.Proc) sim.Time {
+	start := c.eng.Now()
+	if !c.paused {
+		c.paused = true
+		c.resume = sim.NewEvent(c.eng)
+	}
+	for _, w := range c.writers {
+		// One control message per writer.
+		if c.mach != nil && w.node != c.cfg.HomeNode {
+			c.mach.Send(p, c.cfg.HomeNode, w.node, descriptorBytes)
+		}
+		if w.busy {
+			if w.idle == nil {
+				w.idle = sim.NewEvent(c.eng)
+			}
+			w.idle.Wait(p)
+		}
+	}
+	wait := c.eng.Now() - start
+	c.stats.PauseWait += wait
+	return wait
+}
+
+// Resume releases paused writers.
+func (c *Channel) Resume() {
+	if !c.paused {
+		return
+	}
+	c.paused = false
+	c.resume.Fire()
+}
+
+// String implements fmt.Stringer.
+func (c *Channel) String() string {
+	return fmt.Sprintf("datatap(%s q=%d/%d)", c.name, c.meta.Len(), c.cfg.QueueCap)
+}

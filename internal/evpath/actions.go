@@ -1,0 +1,82 @@
+package evpath
+
+import "repro/internal/sim"
+
+// Filter passes through events for which keep returns true.
+func Filter(keep func(*Event) bool) Action {
+	return ActionFunc(func(ev *Event, emit func(*Event)) {
+		if keep(ev) {
+			emit(ev)
+		}
+	})
+}
+
+// TypeFilter passes through events whose Type matches one of the given
+// names.
+func TypeFilter(types ...string) Action {
+	set := make(map[string]bool, len(types))
+	for _, t := range types {
+		set[t] = true
+	}
+	return Filter(func(ev *Event) bool { return set[ev.Type] })
+}
+
+// Transform rewrites each event with fn (returning nil drops it).
+func Transform(fn func(*Event) *Event) Action {
+	return ActionFunc(func(ev *Event, emit func(*Event)) {
+		if out := fn(ev); out != nil {
+			emit(out)
+		}
+	})
+}
+
+// Terminal invokes fn for each event; nothing is emitted downstream.
+func Terminal(fn func(*Event)) Action {
+	return ActionFunc(func(ev *Event, emit func(*Event)) {
+		fn(ev)
+	})
+}
+
+// QueueTerminal appends each event to q (dropping if the queue is full or
+// closed), so a simulated process can consume the overlay's output.
+func QueueTerminal(q *sim.Queue[*Event]) Action {
+	return Terminal(func(ev *Event) { q.TryPut(ev) })
+}
+
+// Aggregate buffers events and emits one combined event each time `count`
+// have arrived, using combine to merge them. This is the building block
+// for aggregation trees (the LAMMPS Helper component) and for monitoring
+// roll-ups.
+func Aggregate(count int, combine func([]*Event) *Event) Action {
+	if count < 1 {
+		count = 1
+	}
+	var buf []*Event
+	return ActionFunc(func(ev *Event, emit func(*Event)) {
+		buf = append(buf, ev)
+		if len(buf) >= count {
+			out := combine(buf)
+			buf = nil
+			if out != nil {
+				emit(out)
+			}
+		}
+	})
+}
+
+// Counter counts events by type; useful as a monitoring terminal.
+type Counter struct {
+	ByType map[string]int64
+	Total  int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{ByType: make(map[string]int64)} }
+
+// Action returns a terminal action recording into the counter.
+func (c *Counter) Action() Action {
+	return Terminal(func(ev *Event) {
+		c.ByType[ev.Type]++
+		c.Total++
+	})
+}

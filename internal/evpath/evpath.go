@@ -1,0 +1,199 @@
+// Package evpath is a small event-path overlay library in the spirit of
+// the EVPath system the paper builds on: typed events flow through graphs
+// of "stones" (processing points) that filter, transform, split, and
+// deliver them, with bridge stones carrying events between nodes of the
+// simulated machine.
+//
+// The container runtime uses evpath for two things, exactly as the paper
+// does: the control message rounds of the increase/decrease/offline
+// protocols, and the monitoring overlays that feed the managers.
+package evpath
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Event is one unit of data flowing through an overlay.
+type Event struct {
+	// Type names the event's schema ("latency_sample", "ctl_increase",
+	// atomic data, ...). Filters and terminals may dispatch on it.
+	Type string
+	// Src is the stone that originally submitted the event.
+	Src StoneID
+	// Submitted is the virtual time of original submission.
+	Submitted sim.Time
+	// Size is the encoded size in bytes, used to cost bridge transfers.
+	// Zero-size events are charged a minimum descriptor size.
+	Size int64
+	// Data is the payload.
+	Data any
+	// Attrs carries small key/value metadata (provenance, hop counts).
+	Attrs map[string]string
+}
+
+// clone returns a shallow copy so split targets can annotate independently.
+func (ev *Event) clone() *Event {
+	c := *ev
+	if ev.Attrs != nil {
+		c.Attrs = make(map[string]string, len(ev.Attrs))
+		for k, v := range ev.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	return &c
+}
+
+// StoneID identifies a stone within its Manager.
+type StoneID int
+
+// Manager is the per-process event context (EVPath's CManager): it owns
+// stones and executes their actions. A Manager is pinned to a machine node
+// so bridge traffic is charged to the right NICs; a nil machine gives a
+// cost-free in-process overlay (useful in unit tests).
+type Manager struct {
+	eng     *sim.Engine
+	machine *cluster.Machine
+	node    int
+	nextID  StoneID
+	stones  map[StoneID]*Stone
+	// HandlerCost is charged (as virtual time) per event handled by a
+	// terminal or transform stone, modeling handler execution.
+	HandlerCost sim.Time
+	delivered   int64
+}
+
+// NewManager returns a Manager on the given machine node. machine may be
+// nil for cost-free local overlays.
+func NewManager(eng *sim.Engine, machine *cluster.Machine, node int) *Manager {
+	return &Manager{
+		eng:     eng,
+		machine: machine,
+		node:    node,
+		stones:  make(map[StoneID]*Stone),
+	}
+}
+
+// Engine returns the simulation engine.
+func (m *Manager) Engine() *sim.Engine { return m.eng }
+
+// Node returns the machine node this manager runs on.
+func (m *Manager) Node() int { return m.node }
+
+// Delivered returns the count of events that reached terminal stones.
+func (m *Manager) Delivered() int64 { return m.delivered }
+
+// Action processes one event and may emit zero or more events downstream.
+type Action interface {
+	Handle(ev *Event, emit func(*Event))
+}
+
+// ActionFunc adapts a function to the Action interface.
+type ActionFunc func(ev *Event, emit func(*Event))
+
+// Handle implements Action.
+func (f ActionFunc) Handle(ev *Event, emit func(*Event)) { f(ev, emit) }
+
+// Stone is one processing point in an overlay.
+type Stone struct {
+	id      StoneID
+	mgr     *Manager
+	action  Action
+	targets []*Stone
+	// bridge, when non-nil, forwards events to a stone on another node.
+	bridge *bridge
+}
+
+// ID returns the stone's identifier.
+func (s *Stone) ID() StoneID { return s.id }
+
+// Manager returns the owning manager.
+func (s *Stone) Manager() *Manager { return s.mgr }
+
+// NewStone creates a stone with the given action (nil passes events
+// through unchanged).
+func (m *Manager) NewStone(action Action) *Stone {
+	m.nextID++
+	s := &Stone{id: m.nextID, mgr: m, action: action}
+	m.stones[s.id] = s
+	return s
+}
+
+// Link adds target as a downstream stone. Events emitted by s's action are
+// delivered to every linked target, in link order.
+func (s *Stone) Link(target *Stone) *Stone {
+	s.targets = append(s.targets, target)
+	return s
+}
+
+// Unlink removes target from s's downstream set.
+func (s *Stone) Unlink(target *Stone) {
+	for i, t := range s.targets {
+		if t == target {
+			s.targets = append(s.targets[:i], s.targets[i+1:]...)
+			return
+		}
+	}
+}
+
+// Targets returns the current downstream stones.
+func (s *Stone) Targets() []*Stone { return s.targets }
+
+// Submit injects an event at stone s from process p. Local stone chains
+// execute inline (charging HandlerCost per handling stone); bridge stones
+// hand the event to an asynchronous courier that performs the network
+// transfer. p may be nil only for cost-free managers (no machine).
+func (s *Stone) Submit(p *sim.Proc, ev *Event) {
+	if ev.Submitted == 0 {
+		ev.Submitted = s.mgr.eng.Now()
+	}
+	if ev.Src == 0 {
+		ev.Src = s.id
+	}
+	s.handle(p, ev)
+}
+
+func (s *Stone) handle(p *sim.Proc, ev *Event) {
+	if s.bridge != nil {
+		s.bridge.forward(ev)
+		return
+	}
+	emitted := ev
+	if s.action != nil {
+		if s.mgr.HandlerCost > 0 && p != nil {
+			p.Sleep(s.mgr.HandlerCost)
+		}
+		var outs []*Event
+		s.action.Handle(ev, func(out *Event) { outs = append(outs, out) })
+		if len(s.targets) == 0 {
+			s.mgr.delivered += int64(len(outs))
+			return
+		}
+		for _, out := range outs {
+			s.fanOut(p, out)
+		}
+		return
+	}
+	if len(s.targets) == 0 {
+		s.mgr.delivered++
+		return
+	}
+	s.fanOut(p, emitted)
+}
+
+func (s *Stone) fanOut(p *sim.Proc, ev *Event) {
+	if len(s.targets) == 1 {
+		s.targets[0].handle(p, ev)
+		return
+	}
+	for _, t := range s.targets {
+		t.handle(p, ev.clone())
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Stone) String() string {
+	return fmt.Sprintf("stone(%d@node%d)", s.id, s.mgr.node)
+}

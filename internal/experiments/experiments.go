@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV). Each experiment is a pure function of a seed that
+// returns printable tables plus notes recording what shape the paper
+// reports and what this reproduction measures; cmd/experiments prints
+// them and bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Section is one named table of an experiment's output.
+type Section struct {
+	Name  string
+	Table *metrics.Table
+}
+
+// Output is a regenerated table or figure.
+type Output struct {
+	// ID matches the paper artifact ("table1", "fig7", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Sections hold the data series/tables.
+	Sections []Section
+	// Notes record the expected (paper) shape versus what was measured.
+	Notes []string
+}
+
+// String renders the output as text.
+func (o *Output) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n", o.ID, o.Title)
+	for _, sec := range o.Sections {
+		s += "\n-- " + sec.Name + " --\n" + sec.Table.String()
+	}
+	if len(o.Notes) > 0 {
+		s += "\nnotes:\n"
+		for _, n := range o.Notes {
+			s += "  - " + n + "\n"
+		}
+	}
+	return s
+}
+
+// Experiment names a generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed int64) (*Output, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "SmartPointer analysis action characteristics", Table1},
+		{"table2", "Experiment data sizes (weak scaling)", Table2},
+		{"fig3", "Increase-container protocol rounds", Fig3},
+		{"fig4", "Time to increase container size", Fig4},
+		{"fig5", "Time to decrease container size", Fig5},
+		{"fig6", "Resilience (D2T transaction) protocol overhead", Fig6},
+		{"fig7", "Events emitted: 256 simulation / 13 staging nodes", Fig7},
+		{"fig8", "Events emitted: 512 simulation / 24 staging nodes", Fig8},
+		{"fig9", "Events emitted: 1024 simulation / 24 staging nodes", Fig9},
+		{"fig10", "End-to-end latency (1024/24 configuration)", Fig10},
+	}
+}
+
+// ByID returns the named experiment (paper artifacts and extras).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range AllWithExtras() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func secs(t sim.Time) float64 { return t.Seconds() }

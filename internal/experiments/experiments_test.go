@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.ID != e.ID {
+				t.Fatalf("output id %q", out.ID)
+			}
+			if len(out.Sections) == 0 {
+				t.Fatal("no sections")
+			}
+			for _, sec := range out.Sections {
+				if len(sec.Table.Rows) == 0 {
+					t.Fatalf("section %q empty", sec.Name)
+				}
+			}
+			if s := out.String(); !strings.Contains(s, e.ID) {
+				t.Fatal("String missing id")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig7"); !ok {
+		t.Fatal("fig7 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestTable1RowsMatchPaper(t *testing.T) {
+	out, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out.Sections[0].Table
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	if tab.Rows[1][0] != "Bonds" || tab.Rows[1][1] != "O(n^2)" || tab.Rows[1][3] != "Yes" {
+		t.Fatalf("bonds row %v", tab.Rows[1])
+	}
+}
+
+func TestTable2RowsMatchPaper(t *testing.T) {
+	out, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out.Sections[0].Table
+	if tab.Rows[0][1] != "8819989" || tab.Rows[2][1] != "35279958" {
+		t.Fatalf("atom columns %v", tab.Rows)
+	}
+}
+
+func TestFig4IntraDominatesAndGrows(t *testing.T) {
+	out, err := Fig4(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Sections[0].Table.Rows
+	var first, last float64
+	for i, r := range rows {
+		var intra, mgr float64
+		if _, err := sscan(r[1], &intra); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(r[2], &mgr); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = intra
+		}
+		if i == len(rows)-1 {
+			last = intra
+			// The Fig. 4 claims: intra-container dominates manager
+			// messages at the largest sweep point.
+			if intra <= mgr {
+				t.Fatalf("intra %.3fms should dominate mgr %.3fms", intra, mgr)
+			}
+		}
+	}
+	if last <= first {
+		t.Fatalf("intra cost should grow with increase size: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestFig5PauseAndDrainDominate(t *testing.T) {
+	out, err := Fig5(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Sections[0].Table.Rows
+	for _, r := range rows {
+		var total, pause, drain float64
+		sscan(r[1], &total)
+		sscan(r[2], &pause)
+		sscan(r[3], &drain)
+		if total <= 0 {
+			t.Fatalf("row %v: no cost", r)
+		}
+		if (pause+drain)/total < 0.5 {
+			t.Fatalf("row %v: pause+drain should dominate", r)
+		}
+	}
+}
+
+func TestFig6Scales(t *testing.T) {
+	out, err := Fig6(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Sections[0].Table.Rows
+	var first, last float64
+	sscan(rows[0][1], &first)
+	sscan(rows[len(rows)-1][1], &last)
+	if last <= first {
+		t.Fatalf("duration should grow: %v -> %v", first, last)
+	}
+	if last > 8*first {
+		t.Fatalf("16x participants cost %.1fx: poor scalability", last/first)
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestExtrasRun(t *testing.T) {
+	for _, e := range Extras() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Sections) == 0 || len(out.Sections[0].Table.Rows) == 0 {
+				t.Fatal("empty output")
+			}
+		})
+	}
+	if len(AllWithExtras()) != len(All())+len(Extras()) {
+		t.Fatal("AllWithExtras composition")
+	}
+	if _, ok := ByID("extra-branch"); !ok {
+		t.Fatal("extras not addressable by id")
+	}
+}
+
+func TestExtraMonitoringReducesTraffic(t *testing.T) {
+	out, err := ExtraMonitoring(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Sections[0].Table.Rows
+	var full, limited float64
+	sscan(rows[0][2], &full)
+	sscan(rows[1][2], &limited)
+	if limited >= full {
+		t.Fatalf("rate limiting did not reduce traffic: %v vs %v", limited, full)
+	}
+	// Management outcome identical (same action count, same final size).
+	if rows[0][3] != rows[1][3] || rows[0][4] != rows[1][4] {
+		t.Fatalf("management outcome changed: %v vs %v", rows[0], rows[1])
+	}
+}
+
+func TestExtraRatiosProtectsSimulation(t *testing.T) {
+	out, err := ExtraRatios(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Sections[0].Table.Rows
+	// The smallest staging area offlines analyses; the largest does not.
+	var smallOff, bigOff float64
+	sscan(rows[0][3], &smallOff)
+	sscan(rows[len(rows)-1][3], &bigOff)
+	if smallOff == 0 {
+		t.Fatal("tiny staging area should force offlining")
+	}
+	if bigOff != 0 {
+		t.Fatal("ample staging area should keep everything online")
+	}
+}

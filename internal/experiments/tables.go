@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lammps"
+	"repro/internal/metrics"
+	"repro/internal/smartpointer"
+)
+
+// Table1 reproduces the paper's Table I from the components' declared
+// characteristics.
+func Table1(seed int64) (*Output, error) {
+	tab := &metrics.Table{Header: []string{"", "Complexity", "Compute Model", "Dynamic Branching"}}
+	for _, row := range smartpointer.Table1() {
+		var models []string
+		for _, m := range row.Models {
+			models = append(models, m.String())
+		}
+		branching := "No"
+		if row.DynamicBranching {
+			branching = "Yes"
+		}
+		tab.AddRow(row.Kind.String(), row.Complexity, strings.Join(models, ", "), branching)
+	}
+	return &Output{
+		ID:       "table1",
+		Title:    "Characteristics for SmartPointer Analysis Actions",
+		Sections: []Section{{Name: "Table I", Table: tab}},
+		Notes: []string{
+			"paper: Helper O(n)/Tree, Bonds O(n^2)/Serial+RR+Parallel with branching, CSym O(n)/Serial+RR, CNA O(n^3)/Serial+RR",
+			"measured: identical — the rows are the components' declared metadata, asserted in unit tests",
+		},
+	}, nil
+}
+
+// Table2 reproduces the weak-scaling workload sizes.
+func Table2(seed int64) (*Output, error) {
+	tab := &metrics.Table{Header: []string{"Node Count", "Atoms", "Data size (MB)", "paper (MB)"}}
+	paper := map[int]float64{256: 67, 512: 134.6, 1024: 269.2}
+	for _, s := range lammps.Table2() {
+		tab.AddRow(s.Nodes, s.AtomCount, fmt.Sprintf("%.1f", s.MB()), fmt.Sprintf("%.1f", paper[s.Nodes]))
+	}
+	return &Output{
+		ID:       "table2",
+		Title:    "Experiment Data Sizes",
+		Sections: []Section{{Name: "Table II", Table: tab}},
+		Notes: []string{
+			"paper: 256→8,819,989 atoms→67 MB; 512→17,639,979→134.6 MB; 1024→35,279,958→269.2 MB",
+			"measured: exact atom counts; 8 bytes/atom reproduces the MB column (the 256-node row is rounded to integer MB in the paper)",
+		},
+	}, nil
+}

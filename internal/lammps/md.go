@@ -1,0 +1,189 @@
+// Package lammps is the molecular-dynamics workload surrogate standing in
+// for the LAMMPS code the paper drives its pipelines with. It has two
+// halves:
+//
+//   - a genuine (small-N) Lennard-Jones dynamics engine — FCC lattice
+//     setup, velocity-Verlet integration with a cell-list force kernel,
+//     notch-based crack seeding — used by the runnable examples and by
+//     tests that keep the SmartPointer analytics honest; and
+//
+//   - a weak-scaling output model calibrated to the paper's Table II
+//     (256 nodes → 8,819,989 atoms → 67 MB per output step, 512 →
+//     17,639,979 → 134.6 MB, 1024 → 35,279,958 → 269.2 MB), which the
+//     discrete-event experiments use to generate paper-scale output
+//     without materializing terabytes.
+package lammps
+
+import (
+	"math"
+
+	"repro/internal/atoms"
+)
+
+// LJ holds Lennard-Jones parameters in reduced units.
+type LJ struct {
+	// Epsilon and Sigma are the well depth and length scale.
+	Epsilon, Sigma float64
+	// Cutoff is the interaction cutoff radius.
+	Cutoff float64
+}
+
+// DefaultLJ returns the standard reduced-unit parameterization with the
+// conventional 2.5σ cutoff.
+func DefaultLJ() LJ { return LJ{Epsilon: 1, Sigma: 1, Cutoff: 2.5} }
+
+// System is an integrable MD system.
+type System struct {
+	LJ    LJ
+	Snap  *atoms.Snapshot
+	Dt    float64
+	force []atoms.Vec3
+}
+
+// NewSystem wraps a snapshot for integration with timestep dt.
+func NewSystem(s *atoms.Snapshot, lj LJ, dt float64) *System {
+	sys := &System{LJ: lj, Snap: s, Dt: dt, force: make([]atoms.Vec3, s.N())}
+	sys.computeForces()
+	return sys
+}
+
+// pairForce returns the magnitude factor f/r such that force = delta * f/r,
+// and the pair potential energy, for squared distance r2.
+func (sys *System) pairForce(r2 float64) (fOverR, pe float64) {
+	s2 := sys.LJ.Sigma * sys.LJ.Sigma / r2
+	s6 := s2 * s2 * s2
+	s12 := s6 * s6
+	pe = 4 * sys.LJ.Epsilon * (s12 - s6)
+	fOverR = 24 * sys.LJ.Epsilon * (2*s12 - s6) / r2
+	return
+}
+
+// computeForces fills sys.force using a cell list; it returns the total
+// potential energy.
+func (sys *System) computeForces() float64 {
+	s := sys.Snap
+	for i := range sys.force {
+		sys.force[i] = atoms.Vec3{}
+	}
+	cl := atoms.NewCellList(s, sys.LJ.Cutoff)
+	pe := 0.0
+	for i := 0; i < s.N(); i++ {
+		cl.ForNeighbors(i, func(j int, d2 float64) {
+			if j <= i || d2 == 0 {
+				return
+			}
+			f, e := sys.pairForce(d2)
+			pe += e
+			d := s.Box.Delta(s.Pos[i], s.Pos[j])
+			// Force on i is -dU/dri: repulsive pushes i away from j.
+			fi := d.Scale(-f)
+			sys.force[i] = sys.force[i].Add(fi)
+			sys.force[j] = sys.force[j].Sub(fi)
+		})
+	}
+	return pe
+}
+
+// Step advances the system one velocity-Verlet timestep and returns the
+// potential energy after the move.
+func (sys *System) Step() float64 {
+	s := sys.Snap
+	dt := sys.Dt
+	half := dt / 2
+	for i := range s.Pos {
+		s.Vel[i] = s.Vel[i].Add(sys.force[i].Scale(half))
+		s.Pos[i] = s.Box.Wrap(s.Pos[i].Add(s.Vel[i].Scale(dt)))
+	}
+	pe := sys.computeForces()
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(sys.force[i].Scale(half))
+	}
+	s.Step++
+	return pe
+}
+
+// Run advances n steps.
+func (sys *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		sys.Step()
+	}
+}
+
+// KineticEnergy returns the total kinetic energy (unit mass).
+func (sys *System) KineticEnergy() float64 {
+	ke := 0.0
+	for _, v := range sys.Snap.Vel {
+		ke += 0.5 * v.Dot(v)
+	}
+	return ke
+}
+
+// PotentialEnergy recomputes and returns the total potential energy.
+func (sys *System) PotentialEnergy() float64 { return sys.computeForces() }
+
+// TotalEnergy returns kinetic + potential energy.
+func (sys *System) TotalEnergy() float64 {
+	return sys.KineticEnergy() + sys.PotentialEnergy()
+}
+
+// Momentum returns the total momentum vector.
+func (sys *System) Momentum() atoms.Vec3 {
+	var m atoms.Vec3
+	for _, v := range sys.Snap.Vel {
+		m = m.Add(v)
+	}
+	return m
+}
+
+// Thermalize assigns random velocities at the given reduced temperature
+// and removes center-of-mass drift. rand01 supplies uniform [0,1) values.
+func (sys *System) Thermalize(temp float64, rand01 func() float64) {
+	s := sys.Snap
+	for i := range s.Vel {
+		for k := 0; k < 3; k++ {
+			// Box-Muller.
+			u1, u2 := rand01(), rand01()
+			if u1 < 1e-12 {
+				u1 = 1e-12
+			}
+			s.Vel[i][k] = math.Sqrt(temp) * math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		}
+	}
+	com := sys.Momentum().Scale(1 / float64(s.N()))
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Sub(com)
+	}
+}
+
+// Notch removes the atoms inside a slab 0 ≤ x < width, fullness fraction
+// of the box in y, seeding a crack tip: under strain the material fails
+// from the notch, which is how the crack-formation events the pipeline
+// reacts to are produced. It returns the number of atoms removed.
+func Notch(s *atoms.Snapshot, width, yFraction float64) int {
+	yLim := s.Box.L[1] * yFraction
+	keepID := s.ID[:0]
+	keepPos := s.Pos[:0]
+	keepVel := s.Vel[:0]
+	removed := 0
+	for i := range s.Pos {
+		if s.Pos[i][0] < width && s.Pos[i][1] < yLim {
+			removed++
+			continue
+		}
+		keepID = append(keepID, s.ID[i])
+		keepPos = append(keepPos, s.Pos[i])
+		keepVel = append(keepVel, s.Vel[i])
+	}
+	s.ID, s.Pos, s.Vel = keepID, keepPos, keepVel
+	return removed
+}
+
+// ApplyStrain stretches the box (and affinely remaps positions) by factor
+// (1+eps) along axis, the loading that drives crack growth.
+func ApplyStrain(s *atoms.Snapshot, axis int, eps float64) {
+	scale := 1 + eps
+	s.Box.L[axis] *= scale
+	for i := range s.Pos {
+		s.Pos[i][axis] *= scale
+	}
+}

@@ -1,0 +1,140 @@
+package lammps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/atoms"
+)
+
+func smallCrystal() *System {
+	// FCC at the LJ zero-pressure lattice constant ~1.5496 sigma. The box
+	// must exceed twice the 2.5-sigma cutoff for minimum-image symmetry,
+	// hence 4x4x4 cells (L = 6.2 sigma).
+	s := atoms.FCCLattice(4, 4, 4, 1.5496)
+	return NewSystem(s, DefaultLJ(), 0.002)
+}
+
+func TestForcesSumToZero(t *testing.T) {
+	sys := smallCrystal()
+	sys.Thermalize(0.1, newRand01(1))
+	sys.computeForces()
+	var total atoms.Vec3
+	for _, f := range sys.force {
+		total = total.Add(f)
+	}
+	if total.Norm() > 1e-9 {
+		t.Fatalf("net force %v, want ~0 (Newton's third law)", total)
+	}
+}
+
+func TestLatticeIsNearEquilibrium(t *testing.T) {
+	sys := smallCrystal()
+	// In a perfect crystal at the equilibrium spacing every atom's net
+	// force vanishes by symmetry.
+	sys.computeForces()
+	for i, f := range sys.force {
+		if f.Norm() > 1e-8 {
+			t.Fatalf("atom %d force %v in perfect lattice", i, f)
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	sys := smallCrystal()
+	sys.Thermalize(0.05, newRand01(2))
+	e0 := sys.TotalEnergy()
+	sys.Run(200)
+	e1 := sys.TotalEnergy()
+	drift := math.Abs(e1-e0) / math.Abs(e0)
+	if drift > 1e-3 {
+		t.Fatalf("energy drift %.2e over 200 steps (E %.6f -> %.6f)", drift, e0, e1)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	sys := smallCrystal()
+	sys.Thermalize(0.1, newRand01(3))
+	if m := sys.Momentum(); m.Norm() > 1e-9 {
+		t.Fatalf("thermalize left momentum %v", m)
+	}
+	sys.Run(100)
+	if m := sys.Momentum(); m.Norm() > 1e-9 {
+		t.Fatalf("momentum drifted to %v", m)
+	}
+}
+
+func TestThermalizeSetsTemperature(t *testing.T) {
+	sys := smallCrystal()
+	sys.Thermalize(0.2, newRand01(4))
+	// KE = (3N/2) T approximately (COM removal costs 3 DOF).
+	n := sys.Snap.N()
+	temp := 2 * sys.KineticEnergy() / (3 * float64(n))
+	if temp < 0.1 || temp > 0.3 {
+		t.Fatalf("temperature %.3f, want ~0.2", temp)
+	}
+}
+
+func TestStepAdvancesCounter(t *testing.T) {
+	sys := smallCrystal()
+	if sys.Snap.Step != 0 {
+		t.Fatal("initial step nonzero")
+	}
+	sys.Run(5)
+	if sys.Snap.Step != 5 {
+		t.Fatalf("step %d, want 5", sys.Snap.Step)
+	}
+}
+
+func TestNotchRemovesSlabAtoms(t *testing.T) {
+	s := atoms.FCCLattice(4, 4, 4, 1.5)
+	n0 := s.N()
+	removed := Notch(s, 1.5, 0.5)
+	if removed == 0 {
+		t.Fatal("notch removed nothing")
+	}
+	if s.N() != n0-removed {
+		t.Fatalf("n %d, want %d", s.N(), n0-removed)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Pos {
+		if s.Pos[i][0] < 1.5 && s.Pos[i][1] < s.Box.L[1]*0.5 {
+			t.Fatalf("atom %d survived inside the notch at %v", i, s.Pos[i])
+		}
+	}
+}
+
+func TestApplyStrainScalesBoxAndPositions(t *testing.T) {
+	s := atoms.FCCLattice(2, 2, 2, 1.5)
+	l0 := s.Box.L[1]
+	x0 := s.Pos[5][1]
+	ApplyStrain(s, 1, 0.1)
+	if math.Abs(s.Box.L[1]-l0*1.1) > 1e-12 {
+		t.Fatalf("box %g, want %g", s.Box.L[1], l0*1.1)
+	}
+	if math.Abs(s.Pos[5][1]-x0*1.1) > 1e-12 {
+		t.Fatal("positions not remapped affinely")
+	}
+}
+
+func TestStrainRaisesEnergy(t *testing.T) {
+	s := atoms.FCCLattice(4, 4, 4, 1.5496)
+	sys := NewSystem(s, DefaultLJ(), 0.002)
+	e0 := sys.PotentialEnergy()
+	ApplyStrain(s, 0, 0.05)
+	e1 := sys.PotentialEnergy()
+	if e1 <= e0 {
+		t.Fatalf("strain should raise PE: %.4f -> %.4f", e0, e1)
+	}
+}
+
+// newRand01 returns a deterministic uniform [0,1) source.
+func newRand01(seed uint64) func() float64 {
+	state := seed*2862933555777941757 + 3037000493
+	return func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+}

@@ -1,0 +1,105 @@
+package lammps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/atoms"
+)
+
+// Temperature returns the instantaneous reduced temperature
+// T = 2·KE / (3N) for unit-mass particles.
+func (sys *System) Temperature() float64 {
+	n := sys.Snap.N()
+	if n == 0 {
+		return 0
+	}
+	return 2 * sys.KineticEnergy() / (3 * float64(n))
+}
+
+// Rescale applies a velocity-rescaling thermostat step: velocities are
+// scaled so the instantaneous temperature moves a fraction tau of the way
+// toward target (tau=1 snaps exactly). It is the standard cheap NVT
+// control for driving strained-crystal runs like the crack scenario.
+func (sys *System) Rescale(target, tau float64) {
+	cur := sys.Temperature()
+	if cur <= 0 {
+		return
+	}
+	if tau <= 0 || tau > 1 {
+		tau = 1
+	}
+	want := cur + tau*(target-cur)
+	if want < 0 {
+		want = 0
+	}
+	f := math.Sqrt(want / cur)
+	for i := range sys.Snap.Vel {
+		sys.Snap.Vel[i] = sys.Snap.Vel[i].Scale(f)
+	}
+}
+
+// RDF computes the radial distribution function g(r) of a snapshot up to
+// rMax with the given number of bins, normalized against the ideal-gas
+// expectation — the standard structural observable (solid snapshots show
+// the FCC shell peaks; melts show liquid structure).
+func RDF(s *atoms.Snapshot, rMax float64, bins int) (r []float64, g []float64, err error) {
+	n := s.N()
+	if n < 2 {
+		return nil, nil, fmt.Errorf("lammps: RDF needs at least 2 atoms, have %d", n)
+	}
+	if bins < 1 || rMax <= 0 {
+		return nil, nil, fmt.Errorf("lammps: bad RDF parameters rMax=%g bins=%d", rMax, bins)
+	}
+	half := math.Min(s.Box.L[0], math.Min(s.Box.L[1], s.Box.L[2])) / 2
+	if rMax > half {
+		return nil, nil, fmt.Errorf("lammps: rMax %g exceeds half the box (%g)", rMax, half)
+	}
+	counts := make([]float64, bins)
+	dr := rMax / float64(bins)
+	cl := atoms.NewCellList(s, rMax)
+	for i := 0; i < n; i++ {
+		cl.ForNeighbors(i, func(j int, d2 float64) {
+			if j <= i {
+				return
+			}
+			d := math.Sqrt(d2)
+			bin := int(d / dr)
+			if bin < bins {
+				counts[bin] += 2 // each pair contributes to both atoms
+			}
+		})
+	}
+	rho := float64(n) / s.Box.Volume()
+	r = make([]float64, bins)
+	g = make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		rIn := float64(b) * dr
+		rOut := rIn + dr
+		shell := 4.0 / 3.0 * math.Pi * (rOut*rOut*rOut - rIn*rIn*rIn)
+		ideal := rho * shell * float64(n)
+		r[b] = rIn + dr/2
+		if ideal > 0 {
+			g[b] = counts[b] / ideal
+		}
+	}
+	return r, g, nil
+}
+
+// MSD accumulates mean-squared displacement against a reference snapshot,
+// matching atoms by index (the snapshots must share an atom ordering).
+// Positions are compared through the minimum image, so it measures local
+// displacement, not winding.
+func MSD(ref, cur *atoms.Snapshot) (float64, error) {
+	if ref.N() != cur.N() {
+		return 0, fmt.Errorf("lammps: MSD atom count mismatch %d vs %d", ref.N(), cur.N())
+	}
+	if ref.N() == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range ref.Pos {
+		sum += cur.Box.Dist2(ref.Pos[i], cur.Pos[i])
+	}
+	return sum / float64(ref.N()), nil
+}

@@ -1,0 +1,137 @@
+package lammps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/atoms"
+)
+
+func TestTemperatureAndRescale(t *testing.T) {
+	sys := smallCrystal()
+	sys.Thermalize(0.2, newRand01(5))
+	if temp := sys.Temperature(); temp < 0.1 || temp > 0.3 {
+		t.Fatalf("temperature %g", temp)
+	}
+	sys.Rescale(0.05, 1)
+	if temp := sys.Temperature(); math.Abs(temp-0.05) > 1e-9 {
+		t.Fatalf("rescaled temperature %g, want 0.05", temp)
+	}
+	// Partial coupling moves halfway.
+	sys.Rescale(0.15, 0.5)
+	if temp := sys.Temperature(); math.Abs(temp-0.10) > 1e-9 {
+		t.Fatalf("tau=0.5 temperature %g, want 0.10", temp)
+	}
+	// Rescaling a frozen system is a no-op, not a crash.
+	frozen := smallCrystal()
+	frozen.Rescale(1.0, 1)
+	if frozen.Temperature() != 0 {
+		t.Fatal("frozen system gained energy from nothing")
+	}
+}
+
+func TestRescaleKeepsMomentumZero(t *testing.T) {
+	sys := smallCrystal()
+	sys.Thermalize(0.2, newRand01(6))
+	sys.Rescale(0.1, 1)
+	if m := sys.Momentum(); m.Norm() > 1e-9 {
+		t.Fatalf("rescale broke momentum: %v", m)
+	}
+}
+
+func TestRDFCrystalShells(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(5, 5, 5, a)
+	r, g, err := RDF(s, 2.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first FCC shell at a/sqrt(2) must be a sharp peak; the gap
+	// before it must be empty.
+	first := a / math.Sqrt2
+	var peakVal, gapVal float64
+	for i := range r {
+		if math.Abs(r[i]-first) < 0.02 && g[i] > peakVal {
+			peakVal = g[i]
+		}
+		if r[i] < first*0.8 && g[i] > gapVal {
+			gapVal = g[i]
+		}
+	}
+	if peakVal < 10 {
+		t.Fatalf("first shell peak g=%g, expected sharp crystal peak", peakVal)
+	}
+	if gapVal != 0 {
+		t.Fatalf("forbidden region populated: g=%g", gapVal)
+	}
+	// Second shell at a exists too.
+	var second float64
+	for i := range r {
+		if math.Abs(r[i]-a) < 0.02 && g[i] > second {
+			second = g[i]
+		}
+	}
+	if second == 0 {
+		t.Fatal("second shell missing")
+	}
+}
+
+func TestRDFValidation(t *testing.T) {
+	s := atoms.FCCLattice(3, 3, 3, 1.5)
+	if _, _, err := RDF(s, 100, 10); err == nil {
+		t.Fatal("rMax beyond half box should fail")
+	}
+	if _, _, err := RDF(s, 1, 0); err == nil {
+		t.Fatal("zero bins should fail")
+	}
+	tiny := &atoms.Snapshot{Box: atoms.Box{L: atoms.Vec3{10, 10, 10}},
+		ID: []int64{0}, Pos: make([]atoms.Vec3, 1), Vel: make([]atoms.Vec3, 1)}
+	if _, _, err := RDF(tiny, 1, 10); err == nil {
+		t.Fatal("single atom should fail")
+	}
+}
+
+func TestMSDTracksMotion(t *testing.T) {
+	a := 1.5496
+	ref := atoms.FCCLattice(3, 3, 3, a)
+	cur := ref.Clone()
+	if msd, err := MSD(ref, cur); err != nil || msd != 0 {
+		t.Fatalf("identical snapshots msd=%g err=%v", msd, err)
+	}
+	// Shift every atom by 0.1 in x: MSD = 0.01.
+	for i := range cur.Pos {
+		cur.Pos[i][0] += 0.1
+	}
+	msd, err := MSD(ref, cur)
+	if err != nil || math.Abs(msd-0.01) > 1e-12 {
+		t.Fatalf("msd %g, want 0.01", msd)
+	}
+	// Mismatched systems rejected.
+	short := atoms.FCCLattice(2, 2, 2, a)
+	if _, err := MSD(ref, short); err == nil {
+		t.Fatal("count mismatch should fail")
+	}
+}
+
+func TestCrystalStaysSolidAtLowTemperature(t *testing.T) {
+	// Physics sanity: a cold LJ crystal under NVT control keeps its
+	// atoms near their lattice sites over a short run.
+	sys := smallCrystal()
+	sys.Thermalize(0.05, newRand01(9))
+	ref := sys.Snap.Clone()
+	for i := 0; i < 10; i++ {
+		sys.Run(20)
+		sys.Rescale(0.05, 0.5)
+	}
+	msd, err := MSD(ref, sys.Snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well below the Lindemann melting criterion (~0.01 a^2 scale).
+	if msd > 0.05 {
+		t.Fatalf("crystal melted at T=0.05: msd=%g", msd)
+	}
+	if sys.Temperature() > 0.1 {
+		t.Fatalf("thermostat lost control: T=%g", sys.Temperature())
+	}
+}

@@ -1,0 +1,155 @@
+package lammps
+
+import (
+	"fmt"
+
+	"repro/internal/adios"
+	"repro/internal/sim"
+)
+
+// Scale relates a simulation's node count to its atom count and per-step
+// output volume. The paper's Table II rows are reproduced exactly; other
+// node counts use the same atoms-per-node density with the observed
+// 8 bytes/atom output encoding.
+type Scale struct {
+	Nodes     int
+	AtomCount int64
+	StepBytes int64
+}
+
+// bytesPerAtom is the per-atom output size implied by Table II
+// (e.g. 17,639,979 atoms → 134.6 MiB: 8 bytes/atom).
+const bytesPerAtom = 8
+
+// checkpointBytesPerAtom sizes checkpoint steps: full state (positions +
+// velocities as doubles) rather than the reduced analysis output.
+const checkpointBytesPerAtom = 48
+
+// table2 holds the paper's exact weak-scaling rows.
+var table2 = []Scale{
+	{Nodes: 256, AtomCount: 8819989, StepBytes: 8819989 * bytesPerAtom},
+	{Nodes: 512, AtomCount: 17639979, StepBytes: 17639979 * bytesPerAtom},
+	{Nodes: 1024, AtomCount: 35279958, StepBytes: 35279958 * bytesPerAtom},
+}
+
+// Table2 returns the paper's weak-scaling rows (a copy).
+func Table2() []Scale {
+	return append([]Scale(nil), table2...)
+}
+
+// ScaleForNodes returns the workload scale for a node count, using the
+// exact Table II row when one exists and the same per-node atom density
+// otherwise.
+func ScaleForNodes(nodes int) Scale {
+	for _, s := range table2 {
+		if s.Nodes == nodes {
+			return s
+		}
+	}
+	// Density from the 256-node row: 34453.08 atoms/node.
+	atoms := int64(float64(nodes) * float64(table2[0].AtomCount) / float64(table2[0].Nodes))
+	return Scale{Nodes: nodes, AtomCount: atoms, StepBytes: atoms * bytesPerAtom}
+}
+
+// CheckpointBytes returns the checkpoint output volume at this scale.
+func (s Scale) CheckpointBytes() int64 { return s.AtomCount * checkpointBytesPerAtom }
+
+// MB returns StepBytes in MiB, the unit Table II reports.
+func (s Scale) MB() float64 { return float64(s.StepBytes) / (1 << 20) }
+
+// Workload drives the simulated LAMMPS run: every OutputPeriod of virtual
+// time, one output step's worth of bond data leaves through the ADIOS
+// group. The paper's stress experiments use a 15 s output period
+// ("more frequently than normal... to show capabilities even under
+// stress").
+type Workload struct {
+	Scale Scale
+	// OutputPeriod is the virtual time between output steps.
+	OutputPeriod sim.Time
+	// Steps is the number of output steps in the run.
+	Steps int
+	// CrackStep, when ≥ 0, is the output step at which crack formation
+	// is first present in the data; subsequent steps carry the crack
+	// flag, which shifts analytics load (and fires the pipeline's
+	// dynamic branch).
+	CrackStep int64
+	// CheckpointEvery, when > 0, emits a full-state checkpoint through
+	// the checkpoint group every k output steps.
+	CheckpointEvery int
+	// OnStep, when non-nil, runs just before each output step closes,
+	// letting callers stamp extra attributes (e.g. pipeline birth
+	// times).
+	OnStep func(step int64, sw *adios.StepWriter)
+}
+
+// DefaultWorkload returns the configuration the paper's Figures 7–10 use:
+// 15-second output cadence at the given node count.
+func DefaultWorkload(nodes, steps int) Workload {
+	return Workload{
+		Scale:        ScaleForNodes(nodes),
+		OutputPeriod: 15 * sim.Second,
+		Steps:        steps,
+		CrackStep:    -1,
+	}
+}
+
+// Attrs keys carried on each output step.
+const (
+	// AttrAtoms is the atom count of the step (decimal string).
+	AttrAtoms = "lammps.atoms"
+	// AttrCrack is "true" once crack formation is present.
+	AttrCrack = "lammps.crack"
+	// AttrKind distinguishes "output" from "checkpoint" steps.
+	AttrKind = "lammps.kind"
+)
+
+// Run executes the workload as a simulated process, writing Steps output
+// steps through out (and optional checkpoints through ckpt, which may be
+// nil). It stops early if the output group's transport rejects a step
+// (downstream closed) and returns the number of steps emitted.
+func (w Workload) Run(p *sim.Proc, out *adios.Group, ckpt *adios.Group) (int, error) {
+	emitted := 0
+	for step := 0; step < w.Steps; step++ {
+		p.Sleep(w.OutputPeriod)
+		sw, err := out.Open(int64(step))
+		if err != nil {
+			return emitted, err
+		}
+		// The descriptor variable analytics cost models read.
+		if err := sw.WriteInt64s("atoms", []int64{w.Scale.AtomCount}); err != nil {
+			return emitted, err
+		}
+		sw.PadBytes(w.Scale.StepBytes)
+		sw.SetAttr(AttrAtoms, fmt.Sprintf("%d", w.Scale.AtomCount))
+		sw.SetAttr(AttrKind, "output")
+		if w.CrackStep >= 0 && int64(step) >= w.CrackStep {
+			sw.SetAttr(AttrCrack, "true")
+		}
+		if w.OnStep != nil {
+			w.OnStep(int64(step), sw)
+		}
+		ok, err := sw.Close(p)
+		if err != nil {
+			return emitted, err
+		}
+		if !ok {
+			return emitted, nil
+		}
+		emitted++
+		if ckpt != nil && w.CheckpointEvery > 0 && (step+1)%w.CheckpointEvery == 0 {
+			cw, err := ckpt.Open(int64(step))
+			if err != nil {
+				return emitted, err
+			}
+			cw.PadBytes(w.Scale.CheckpointBytes())
+			cw.SetAttr(AttrKind, "checkpoint")
+			if w.OnStep != nil {
+				w.OnStep(int64(step), cw)
+			}
+			if _, err := cw.Close(p); err != nil {
+				return emitted, err
+			}
+		}
+	}
+	return emitted, nil
+}

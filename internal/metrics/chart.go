@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ChartOptions configures ASCII series rendering.
+type ChartOptions struct {
+	// Width and Height are the plot area in characters (defaults 64x12).
+	Width, Height int
+	// YLabel annotates the value axis.
+	YLabel string
+	// Markers draws vertical annotations at the given instants.
+	Markers []Marker
+}
+
+// Chart renders a time series as an ASCII scatter plot with a labeled
+// value axis and optional event markers — enough to see the paper's
+// figure shapes (latency climbing, the post-resize transient, the
+// offline cliff) straight from a terminal.
+func Chart(s *Series, opt ChartOptions) string {
+	if s == nil || len(s.Points) == 0 {
+		return "(no data)\n"
+	}
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 12
+	}
+	tMin, tMax := s.Points[0].T, s.Points[0].T
+	vMin, vMax := s.Points[0].V, s.Points[0].V
+	for _, p := range s.Points {
+		if p.T < tMin {
+			tMin = p.T
+		}
+		if p.T > tMax {
+			tMax = p.T
+		}
+		if p.V < vMin {
+			vMin = p.V
+		}
+		if p.V > vMax {
+			vMax = p.V
+		}
+	}
+	if vMin > 0 {
+		vMin = 0 // anchor at zero so magnitudes read honestly
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(t sim.Time) int {
+		c := int(float64(w-1) * float64(t-tMin) / float64(tMax-tMin))
+		if c < 0 {
+			c = 0
+		}
+		if c >= w {
+			c = w - 1
+		}
+		return c
+	}
+	for _, m := range opt.Markers {
+		if m.T < tMin || m.T > tMax {
+			continue
+		}
+		c := col(m.T)
+		for r := 0; r < h; r++ {
+			grid[r][c] = '|'
+		}
+	}
+	for _, p := range s.Points {
+		c := col(p.T)
+		r := int(math.Round(float64(h-1) * (p.V - vMin) / (vMax - vMin)))
+		row := h - 1 - r
+		if row < 0 {
+			row = 0
+		}
+		if row >= h {
+			row = h - 1
+		}
+		grid[row][c] = '*'
+	}
+	var b strings.Builder
+	for r := 0; r < h; r++ {
+		val := vMax - (vMax-vMin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%10.1f |%s\n", val, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", w) + "\n")
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "",
+		w-10, fmt.Sprintf("t=%.0fs", tMin.Seconds()), fmt.Sprintf("t=%.0fs", tMax.Seconds()))
+	if opt.YLabel != "" {
+		b.WriteString("y: " + opt.YLabel + "\n")
+	}
+	for _, m := range opt.Markers {
+		if m.T >= tMin && m.T <= tMax {
+			fmt.Fprintf(&b, "| at %s: %s\n", m.T, m.Label)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,266 @@
+// Package postprocess closes the provenance loop the container runtime
+// opens: when a pipeline stage goes offline, upstream data lands on disk
+// stamped with the analyses still pending ("provenance.pending"). This
+// package reads such BP streams, reports what remains to be done, and —
+// when the steps carry real particle data — executes the pending
+// SmartPointer analyses offline, exactly the "insights gathered as
+// post-processing after data has been moved to disk" mode the paper
+// describes for the toolkit.
+package postprocess
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/atoms"
+	"repro/internal/bp"
+	"repro/internal/smartpointer"
+)
+
+// Attribute conventions for snapshot-carrying steps.
+const (
+	// AttrBox is "Lx,Ly,Lz" for the periodic box.
+	AttrBox = "atoms.box"
+	// AttrCutoff is the bond cutoff the analyses should use.
+	AttrCutoff = "analysis.cutoff"
+	// AttrPending lists comma-separated analyses still to run.
+	AttrPending = "provenance.pending"
+	// AttrDone lists analyses completed (online or by this package).
+	AttrDone = "provenance.done"
+)
+
+// WriteSnapshotVars adds a snapshot's particle data to a process group so
+// it can be post-processed later.
+func WriteSnapshotVars(pg *bp.ProcessGroup, s *atoms.Snapshot, cutoff float64) {
+	pg.Vars = append(pg.Vars,
+		bp.Var{Name: "pos", Type: bp.TFloat64, Dims: []int{s.N(), 3},
+			Data: s.FlattenPositions()},
+		bp.Var{Name: "ids", Type: bp.TInt64, Dims: []int{s.N()},
+			Data: append([]int64(nil), s.ID...)},
+	)
+	if pg.Attrs == nil {
+		pg.Attrs = map[string]string{}
+	}
+	pg.Attrs[AttrBox] = fmt.Sprintf("%g,%g,%g", s.Box.L[0], s.Box.L[1], s.Box.L[2])
+	pg.Attrs[AttrCutoff] = fmt.Sprintf("%g", cutoff)
+}
+
+// ReadSnapshot reconstructs a snapshot from a process group, or reports
+// ok=false when the step carries no real particle data (paper-scale
+// synthetic frames).
+func ReadSnapshot(pg *bp.ProcessGroup) (*atoms.Snapshot, bool, error) {
+	pos := pg.Var("pos")
+	ids := pg.Var("ids")
+	boxAttr := pg.Attrs[AttrBox]
+	if pos == nil || ids == nil || boxAttr == "" {
+		return nil, false, nil
+	}
+	parts := strings.Split(boxAttr, ",")
+	if len(parts) != 3 {
+		return nil, false, fmt.Errorf("postprocess: bad box attr %q", boxAttr)
+	}
+	var box atoms.Box
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, false, fmt.Errorf("postprocess: bad box attr %q: %w", boxAttr, err)
+		}
+		box.L[i] = v
+	}
+	flat, err := pos.Float64s()
+	if err != nil {
+		return nil, false, err
+	}
+	idData, ok := ids.Data.([]int64)
+	if !ok {
+		return nil, false, fmt.Errorf("postprocess: ids var is %T", ids.Data)
+	}
+	s, err := atoms.SnapshotFromFlat(pg.Timestep, box, idData, flat)
+	if err != nil {
+		return nil, false, err
+	}
+	return s, true, nil
+}
+
+// StepReport describes one step's provenance state after processing.
+type StepReport struct {
+	Index    int
+	Group    string
+	Timestep int64
+	// Pending lists analyses named by the provenance attribute.
+	Pending []string
+	// Executed lists the pending analyses this run performed (empty for
+	// synthetic frames that carry no particle data).
+	Executed []string
+	// Results summarizes each executed analysis.
+	Results map[string]string
+}
+
+// Report is the outcome over a whole stream.
+type Report struct {
+	Steps []StepReport
+	// WithData counts steps that carried real particle data.
+	WithData int
+}
+
+// PendingCounts tallies how many steps still need each analysis.
+func (r *Report) PendingCounts() map[string]int {
+	out := map[string]int{}
+	for _, st := range r.Steps {
+		for _, p := range st.Pending {
+			if !contains(st.Executed, p) {
+				out[p]++
+			}
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze reads every step of the stream, reporting pending analyses and
+// executing them where real particle data is available. When out is
+// non-nil, each step is re-written to it with analysis results attached
+// and provenance moved from pending to done.
+func Analyze(r *bp.Reader, out *bp.Writer) (*Report, error) {
+	rep := &Report{}
+	for i := 0; i < r.Steps(); i++ {
+		pg, err := r.ReadStep(i)
+		if err != nil {
+			return nil, err
+		}
+		st := StepReport{
+			Index:    i,
+			Group:    pg.Group,
+			Timestep: pg.Timestep,
+			Results:  map[string]string{},
+		}
+		if p := pg.Attrs[AttrPending]; p != "" {
+			for _, name := range strings.Split(p, ",") {
+				st.Pending = append(st.Pending, strings.TrimSpace(name))
+			}
+		}
+		snap, hasData, err := ReadSnapshot(pg)
+		if err != nil {
+			return nil, fmt.Errorf("postprocess: step %d: %w", i, err)
+		}
+		if hasData {
+			rep.WithData++
+			if err := executePending(&st, snap, pg); err != nil {
+				return nil, fmt.Errorf("postprocess: step %d: %w", i, err)
+			}
+		}
+		if out != nil {
+			updateProvenance(pg, &st)
+			if err := out.Append(pg); err != nil {
+				return nil, err
+			}
+		}
+		rep.Steps = append(rep.Steps, st)
+	}
+	return rep, nil
+}
+
+// executePending runs the pending SmartPointer analyses on real data.
+func executePending(st *StepReport, snap *atoms.Snapshot, pg *bp.ProcessGroup) error {
+	cutoff := 0.85 * 1.5496 // default: FCC nearest-neighbor shell in LJ units
+	if c := pg.Attrs[AttrCutoff]; c != "" {
+		v, err := strconv.ParseFloat(c, 64)
+		if err != nil {
+			return fmt.Errorf("bad cutoff attr %q: %w", c, err)
+		}
+		cutoff = v
+	}
+	var adj *smartpointer.Adjacency
+	needAdj := func() *smartpointer.Adjacency {
+		if adj == nil {
+			adj = smartpointer.Bonds(snap, cutoff)
+		}
+		return adj
+	}
+	for _, name := range st.Pending {
+		switch name {
+		case "bonds":
+			a := needAdj()
+			st.Results[name] = fmt.Sprintf("%d bonds", a.NumBonds())
+			degrees := make([]int64, snap.N())
+			for j := range degrees {
+				degrees[j] = int64(a.Degree(j))
+			}
+			pg.Vars = append(pg.Vars, bp.Var{Name: "bond_degree", Type: bp.TInt64,
+				Dims: []int{snap.N()}, Data: degrees})
+		case "csym":
+			res := smartpointer.CSym(snap, cutoff*1.4, 1.0)
+			st.Results[name] = fmt.Sprintf("%d defect atoms (%.1f%%)",
+				res.DefectCount(), 100*res.DefectFraction())
+			pg.Vars = append(pg.Vars, bp.Var{Name: "csym", Type: bp.TFloat64,
+				Dims: []int{snap.N()}, Data: append([]float64(nil), res.P...)})
+		case "fragments":
+			frags := smartpointer.Fragments(snap, needAdj())
+			largest := 0
+			if len(frags) > 0 {
+				largest = frags[0].Size()
+			}
+			st.Results[name] = fmt.Sprintf("%d fragment(s), largest %d atoms",
+				len(frags), largest)
+			labels := make([]int32, snap.N())
+			for _, fr := range frags {
+				for _, a := range fr.Atoms {
+					labels[a] = int32(fr.Label)
+				}
+			}
+			pg.Vars = append(pg.Vars, bp.Var{Name: "fragment_label", Type: bp.TInt32,
+				Dims: []int{snap.N()}, Data: labels})
+		case "cna":
+			res := smartpointer.CNA(needAdj())
+			st.Results[name] = fmt.Sprintf("FCC %.1f%%, HCP %.1f%%, Other %.1f%%",
+				100*res.Fraction(smartpointer.StructFCC),
+				100*res.Fraction(smartpointer.StructHCP),
+				100*res.Fraction(smartpointer.StructOther))
+			labels := make([]byte, snap.N())
+			for j, l := range res.Labels {
+				labels[j] = byte(l)
+			}
+			pg.Vars = append(pg.Vars, bp.Var{Name: "cna_label", Type: bp.TByte,
+				Dims: []int{snap.N()}, Data: labels})
+		default:
+			// Unknown analysis stays pending.
+			continue
+		}
+		st.Executed = append(st.Executed, name)
+	}
+	return nil
+}
+
+// updateProvenance rewrites the step's pending/done attributes.
+func updateProvenance(pg *bp.ProcessGroup, st *StepReport) {
+	var still []string
+	for _, p := range st.Pending {
+		if !contains(st.Executed, p) {
+			still = append(still, p)
+		}
+	}
+	if pg.Attrs == nil {
+		pg.Attrs = map[string]string{}
+	}
+	if len(still) == 0 {
+		delete(pg.Attrs, AttrPending)
+	} else {
+		pg.Attrs[AttrPending] = strings.Join(still, ",")
+	}
+	if len(st.Executed) > 0 {
+		done := st.Executed
+		if prev := pg.Attrs[AttrDone]; prev != "" {
+			done = append(strings.Split(prev, ","), done...)
+		}
+		pg.Attrs[AttrDone] = strings.Join(done, ",")
+	}
+}

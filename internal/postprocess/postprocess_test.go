@@ -1,0 +1,216 @@
+package postprocess
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/bp"
+	"repro/internal/core"
+	"repro/internal/lammps"
+	"repro/internal/smartpointer"
+)
+
+// buildStream writes steps carrying real crystal snapshots stamped with
+// pending analyses.
+func buildStream(t *testing.T, pending string, notch bool) *bp.Reader {
+	t.Helper()
+	a := 1.5496
+	var buf bytes.Buffer
+	w, err := bp.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(0); ts < 2; ts++ {
+		s := atoms.FCCLattice(4, 4, 4, a)
+		if notch {
+			lammps.Notch(s, 1.5*a, 0.5)
+		}
+		pg := &bp.ProcessGroup{Group: "helper.out", Timestep: ts,
+			Attrs: map[string]string{AttrPending: pending}}
+		WriteSnapshotVars(pg, s, 0.85*a)
+		if err := w.Append(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := bp.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestExecutePendingAnalyses(t *testing.T) {
+	r := buildStream(t, "bonds,csym,cna", false)
+	var out bytes.Buffer
+	w, _ := bp.NewWriter(&out)
+	rep, err := Analyze(r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.WithData != 2 || len(rep.Steps) != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	st := rep.Steps[0]
+	if len(st.Executed) != 3 {
+		t.Fatalf("executed %v", st.Executed)
+	}
+	// Perfect crystal: 12 bonds/atom, no defects, all FCC.
+	if !strings.Contains(st.Results["bonds"], "1536 bonds") {
+		t.Fatalf("bonds result %q", st.Results["bonds"])
+	}
+	if !strings.Contains(st.Results["csym"], "0 defect") {
+		t.Fatalf("csym result %q", st.Results["csym"])
+	}
+	if !strings.Contains(st.Results["cna"], "FCC 100.0%") {
+		t.Fatalf("cna result %q", st.Results["cna"])
+	}
+	if n := rep.PendingCounts(); len(n) != 0 {
+		t.Fatalf("still pending %v", n)
+	}
+	// The annotated output stream carries results and updated provenance.
+	rr, err := bp.NewReader(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := rr.ReadStep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Attrs[AttrPending] != "" {
+		t.Fatalf("pending not cleared: %v", pg.Attrs)
+	}
+	if !strings.Contains(pg.Attrs[AttrDone], "cna") {
+		t.Fatalf("done missing: %v", pg.Attrs)
+	}
+	for _, v := range []string{"bond_degree", "csym", "cna_label"} {
+		if pg.Var(v) == nil {
+			t.Fatalf("annotation var %q missing", v)
+		}
+	}
+}
+
+func TestNotchedCrystalFindsDefects(t *testing.T) {
+	r := buildStream(t, "csym,cna", true)
+	rep, err := Analyze(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Steps[0]
+	if strings.Contains(st.Results["csym"], "0 defect") {
+		t.Fatalf("notch missed: %q", st.Results["csym"])
+	}
+	if !strings.Contains(st.Results["cna"], "Other") {
+		t.Fatalf("cna result %q", st.Results["cna"])
+	}
+}
+
+func TestUnknownAnalysisStaysPending(t *testing.T) {
+	r := buildStream(t, "bonds,mystery", false)
+	var out bytes.Buffer
+	w, _ := bp.NewWriter(&out)
+	rep, err := Analyze(r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if got := rep.PendingCounts()["mystery"]; got != 2 {
+		t.Fatalf("mystery pending %d", got)
+	}
+	rr, _ := bp.NewReader(bytes.NewReader(out.Bytes()))
+	pg, _ := rr.ReadStep(0)
+	if pg.Attrs[AttrPending] != "mystery" {
+		t.Fatalf("pending %q", pg.Attrs[AttrPending])
+	}
+}
+
+func TestSyntheticFramesReportOnly(t *testing.T) {
+	// An actual Fig. 9 run: the helper's offline disk output carries
+	// paper-scale synthetic frames (no particle data). Post-processing
+	// reports the pending analyses without executing anything.
+	rt, err := core.Build(core.Config{
+		SimNodes:     1024,
+		StagingNodes: 24,
+		Specs:        core.SpecsWithBondsModel(parallelModel()),
+		Sizes:        core.DefaultSizes(24),
+		Steps:        40,
+		CrackStep:    -1,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sink := rt.Container("helper").DiskSink()
+	if sink == nil {
+		t.Skip("scenario did not reach offline (calibration drift?)")
+	}
+	r, err := sink.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WithData != 0 {
+		t.Fatalf("synthetic frames misread as real data: %d", rep.WithData)
+	}
+	counts := rep.PendingCounts()
+	for _, name := range []string{"bonds", "csym", "cna"} {
+		if counts[name] == 0 {
+			t.Fatalf("pending %q missing: %v", name, counts)
+		}
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	pg := &bp.ProcessGroup{Group: "g", Attrs: map[string]string{AttrBox: "1,2"}}
+	pg.Vars = []bp.Var{
+		{Name: "pos", Type: bp.TFloat64, Dims: []int{1, 3}, Data: []float64{0, 0, 0}},
+		{Name: "ids", Type: bp.TInt64, Dims: []int{1}, Data: []int64{0}},
+	}
+	if _, _, err := ReadSnapshot(pg); err == nil {
+		t.Fatal("short box attr should fail")
+	}
+	pg.Attrs[AttrBox] = "1,2,x"
+	if _, _, err := ReadSnapshot(pg); err == nil {
+		t.Fatal("bad box number should fail")
+	}
+	// Missing vars: not data, not an error.
+	empty := &bp.ProcessGroup{Group: "g"}
+	if _, ok, err := ReadSnapshot(empty); ok || err != nil {
+		t.Fatalf("empty step: ok=%v err=%v", ok, err)
+	}
+}
+
+func parallelModel() smartpointer.ComputeModel { return smartpointer.ModelParallel }
+
+func TestFragmentAnalysisInPostprocess(t *testing.T) {
+	r := buildStream(t, "fragments", false)
+	var out bytes.Buffer
+	w, _ := bp.NewWriter(&out)
+	rep, err := Analyze(r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	st := rep.Steps[0]
+	if !strings.Contains(st.Results["fragments"], "1 fragment(s)") {
+		t.Fatalf("fragments result %q", st.Results["fragments"])
+	}
+	rr, _ := bp.NewReader(bytes.NewReader(out.Bytes()))
+	pg, _ := rr.ReadStep(0)
+	if pg.Var("fragment_label") == nil {
+		t.Fatal("fragment_label var missing")
+	}
+}

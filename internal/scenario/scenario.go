@@ -1,0 +1,254 @@
+// Package scenario loads pipeline run configurations from JSON, the way
+// the paper's global manager learns the pipeline structure and
+// dependencies "through a configuration file" (§III-D). A scenario file
+// describes the machine split, the stage graph with per-component compute
+// models and cost curves (including custom, non-SmartPointer actions),
+// the workload, and the management policy.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lammps"
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+// File is the JSON schema of a scenario.
+type File struct {
+	// SimNodes and StagingNodes partition the machine.
+	SimNodes     int `json:"simNodes"`
+	StagingNodes int `json:"stagingNodes"`
+	// OutputPeriodSec is the simulation output cadence in (virtual)
+	// seconds; 0 means the 15 s default.
+	OutputPeriodSec float64 `json:"outputPeriodSec"`
+	// Steps is the number of output steps.
+	Steps int `json:"steps"`
+	// CrackStep injects crack formation at that step (-1 = never; the
+	// zero value also means never unless ExplicitCrack is set).
+	CrackStep     int64 `json:"crackStep"`
+	ExplicitCrack bool  `json:"explicitCrack"`
+	// Seed drives all randomness.
+	Seed int64 `json:"seed"`
+	// QueueCap bounds channel metadata queues.
+	QueueCap int `json:"queueCap"`
+	// CheckpointEvery/CheckpointNodes configure the checkpoint path.
+	CheckpointEvery int `json:"checkpointEvery"`
+	CheckpointNodes int `json:"checkpointNodes"`
+	// AtomsOverride replaces the Table II scale derived from SimNodes.
+	AtomsOverride int64 `json:"atomsOverride"`
+	// StandbyGM deploys a standby global manager.
+	StandbyGM bool `json:"standbyGM"`
+	// SpreadPlacement interleaves container node assignment.
+	SpreadPlacement bool `json:"spreadPlacement"`
+	// MonitorSampleEverySec rate-limits monitoring reports.
+	MonitorSampleEverySec float64 `json:"monitorSampleEverySec"`
+	// MonitorAggregateN pre-aggregates monitoring reports.
+	MonitorAggregateN int `json:"monitorAggregateN"`
+	// Policy tunes the global manager.
+	Policy Policy `json:"policy"`
+	// Stages describes the pipeline (empty = the paper's default
+	// four-stage SmartPointer pipeline with DefaultSizes).
+	Stages []Stage `json:"stages"`
+}
+
+// Policy mirrors core.PolicyConfig in JSON-friendly units.
+type Policy struct {
+	IntervalSec         float64 `json:"intervalSec"`
+	OfflinePatience     int     `json:"offlinePatience"`
+	OfflineQueueLen     int     `json:"offlineQueueLen"`
+	DisableManagement   bool    `json:"disableManagement"`
+	DisableOffline      bool    `json:"disableOffline"`
+	DisableStealing     bool    `json:"disableStealing"`
+	TransactionalTrades bool    `json:"transactionalTrades"`
+	KillGMAtSec         float64 `json:"killGMAtSec"`
+}
+
+// Stage describes one pipeline component.
+type Stage struct {
+	Name string `json:"name"`
+	// Kind is "Helper", "Bonds", "CSym", "CNA", or "Custom".
+	Kind string `json:"kind"`
+	// Model is "Serial", "RR", "Parallel", or "Tree".
+	Model string `json:"model"`
+	// Nodes is the initial container size.
+	Nodes int `json:"nodes"`
+	// OutputFactor scales output volume relative to input.
+	OutputFactor float64 `json:"outputFactor"`
+	Essential    bool    `json:"essential"`
+	MinSize      int     `json:"minSize"`
+	// ActivateOnCrack / DeactivateOnCrack wire the dynamic branch.
+	ActivateOnCrack   bool `json:"activateOnCrack"`
+	DeactivateOnCrack bool `json:"deactivateOnCrack"`
+	// DiskOutput marks a stable-storage terminal stage; SLAPeriods
+	// relaxes its deadline.
+	DiskOutput bool `json:"diskOutput"`
+	SLAPeriods int  `json:"slaPeriods"`
+	// Cost overrides the default cost model (required for Custom).
+	Cost *Cost `json:"cost"`
+}
+
+// Cost is a JSON cost model.
+type Cost struct {
+	BaseSec          float64 `json:"baseSec"`
+	RefAtoms         int64   `json:"refAtoms"`
+	ParallelEff      float64 `json:"parallelEff"`
+	CrackFactor      float64 `json:"crackFactor"`
+	ExponentOverride float64 `json:"exponentOverride"`
+}
+
+// ParseKind maps a kind name to its enum value.
+func ParseKind(s string) (smartpointer.Kind, error) {
+	switch strings.ToLower(s) {
+	case "helper":
+		return smartpointer.KindHelper, nil
+	case "bonds":
+		return smartpointer.KindBonds, nil
+	case "csym":
+		return smartpointer.KindCSym, nil
+	case "cna":
+		return smartpointer.KindCNA, nil
+	case "custom":
+		return smartpointer.KindCustom, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown kind %q", s)
+}
+
+// ParseModel maps a compute-model name to its enum value.
+func ParseModel(s string) (smartpointer.ComputeModel, error) {
+	switch strings.ToLower(s) {
+	case "serial":
+		return smartpointer.ModelSerial, nil
+	case "rr", "roundrobin", "round-robin":
+		return smartpointer.ModelRR, nil
+	case "parallel", "mpi":
+		return smartpointer.ModelParallel, nil
+	case "tree":
+		return smartpointer.ModelTree, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown compute model %q", s)
+}
+
+// ToConfig converts the file to a runnable core.Config.
+func (f *File) ToConfig() (core.Config, error) {
+	cfg := core.Config{
+		SimNodes:        f.SimNodes,
+		StagingNodes:    f.StagingNodes,
+		OutputPeriod:    sim.Time(f.OutputPeriodSec * float64(sim.Second)),
+		Steps:           f.Steps,
+		CrackStep:       -1,
+		QueueCap:        f.QueueCap,
+		Seed:            f.Seed,
+		CheckpointEvery: f.CheckpointEvery,
+		CheckpointNodes: f.CheckpointNodes,
+		StandbyGM:       f.StandbyGM,
+		SpreadPlacement: f.SpreadPlacement,
+		MonitorSampleEvery: sim.Time(
+			f.MonitorSampleEverySec * float64(sim.Second)),
+		MonitorAggregateN: f.MonitorAggregateN,
+		Policy: core.PolicyConfig{
+			Interval:            sim.Time(f.Policy.IntervalSec * float64(sim.Second)),
+			OfflinePatience:     f.Policy.OfflinePatience,
+			OfflineQueueLen:     f.Policy.OfflineQueueLen,
+			DisableManagement:   f.Policy.DisableManagement,
+			DisableOffline:      f.Policy.DisableOffline,
+			DisableStealing:     f.Policy.DisableStealing,
+			TransactionalTrades: f.Policy.TransactionalTrades,
+			KillGMAt:            sim.Time(f.Policy.KillGMAtSec * float64(sim.Second)),
+		},
+	}
+	if f.ExplicitCrack || f.CrackStep > 0 {
+		cfg.CrackStep = f.CrackStep
+	}
+	if f.AtomsOverride > 0 {
+		cfg.Scale = lammps.Scale{
+			Nodes:     f.SimNodes,
+			AtomCount: f.AtomsOverride,
+			StepBytes: f.AtomsOverride * 8,
+		}
+	}
+	if len(f.Stages) == 0 {
+		cfg.Sizes = core.DefaultSizes(f.StagingNodes)
+		return cfg, nil
+	}
+	defaults := smartpointer.DefaultCostModels()
+	cfg.Sizes = map[string]int{}
+	for _, st := range f.Stages {
+		kind, err := ParseKind(st.Kind)
+		if err != nil {
+			return cfg, err
+		}
+		model, err := ParseModel(st.Model)
+		if err != nil {
+			return cfg, err
+		}
+		spec := core.ComponentSpec{
+			Name:              st.Name,
+			Kind:              kind,
+			Model:             model,
+			OutputFactor:      st.OutputFactor,
+			Essential:         st.Essential,
+			MinSize:           st.MinSize,
+			ActivateOnCrack:   st.ActivateOnCrack,
+			DeactivateOnCrack: st.DeactivateOnCrack,
+			DiskOutput:        st.DiskOutput,
+			SLAPeriods:        st.SLAPeriods,
+		}
+		if st.Cost != nil {
+			spec.Cost = smartpointer.CostModel{
+				Kind:             kind,
+				Base:             sim.Time(st.Cost.BaseSec * float64(sim.Second)),
+				RefAtoms:         st.Cost.RefAtoms,
+				ParallelEff:      st.Cost.ParallelEff,
+				CrackFactor:      st.Cost.CrackFactor,
+				ExponentOverride: st.Cost.ExponentOverride,
+			}
+			if spec.Cost.RefAtoms == 0 {
+				spec.Cost.RefAtoms = lammps.ScaleForNodes(256).AtomCount
+			}
+		} else {
+			cm, ok := defaults[kind]
+			if !ok {
+				return cfg, fmt.Errorf("scenario: stage %q (kind %s) needs an explicit cost model",
+					st.Name, st.Kind)
+			}
+			spec.Cost = cm
+		}
+		if err := spec.Validate(); err != nil {
+			return cfg, err
+		}
+		cfg.Specs = append(cfg.Specs, spec)
+		n := st.Nodes
+		if n <= 0 {
+			n = 1
+		}
+		cfg.Sizes[st.Name] = n
+	}
+	return cfg, nil
+}
+
+// Load parses a scenario from r.
+func Load(r io.Reader) (core.Config, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return core.Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	return f.ToConfig()
+}
+
+// LoadFile parses a scenario from a JSON file.
+func LoadFile(path string) (core.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Config{}, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/smartpointer"
+)
+
+const fig7JSON = `{
+  "simNodes": 256,
+  "stagingNodes": 13,
+  "steps": 20,
+  "seed": 42,
+  "policy": {"offlinePatience": 4}
+}`
+
+const customJSON = `{
+  "simNodes": 64,
+  "stagingNodes": 16,
+  "outputPeriodSec": 10,
+  "steps": 8,
+  "seed": 7,
+  "stages": [
+    {"name": "ingest", "kind": "Helper", "model": "Tree", "nodes": 4,
+     "outputFactor": 1.0, "essential": true, "minSize": 2},
+    {"name": "flamefront", "kind": "Custom", "model": "RR", "nodes": 4,
+     "outputFactor": 0.2,
+     "cost": {"baseSec": 12, "refAtoms": 2204997, "exponentOverride": 1.5}},
+    {"name": "track", "kind": "Custom", "model": "Serial", "nodes": 2,
+     "outputFactor": 0.05,
+     "cost": {"baseSec": 2}}
+  ]
+}`
+
+func TestLoadDefaultPipeline(t *testing.T) {
+	cfg, err := Load(strings.NewReader(fig7JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SimNodes != 256 || cfg.StagingNodes != 13 || cfg.Steps != 20 {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	if cfg.CrackStep != -1 {
+		t.Fatalf("crack step %d, want -1 default", cfg.CrackStep)
+	}
+	if cfg.Sizes["helper"] != 6 || cfg.Sizes["bonds"] != 2 {
+		t.Fatalf("sizes %v", cfg.Sizes)
+	}
+	// And it actually runs, matching the Fig. 7 scenario.
+	rt, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != 20 {
+		t.Fatalf("emitted %d", res.Emitted)
+	}
+}
+
+func TestLoadCustomPipeline(t *testing.T) {
+	cfg, err := Load(strings.NewReader(customJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Specs) != 3 {
+		t.Fatalf("specs %d", len(cfg.Specs))
+	}
+	ff := cfg.Specs[1]
+	if ff.Kind != smartpointer.KindCustom || ff.Model != smartpointer.ModelRR {
+		t.Fatalf("flamefront spec %+v", ff)
+	}
+	if ff.Cost.Base != 12*sim.Second || ff.Cost.ExponentOverride != 1.5 {
+		t.Fatalf("flamefront cost %+v", ff.Cost)
+	}
+	// Omitted refAtoms defaults sensibly.
+	if cfg.Specs[2].Cost.RefAtoms == 0 {
+		t.Fatal("refAtoms default missing")
+	}
+	if cfg.OutputPeriod != 10*sim.Second {
+		t.Fatalf("period %v", cfg.OutputPeriod)
+	}
+	rt, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != 8 || res.Exits == 0 {
+		t.Fatalf("emitted=%d exits=%d", res.Emitted, res.Exits)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"simNodes": 1, "unknownField": true}`,
+		`{"stages": [{"name": "x", "kind": "Nope", "model": "RR"}]}`,
+		`{"stages": [{"name": "x", "kind": "Bonds", "model": "Warp"}]}`,
+		`{"stages": [{"name": "x", "kind": "Custom", "model": "RR"}]}`, // no cost
+		`{"stages": [{"name": "x", "kind": "Helper", "model": "RR",
+		   "cost": {"baseSec": 1}}]}`, // Table I violation
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if k, err := ParseKind("csym"); err != nil || k != smartpointer.KindCSym {
+		t.Fatal("csym parse")
+	}
+	if m, err := ParseModel("round-robin"); err != nil || m != smartpointer.ModelRR {
+		t.Fatal("rr alias parse")
+	}
+	if m, err := ParseModel("mpi"); err != nil || m != smartpointer.ModelParallel {
+		t.Fatal("mpi alias parse")
+	}
+	if _, err := ParseKind(""); err == nil {
+		t.Fatal("empty kind should fail")
+	}
+}
+
+func TestExplicitCrackZero(t *testing.T) {
+	cfg, err := Load(strings.NewReader(
+		`{"simNodes": 64, "stagingNodes": 13, "steps": 4, "crackStep": 0, "explicitCrack": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CrackStep != 0 {
+		t.Fatalf("crack step %d, want explicit 0", cfg.CrackStep)
+	}
+}
+
+func TestAtomsOverride(t *testing.T) {
+	cfg, err := Load(strings.NewReader(
+		`{"simNodes": 64, "stagingNodes": 13, "steps": 4, "atomsOverride": 1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scale.AtomCount != 1000 || cfg.Scale.StepBytes != 8000 {
+		t.Fatalf("scale %+v", cfg.Scale)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/scenario.json"
+	if err := writeFile(path, fig7JSON); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SimNodes != 256 {
+		t.Fatal("file load mismatch")
+	}
+	if _, err := LoadFile(dir + "/missing.json"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestScenarioAdvancedKnobs(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{
+		"simNodes": 64, "stagingNodes": 14, "steps": 4, "seed": 1,
+		"standbyGM": true, "spreadPlacement": true,
+		"monitorSampleEverySec": 30, "monitorAggregateN": 4,
+		"policy": {"killGMAtSec": 40}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.StandbyGM || !cfg.SpreadPlacement {
+		t.Fatalf("bool knobs lost: %+v", cfg)
+	}
+	if cfg.MonitorSampleEvery != 30*sim.Second || cfg.MonitorAggregateN != 4 {
+		t.Fatalf("monitor knobs lost: %+v", cfg)
+	}
+	if cfg.Policy.KillGMAt != 40*sim.Second {
+		t.Fatalf("kill knob lost: %v", cfg.Policy.KillGMAt)
+	}
+	// And the whole thing still runs (failover included).
+	rt, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShippedScenarioFiles(t *testing.T) {
+	for _, name := range []string{"fig7", "fig9", "failover", "checkpointed"} {
+		cfg, err := LoadFile("../../scenarios/" + name + ".json")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rt, err := core.Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rt.Shutdown() // build-only smoke: the figures test full runs
+	}
+}

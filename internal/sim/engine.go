@@ -1,0 +1,268 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives every substrate in this repository: the cluster machine
+// model, the DataTap transport, the container control protocols, and the
+// experiment harness all advance a shared virtual clock instead of wall
+// time, so scenarios spanning thousands of virtual seconds execute in
+// milliseconds and are exactly reproducible from a seed.
+//
+// Two styles of simulated activity are supported:
+//
+//   - plain callbacks scheduled with [Engine.At] / [Engine.After], and
+//   - processes ([Proc]) — goroutines run under a cooperative scheduler,
+//     in the style of SimPy. A process blocks with [Proc.Sleep],
+//     [Queue.Get], [Event.Wait] and friends; exactly one process (or the
+//     engine loop) runs at any instant, so process code needs no locking.
+package sim
+
+// Engine is the discrete-event scheduler: a virtual clock plus an ordered
+// queue of future events. It is not safe for concurrent use; all
+// interaction must happen from the driving goroutine or from within
+// simulated processes.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	baton   chan struct{} // handed back to the engine when a proc parks
+	rng     *Rand
+	procs   map[*Proc]struct{}
+	stopped bool
+	panicV  any // panic propagated out of a process
+	tracer  Tracer
+}
+
+// Time is virtual time: nanoseconds since the start of the simulation.
+type Time int64
+
+// Common virtual durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats t as seconds with millisecond precision, e.g. "12.345s".
+func (t Time) String() string {
+	neg := ""
+	if t < 0 {
+		neg = "-"
+		t = -t
+	}
+	return neg + formatSeconds(t)
+}
+
+func formatSeconds(t Time) string {
+	secs := int64(t / Second)
+	ms := int64(t%Second) / int64(Millisecond)
+	return itoa(secs) + "." + pad3(ms) + "s"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func pad3(v int64) string {
+	s := itoa(v)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}
+
+// Tracer receives kernel-level trace callbacks. All methods may be nil-safe
+// no-ops; it exists so experiments can observe scheduling without the
+// kernel importing higher layers.
+type Tracer interface {
+	// Event is invoked before every executed event.
+	Event(at Time, what string)
+}
+
+type event struct {
+	at   Time
+	seq  uint64
+	what string
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	if len(*h) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(i, parent) {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.Less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		baton: make(chan struct{}),
+		rng:   NewRand(seed),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// SetTracer installs a kernel tracer (may be nil to remove).
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (or at
+// the current instant) runs the callback on the next scheduler step at the
+// current time, preserving FIFO order among same-time events.
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t, "callback", fn)
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+func (e *Engine) schedule(t Time, what string, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.queue.push(&event{at: t, seq: e.seq, what: what, fn: fn})
+}
+
+// Pending reports the number of scheduled (not yet executed) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step executes the next scheduled event, advancing the clock to its time.
+// It reports false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := e.queue.pop()
+	e.now = ev.at
+	if e.tracer != nil {
+		e.tracer.Event(ev.at, ev.what)
+	}
+	ev.fn()
+	if e.panicV != nil {
+		v := e.panicV
+		e.panicV = nil
+		panic(v)
+	}
+	return true
+}
+
+// Run executes events until none remain. Processes blocked on queues or
+// events that will never fire are left parked; use [Engine.Blocked] to
+// inspect them.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Blocked returns the names of processes that are alive but currently
+// parked (waiting on a queue, event, or resource). Useful in tests to
+// assert clean shutdown.
+func (e *Engine) Blocked() []string {
+	var out []string
+	for p := range e.procs {
+		if p.parked && !p.done {
+			out = append(out, p.name)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

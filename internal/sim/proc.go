@@ -1,0 +1,257 @@
+package sim
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// engine. At most one process runs at a time; a process relinquishes
+// control by blocking in one of the kernel primitives (Sleep, Queue.Get,
+// Event.Wait, Resource.Acquire, ...). Because execution is strictly
+// interleaved, process code may freely share data without locks.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked bool
+	done   bool
+	onDone *Event // lazily created join event
+}
+
+// Go starts fn as a new process at the current virtual time.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	return e.GoAt(e.now, name, fn)
+}
+
+// GoAt starts fn as a new process at virtual time t.
+func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}, 1)}
+	e.procs[p] = struct{}{}
+	e.schedule(t, "start "+name, func() {
+		go p.run(fn)
+		p.unpark()
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(*Proc)) {
+	<-p.resume
+	defer func() {
+		if v := recover(); v != nil {
+			p.eng.panicV = v
+		}
+		p.done = true
+		delete(p.eng.procs, p)
+		if p.onDone != nil {
+			p.onDone.Fire()
+		}
+		p.eng.baton <- struct{}{}
+	}()
+	fn(p)
+}
+
+// park suspends the process and returns control to the engine loop. The
+// process resumes when something sends on p.resume (always via unpark).
+func (p *Proc) park() {
+	p.parked = true
+	p.eng.baton <- struct{}{}
+	<-p.resume
+	p.parked = false
+}
+
+// unpark transfers the baton to the process and waits for it to park again
+// (or finish). Must be called from the engine loop's goroutine, i.e. from
+// inside an executed event.
+func (p *Proc) unpark() {
+	p.resume <- struct{}{}
+	<-p.eng.baton
+}
+
+// wake schedules the process to resume at the current virtual time.
+func (p *Proc) wake(what string) {
+	p.eng.schedule(p.eng.now, what, p.unpark)
+}
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d virtual time. Non-positive durations
+// yield the processor (other same-time events run) without advancing time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, "wake "+p.name, p.unpark)
+	p.park()
+}
+
+// SleepUntil suspends the process until virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	d := t - p.eng.now
+	p.Sleep(d)
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Join blocks until other has finished. Returns immediately if it already
+// has.
+func (p *Proc) Join(other *Proc) {
+	if other.done {
+		return
+	}
+	if other.onDone == nil {
+		other.onDone = NewEvent(p.eng)
+	}
+	other.onDone.Wait(p)
+}
+
+// waiter represents one parked process inside a queue/event/resource wait
+// list. cancelled is set when a timeout fires first, so the structure's
+// wake path must skip it.
+type waiter struct {
+	proc      *Proc
+	cancelled bool
+	woken     bool
+	n         int // units requested (Resource) — unused elsewhere
+}
+
+// Event is a one-shot broadcast: processes wait until someone fires it.
+// Waiting on an already-fired event returns immediately.
+type Event struct {
+	eng     *Engine
+	fired   bool
+	waiters []*waiter
+}
+
+// NewEvent returns an unfired event.
+func NewEvent(e *Engine) *Event { return &Event{eng: e} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event fired and wakes all waiters. Subsequent Waits do not
+// block. Firing twice is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		if !w.cancelled {
+			w.woken = true
+			w.proc.wake("event fire")
+		}
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	w := &waiter{proc: p}
+	ev.waiters = append(ev.waiters, w)
+	p.park()
+}
+
+// WaitTimeout blocks p until the event fires or d elapses; it reports
+// whether the event fired.
+func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
+	if ev.fired {
+		return true
+	}
+	w := &waiter{proc: p}
+	ev.waiters = append(ev.waiters, w)
+	p.eng.schedule(p.eng.now+d, "event timeout", func() {
+		if !w.woken {
+			w.cancelled = true
+			p.unpark()
+		}
+	})
+	p.park()
+	return w.woken
+}
+
+// Resource is a counting semaphore over abstract units (cores, buffer
+// slots, link tokens). Acquire blocks until the units are available;
+// waiters are served FIFO.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*waiter
+}
+
+// NewResource returns a resource with the given number of units.
+func NewResource(e *Engine, capacity int) *Resource {
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Capacity returns the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the currently acquired units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Available returns capacity minus in-use units.
+func (r *Resource) Available() int { return r.capacity - r.inUse }
+
+// TryAcquire acquires n units if immediately available, reporting success.
+func (r *Resource) TryAcquire(n int) bool {
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Acquire blocks p until n units are available, then acquires them.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if r.TryAcquire(n) {
+		return
+	}
+	w := &waiter{proc: p, n: n}
+	r.waiters = append(r.waiters, w)
+	p.park()
+}
+
+// Release returns n units and wakes waiters whose requests now fit.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: Resource.Release below zero")
+	}
+	r.dispatch()
+}
+
+// Grow adds n units of capacity (n may be negative to shrink; shrinking
+// below in-use is allowed and simply delays future acquisitions).
+func (r *Resource) Grow(n int) {
+	r.capacity += n
+	r.dispatch()
+}
+
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if w.cancelled {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.inUse+w.n > r.capacity {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.inUse += w.n
+		w.woken = true
+		w.proc.wake("resource grant")
+	}
+}

@@ -1,0 +1,215 @@
+package sim
+
+// Queue is a FIFO channel between simulated processes. A capacity of zero
+// means unbounded; otherwise Put blocks while the queue is full. Closed
+// queues reject Put and drain remaining items through Get.
+type Queue[T any] struct {
+	eng     *Engine
+	cap     int // 0 = unbounded
+	items   []T
+	getters []*waiter
+	putters []*putWaiter[T]
+	closed  bool
+}
+
+type putWaiter[T any] struct {
+	waiter
+	val T
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
+	return &Queue[T]{eng: e, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Full reports whether a Put would block right now.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+
+// Close marks the queue closed. Blocked getters receive zero values with
+// ok=false once the buffer drains; blocked putters are woken with their
+// puts rejected.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, pw := range q.putters {
+		if !pw.cancelled {
+			pw.woken = true
+			pw.proc.wake("queue closed (putter)")
+		}
+	}
+	q.putters = nil
+	if len(q.items) == 0 {
+		for _, g := range q.getters {
+			if !g.cancelled {
+				g.woken = true
+				g.proc.wake("queue closed (getter)")
+			}
+		}
+		q.getters = nil
+	}
+}
+
+// TryPut appends v if the queue is open and not full, reporting success.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || q.Full() {
+		return false
+	}
+	q.deliver(v)
+	return true
+}
+
+// Put appends v, blocking while the queue is full. It reports false if the
+// queue was closed before the item could be enqueued.
+func (q *Queue[T]) Put(p *Proc, v T) bool {
+	if q.closed {
+		return false
+	}
+	if !q.Full() {
+		q.deliver(v)
+		return true
+	}
+	pw := &putWaiter[T]{waiter: waiter{proc: p}, val: v}
+	q.putters = append(q.putters, pw)
+	p.park()
+	if q.closed && !pw.delivered() {
+		return false
+	}
+	return true
+}
+
+// delivered reports whether this putter's value made it into the queue: the
+// dispatch path marks woken only when it consumes the value, while Close
+// marks woken without consuming. We distinguish via cancelled==false &&
+// value consumed, tracked by the n field (1 = delivered).
+func (pw *putWaiter[T]) delivered() bool { return pw.n == 1 }
+
+// deliver places v either directly into a waiting getter or the buffer.
+func (q *Queue[T]) deliver(v T) {
+	q.items = append(q.items, v)
+	q.wakeGetters()
+}
+
+func (q *Queue[T]) wakeGetters() {
+	for len(q.getters) > 0 && len(q.items) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		if g.cancelled {
+			continue
+		}
+		g.woken = true
+		g.proc.wake("queue item")
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false if the queue closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for {
+		if len(q.items) > 0 {
+			return q.take(), true
+		}
+		if q.closed {
+			return v, false
+		}
+		g := &waiter{proc: p}
+		q.getters = append(q.getters, g)
+		p.park()
+	}
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.take(), true
+}
+
+// GetTimeout is Get with a deadline d from now; ok is false on timeout or
+// closed-and-drained.
+func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
+	if len(q.items) > 0 {
+		return q.take(), true
+	}
+	if q.closed {
+		return v, false
+	}
+	deadline := q.eng.now + d
+	for {
+		g := &waiter{proc: p}
+		q.getters = append(q.getters, g)
+		fired := false
+		q.eng.schedule(deadline, "queue get timeout", func() {
+			if !g.woken {
+				fired = true
+				g.cancelled = true
+				p.unpark()
+			}
+		})
+		p.park()
+		if fired {
+			return v, false
+		}
+		if len(q.items) > 0 {
+			return q.take(), true
+		}
+		if q.closed {
+			return v, false
+		}
+		if q.eng.now >= deadline {
+			return v, false
+		}
+	}
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}
+
+func (q *Queue[T]) take() T {
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.admitPutters()
+	if q.closed && len(q.items) == 0 {
+		for _, g := range q.getters {
+			if !g.cancelled {
+				g.woken = true
+				g.proc.wake("queue closed (getter)")
+			}
+		}
+		q.getters = nil
+	}
+	return v
+}
+
+func (q *Queue[T]) admitPutters() {
+	for len(q.putters) > 0 && !q.Full() {
+		pw := q.putters[0]
+		q.putters = q.putters[1:]
+		if pw.cancelled {
+			continue
+		}
+		q.items = append(q.items, pw.val)
+		pw.n = 1 // delivered
+		pw.woken = true
+		pw.proc.wake("queue put admitted")
+	}
+	q.wakeGetters()
+}

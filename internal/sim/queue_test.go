@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueUnboundedFIFO(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	var got []int
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(p, i)
+			p.Sleep(Second)
+		}
+	})
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			v, ok := q.Get(p)
+			if !ok {
+				t.Error("unexpected close")
+			}
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestQueueBoundedBlocksPutter(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 2)
+	var putDone []Time
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			q.Put(p, i)
+			putDone = append(putDone, p.Now())
+		}
+	})
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(10 * Second)
+			q.Get(p)
+		}
+	})
+	e.Run()
+	// First two puts immediate; third unblocks at first get (t=10),
+	// fourth at second get (t=20).
+	want := []Time{0, 0, 10 * Second, 20 * Second}
+	for i := range want {
+		if putDone[i] != want[i] {
+			t.Fatalf("putDone = %v, want %v", putDone, want)
+		}
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[string](e, 0)
+	var at Time
+	var val string
+	e.Go("consumer", func(p *Proc) {
+		v, ok := q.Get(p)
+		if !ok {
+			t.Error("closed?")
+		}
+		val, at = v, p.Now()
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Sleep(3 * Second)
+		q.Put(p, "x")
+	})
+	e.Run()
+	if val != "x" || at != 3*Second {
+		t.Fatalf("val=%q at=%v", val, at)
+	}
+}
+
+func TestQueueTryPutTryGet(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 1)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty should fail")
+	}
+	if !q.TryPut(1) {
+		t.Fatal("TryPut on empty should succeed")
+	}
+	if q.TryPut(2) {
+		t.Fatal("TryPut on full should fail")
+	}
+	if !q.Full() {
+		t.Fatal("queue should be full")
+	}
+	v, ok := q.TryGet()
+	if !ok || v != 1 {
+		t.Fatalf("TryGet = %d,%v", v, ok)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	q.TryPut(1)
+	q.TryPut(2)
+	q.Close()
+	if q.TryPut(3) {
+		t.Fatal("TryPut after close should fail")
+	}
+	var got []int
+	closedSeen := false
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				closedSeen = true
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	if !closedSeen || len(got) != 2 {
+		t.Fatalf("closed=%v got=%v", closedSeen, got)
+	}
+}
+
+func TestQueueCloseWakesBlockedGetter(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	woken := false
+	e.Go("consumer", func(p *Proc) {
+		_, ok := q.Get(p)
+		if ok {
+			t.Error("expected closed")
+		}
+		woken = true
+	})
+	e.At(Second, q.Close)
+	e.Run()
+	if !woken {
+		t.Fatal("blocked getter not woken by close")
+	}
+}
+
+func TestQueueCloseWakesBlockedPutter(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 1)
+	q.TryPut(0)
+	rejected := false
+	e.Go("producer", func(p *Proc) {
+		if !q.Put(p, 1) {
+			rejected = true
+		}
+	})
+	e.At(Second, q.Close)
+	e.Run()
+	if !rejected {
+		t.Fatal("blocked putter should be rejected on close")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d, want 1", q.Len())
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	var timedOut, gotIt bool
+	e.Go("fast", func(p *Proc) {
+		_, ok := q.GetTimeout(p, 2*Second)
+		timedOut = !ok
+	})
+	e.Go("slow", func(p *Proc) {
+		v, ok := q.GetTimeout(p, 20*Second)
+		gotIt = ok && v == 99
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Sleep(5 * Second)
+		q.Put(p, 99)
+	})
+	e.Run()
+	if !timedOut {
+		t.Fatal("fast getter should time out")
+	}
+	if !gotIt {
+		t.Fatal("slow getter should receive the item")
+	}
+}
+
+func TestQueueGetTimeoutImmediate(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	q.TryPut(5)
+	var v int
+	var ok bool
+	e.Go("c", func(p *Proc) { v, ok = q.GetTimeout(p, Second) })
+	e.Run()
+	if !ok || v != 5 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek empty should fail")
+	}
+	q.TryPut(7)
+	v, ok := q.Peek()
+	if !ok || v != 7 || q.Len() != 1 {
+		t.Fatalf("peek = %d,%v len=%d", v, ok, q.Len())
+	}
+}
+
+// Property: with arbitrary producer/consumer timing, a bounded queue
+// neither loses nor duplicates nor reorders items.
+func TestQueueConservationProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8, nRaw uint8) bool {
+		capacity := int(capRaw%5) + 1
+		n := int(nRaw%64) + 1
+		e := NewEngine(seed)
+		q := NewQueue[int](e, capacity)
+		var got []int
+		e.Go("producer", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(e.Rand().Uniform(0, 3*Second))
+				q.Put(p, i)
+			}
+			q.Close()
+		})
+		e.Go("consumer", func(p *Proc) {
+			for {
+				p.Sleep(e.Rand().Uniform(0, 3*Second))
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		e.Run()
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiple producers and consumers still conserve items
+// (as a multiset) on an unbounded queue.
+func TestQueueMultiProducerConsumerProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		e := NewEngine(seed)
+		q := NewQueue[int](e, 0)
+		seen := make(map[int]int)
+		for w := 0; w < 3; w++ {
+			w := w
+			e.Go("producer", func(p *Proc) {
+				for i := 0; i < n; i++ {
+					p.Sleep(e.Rand().Uniform(0, Second))
+					q.Put(p, w*1000+i)
+				}
+			})
+		}
+		total := 3 * n
+		consumed := 0
+		for c := 0; c < 2; c++ {
+			e.Go("consumer", func(p *Proc) {
+				for consumed < total {
+					v, ok := q.GetTimeout(p, 30*Second)
+					if !ok {
+						return
+					}
+					seen[v]++
+					consumed++
+				}
+			})
+		}
+		e.Run()
+		if consumed != total {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package smartpointer
+
+import (
+	"testing"
+
+	"repro/internal/atoms"
+	"repro/internal/sim"
+)
+
+var benchCrystal = atoms.FCCLattice(6, 6, 6, 1.5496)
+
+// BenchmarkBonds measures real bond detection on an 864-atom crystal.
+func BenchmarkBonds(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adj := Bonds(benchCrystal, 1.5496*0.85)
+		if adj.NumBonds() == 0 {
+			b.Fatal("no bonds")
+		}
+	}
+}
+
+// BenchmarkCSym measures the central-symmetry computation.
+func BenchmarkCSym(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := CSym(benchCrystal, 1.5496*0.85, 0.1)
+		if len(res.P) != benchCrystal.N() {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkCNA measures common-neighbor structural labeling.
+func BenchmarkCNA(b *testing.B) {
+	adj := Bonds(benchCrystal, 1.5496*0.85)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := CNA(adj)
+		if res.Counts[StructFCC] == 0 {
+			b.Fatal("no FCC")
+		}
+	}
+}
+
+// BenchmarkMerge measures the Helper's aggregation of per-rank parts.
+func BenchmarkMerge(b *testing.B) {
+	parts := Partition(benchCrystal, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Merge(parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostModelScalingShape is an ablation: it verifies (and times)
+// that the analytic cost models used at paper scale track the measured
+// small-N compute ordering — Bonds costs more than CSym, CNA more than
+// Bonds per the Table I complexity classes.
+func BenchmarkCostModelScalingShape(b *testing.B) {
+	models := DefaultCostModels()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := int64(8819989)
+		tb := models[KindBonds].ServiceTime(n, ModelSerial, 1, false)
+		tc := models[KindCSym].ServiceTime(n, ModelSerial, 1, false)
+		ta := models[KindCNA].ServiceTime(n, ModelSerial, 1, false)
+		th := models[KindHelper].ServiceTime(n, ModelTree, 4, false)
+		if !(th < tc && tc < tb && tb < ta) {
+			b.Fatalf("cost ordering broken: helper=%v csym=%v bonds=%v cna=%v", th, tc, tb, ta)
+		}
+	}
+	_ = sim.Second
+}

@@ -1,0 +1,88 @@
+package smartpointer
+
+import (
+	"fmt"
+
+	"repro/internal/atoms"
+)
+
+// Adjacency is a per-atom bond list: Adj[i] holds the indices of atoms
+// bonded to atom i, the data structure Bonds feeds downstream to CSym and
+// CNA.
+type Adjacency struct {
+	Cutoff float64
+	Adj    [][]int32
+}
+
+// NumBonds returns the number of unordered bonded pairs.
+func (a *Adjacency) NumBonds() int {
+	n := 0
+	for _, nb := range a.Adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// Degree returns the bond count of atom i.
+func (a *Adjacency) Degree(i int) int { return len(a.Adj[i]) }
+
+// Bonded reports whether i and j share a bond.
+func (a *Adjacency) Bonded(i, j int) bool {
+	for _, k := range a.Adj[i] {
+		if int(k) == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks symmetry and bounds.
+func (a *Adjacency) Validate() error {
+	for i, nb := range a.Adj {
+		for _, j := range nb {
+			if int(j) < 0 || int(j) >= len(a.Adj) {
+				return fmt.Errorf("smartpointer: bond %d-%d out of range", i, j)
+			}
+			if int(j) == i {
+				return fmt.Errorf("smartpointer: self bond at %d", i)
+			}
+			if !a.Bonded(int(j), i) {
+				return fmt.Errorf("smartpointer: asymmetric bond %d-%d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Bonds computes the bonded-atom adjacency for a snapshot: two atoms are
+// bonded when their minimum-image distance is within cutoff. This is the
+// real-algorithm counterpart of the pipeline's Bonds action.
+func Bonds(s *atoms.Snapshot, cutoff float64) *Adjacency {
+	cl := atoms.NewCellList(s, cutoff)
+	adj := make([][]int32, s.N())
+	for i := 0; i < s.N(); i++ {
+		cl.ForNeighbors(i, func(j int, _ float64) {
+			adj[i] = append(adj[i], int32(j))
+		})
+	}
+	return &Adjacency{Cutoff: cutoff, Adj: adj}
+}
+
+// BrokenBonds compares a reference adjacency against the current one and
+// returns the unordered pairs bonded in ref but not in cur — the signal
+// CSym uses to decide a bond break (and hence a forming crack) occurred.
+// Both adjacencies must cover the same atom indexing.
+func BrokenBonds(ref, cur *Adjacency) [][2]int32 {
+	var broken [][2]int32
+	for i, nb := range ref.Adj {
+		for _, j := range nb {
+			if int(j) <= i {
+				continue
+			}
+			if !cur.Bonded(i, int(j)) {
+				broken = append(broken, [2]int32{int32(i), j})
+			}
+		}
+	}
+	return broken
+}

@@ -1,0 +1,167 @@
+package smartpointer
+
+import "fmt"
+
+// Structure is a per-atom structural label from common-neighbor analysis.
+type Structure uint8
+
+// CNA structure classes.
+const (
+	StructOther Structure = iota
+	StructFCC
+	StructHCP
+	StructBCC
+)
+
+// String implements fmt.Stringer.
+func (s Structure) String() string {
+	switch s {
+	case StructFCC:
+		return "FCC"
+	case StructHCP:
+		return "HCP"
+	case StructBCC:
+		return "BCC"
+	case StructOther:
+		return "Other"
+	}
+	return fmt.Sprintf("Structure(%d)", uint8(s))
+}
+
+// CNASignature is the classic (j, k, l) triplet for one bonded pair:
+// j common neighbors, k bonds among them, l longest bond chain.
+type CNASignature struct {
+	J, K, L int
+}
+
+// CNAResult labels every atom.
+type CNAResult struct {
+	Labels []Structure
+	// Counts tallies atoms per structure class.
+	Counts map[Structure]int
+}
+
+// Fraction returns the fraction of atoms labeled st.
+func (r *CNAResult) Fraction(st Structure) float64 {
+	if len(r.Labels) == 0 {
+		return 0
+	}
+	return float64(r.Counts[st]) / float64(len(r.Labels))
+}
+
+// PairSignature computes the CNA triplet for the bonded pair (i, j): the
+// number of neighbors common to both, the bond count among those common
+// neighbors, and the longest chain those bonds form.
+func PairSignature(adj *Adjacency, i, j int) CNASignature {
+	common := commonNeighbors(adj, i, j)
+	k := 0
+	// Bonds among common neighbors.
+	bonds := make(map[int][]int, len(common))
+	for a := 0; a < len(common); a++ {
+		for b := a + 1; b < len(common); b++ {
+			if adj.Bonded(common[a], common[b]) {
+				k++
+				bonds[common[a]] = append(bonds[common[a]], common[b])
+				bonds[common[b]] = append(bonds[common[b]], common[a])
+			}
+		}
+	}
+	return CNASignature{J: len(common), K: k, L: longestChain(common, bonds)}
+}
+
+func commonNeighbors(adj *Adjacency, i, j int) []int {
+	inI := make(map[int32]bool, len(adj.Adj[i]))
+	for _, n := range adj.Adj[i] {
+		inI[n] = true
+	}
+	var common []int
+	for _, n := range adj.Adj[j] {
+		if inI[n] {
+			common = append(common, int(n))
+		}
+	}
+	return common
+}
+
+// longestChain returns the longest path length (in bonds) in the small
+// graph over common neighbors; exhaustive DFS is fine at CNA sizes (the
+// common-neighbor sets have ≤ 6 atoms in close-packed crystals).
+func longestChain(nodes []int, bonds map[int][]int) int {
+	best := 0
+	var dfs func(at int, visited map[int]bool, length int)
+	dfs = func(at int, visited map[int]bool, length int) {
+		if length > best {
+			best = length
+		}
+		for _, nxt := range bonds[at] {
+			if !visited[nxt] {
+				visited[nxt] = true
+				dfs(nxt, visited, length+1)
+				delete(visited, nxt)
+			}
+		}
+	}
+	for _, n := range nodes {
+		dfs(n, map[int]bool{n: true}, 0)
+	}
+	return best
+}
+
+// CNA performs common-neighbor analysis over a bond adjacency, labeling
+// each atom by the multiset of its pair signatures:
+//
+//	FCC: 12 bonds, all (4,2,1)
+//	HCP: 12 bonds, six (4,2,1) and six (4,2,2)
+//	BCC: 14 bonds, eight (6,6,6) and six (4,4,4)
+//
+// anything else is Other (surfaces, crack faces, dislocations) — the
+// "extensive structural labeling" the paper's CNA stage produces.
+func CNA(adj *Adjacency) *CNAResult {
+	n := len(adj.Adj)
+	res := &CNAResult{Labels: make([]Structure, n), Counts: map[Structure]int{}}
+	for i := 0; i < n; i++ {
+		res.Labels[i] = classify(adj, i)
+		res.Counts[res.Labels[i]]++
+	}
+	return res
+}
+
+func classify(adj *Adjacency, i int) Structure {
+	deg := adj.Degree(i)
+	switch deg {
+	case 12:
+		n421, n422 := 0, 0
+		for _, j := range adj.Adj[i] {
+			switch PairSignature(adj, i, int(j)) {
+			case CNASignature{4, 2, 1}:
+				n421++
+			case CNASignature{4, 2, 2}:
+				n422++
+			default:
+				return StructOther
+			}
+		}
+		if n421 == 12 {
+			return StructFCC
+		}
+		if n421 == 6 && n422 == 6 {
+			return StructHCP
+		}
+	case 14:
+		n666, n444 := 0, 0
+		for _, j := range adj.Adj[i] {
+			switch PairSignature(adj, i, int(j)) {
+			case CNASignature{6, 6, 6}:
+				n666++
+			case CNASignature{4, 4, 4}:
+				n444++
+			default:
+				return StructOther
+			}
+		}
+		if n666 == 8 && n444 == 6 {
+			return StructBCC
+		}
+	}
+	return StructOther
+}

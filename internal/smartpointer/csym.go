@@ -1,0 +1,119 @@
+package smartpointer
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/atoms"
+)
+
+// CSymResult holds per-atom central-symmetry parameters.
+type CSymResult struct {
+	// P[i] is atom i's central-symmetry parameter: ~0 in a perfect
+	// centrosymmetric crystal, large at defects and free surfaces.
+	P []float64
+	// Threshold is the defect classification bound used.
+	Threshold float64
+}
+
+// DefectCount returns the number of atoms with P above the threshold.
+func (r *CSymResult) DefectCount() int {
+	n := 0
+	for _, p := range r.P {
+		if p > r.Threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// DefectFraction returns the defective fraction of atoms.
+func (r *CSymResult) DefectFraction() float64 {
+	if len(r.P) == 0 {
+		return 0
+	}
+	return float64(r.DefectCount()) / float64(len(r.P))
+}
+
+// Max returns the largest parameter.
+func (r *CSymResult) Max() float64 {
+	m := 0.0
+	for _, p := range r.P {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// csymNeighbors is the neighbor count the parameter pairs over (12 for
+// FCC/HCP).
+const csymNeighbors = 12
+
+// CSym computes the central-symmetry parameter of every atom (Kelchner et
+// al.): take the 12 nearest neighbors, greedily match them into 6 most
+// nearly opposite pairs, and sum |r_a + r_b|^2. cutoff bounds the neighbor
+// search; threshold classifies defects (in units of the squared nearest-
+// neighbor distance a defect-free parameter is ~0 against).
+func CSym(s *atoms.Snapshot, cutoff, threshold float64) *CSymResult {
+	cl := atoms.NewCellList(s, cutoff)
+	res := &CSymResult{P: make([]float64, s.N()), Threshold: threshold}
+	type nb struct {
+		d2 float64
+		v  atoms.Vec3
+	}
+	for i := 0; i < s.N(); i++ {
+		var nbs []nb
+		cl.ForNeighbors(i, func(j int, d2 float64) {
+			nbs = append(nbs, nb{d2: d2, v: s.Box.Delta(s.Pos[i], s.Pos[j])})
+		})
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].d2 < nbs[b].d2 })
+		k := csymNeighbors
+		if len(nbs) < k {
+			k = len(nbs)
+		}
+		nbs = nbs[:k]
+		used := make([]bool, len(nbs))
+		p := 0.0
+		// Greedy opposite-pair matching: repeatedly take the unused pair
+		// with the smallest |ra+rb|^2.
+		for pairs := 0; pairs < len(nbs)/2; pairs++ {
+			best, bi, bj := math.Inf(1), -1, -1
+			for a := 0; a < len(nbs); a++ {
+				if used[a] {
+					continue
+				}
+				for b := a + 1; b < len(nbs); b++ {
+					if used[b] {
+						continue
+					}
+					sum := nbs[a].v.Add(nbs[b].v)
+					if d := sum.Dot(sum); d < best {
+						best, bi, bj = d, a, b
+					}
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			used[bi], used[bj] = true, true
+			p += best
+		}
+		// Atoms with under-full neighborhoods (surfaces, crack faces)
+		// are maximally non-centrosymmetric: charge the missing pairs.
+		if k < csymNeighbors && k > 0 {
+			missing := (csymNeighbors - k) / 2
+			p += float64(missing) * 2 * nbs[0].d2
+		}
+		res.P[i] = p
+	}
+	return res
+}
+
+// BreakDetected applies the pipeline's dynamic-branch trigger: a break is
+// declared when more than fraction of atoms are defective. The paper's
+// scenario has CSym detect the broken bond and switch the pipeline from
+// Bonds to CNA.
+func (r *CSymResult) BreakDetected(fraction float64) bool {
+	return r.DefectFraction() > fraction
+}

@@ -1,0 +1,161 @@
+package smartpointer
+
+import (
+	"sort"
+
+	"repro/internal/atoms"
+)
+
+// The paper's future-work pipeline for the CTH shock-physics code "turns
+// the raw atomic data into materials fragments to allow tracking...
+// both generating fragments and tracking them as they evolve in the
+// simulation". This file implements that analysis over the Bonds
+// adjacency: fragments are connected components of the bond graph, and
+// tracking matches fragments across timesteps by shared atom identity.
+
+// Fragment is one connected component of bonded atoms.
+type Fragment struct {
+	// Label is the fragment's index within its snapshot (size-ordered,
+	// largest first).
+	Label int
+	// Atoms holds the member atom indices (ascending).
+	Atoms []int32
+	// IDs holds the members' stable atom IDs (ascending).
+	IDs []int64
+	// Centroid is the mean member position (minimum-image averaged
+	// against the first member).
+	Centroid atoms.Vec3
+}
+
+// Size returns the atom count.
+func (f *Fragment) Size() int { return len(f.Atoms) }
+
+// Fragments decomposes a snapshot's bond graph into connected components
+// using union-find, returning them largest-first.
+func Fragments(s *atoms.Snapshot, adj *Adjacency) []*Fragment {
+	n := len(adj.Adj)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i, nb := range adj.Adj {
+		for _, j := range nb {
+			union(int32(i), j)
+		}
+	}
+	groups := map[int32][]int32{}
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		groups[r] = append(groups[r], int32(i))
+	}
+	frags := make([]*Fragment, 0, len(groups))
+	for _, members := range groups {
+		f := &Fragment{Atoms: members}
+		f.IDs = make([]int64, len(members))
+		for k, m := range members {
+			f.IDs[k] = s.ID[m]
+		}
+		sort.Slice(f.IDs, func(a, b int) bool { return f.IDs[a] < f.IDs[b] })
+		f.Centroid = fragmentCentroid(s, members)
+		frags = append(frags, f)
+	}
+	sort.Slice(frags, func(a, b int) bool {
+		if frags[a].Size() != frags[b].Size() {
+			return frags[a].Size() > frags[b].Size()
+		}
+		return frags[a].IDs[0] < frags[b].IDs[0]
+	})
+	for i, f := range frags {
+		f.Label = i
+	}
+	return frags
+}
+
+// fragmentCentroid averages member positions through the minimum image
+// relative to the first member, so fragments spanning the periodic
+// boundary get a sensible center.
+func fragmentCentroid(s *atoms.Snapshot, members []int32) atoms.Vec3 {
+	ref := s.Pos[members[0]]
+	var sum atoms.Vec3
+	for _, m := range members {
+		d := s.Box.Delta(ref, s.Pos[m])
+		sum = sum.Add(d)
+	}
+	return s.Box.Wrap(ref.Add(sum.Scale(1 / float64(len(members)))))
+}
+
+// FragmentMatch pairs a fragment in the current snapshot with its best
+// ancestor in the previous one.
+type FragmentMatch struct {
+	// Prev and Cur are fragment labels (-1 for none: birth or death).
+	Prev, Cur int
+	// Shared counts atoms common to both.
+	Shared int
+}
+
+// TrackFragments matches fragments across two timesteps by shared atom
+// IDs: each current fragment maps to the previous fragment contributing
+// most of its atoms. Unmatched previous fragments are reported as deaths
+// (Cur == -1); current fragments with no ancestor are births
+// (Prev == -1). A fragment that splits yields several matches with the
+// same Prev — how crack-opening events read in fragment space.
+func TrackFragments(prev, cur []*Fragment) []FragmentMatch {
+	owner := map[int64]int{} // atom ID -> prev fragment label
+	for _, f := range prev {
+		for _, id := range f.IDs {
+			owner[id] = f.Label
+		}
+	}
+	var out []FragmentMatch
+	matchedPrev := map[int]bool{}
+	for _, f := range cur {
+		votes := map[int]int{}
+		for _, id := range f.IDs {
+			if p, ok := owner[id]; ok {
+				votes[p]++
+			}
+		}
+		best, bestN := -1, 0
+		for p, n := range votes {
+			if n > bestN || (n == bestN && p < best) {
+				best, bestN = p, n
+			}
+		}
+		out = append(out, FragmentMatch{Prev: best, Cur: f.Label, Shared: bestN})
+		if best >= 0 {
+			matchedPrev[best] = true
+		}
+	}
+	for _, f := range prev {
+		if !matchedPrev[f.Label] {
+			out = append(out, FragmentMatch{Prev: f.Label, Cur: -1})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Cur != out[b].Cur {
+			if out[a].Cur == -1 {
+				return false
+			}
+			if out[b].Cur == -1 {
+				return true
+			}
+			return out[a].Cur < out[b].Cur
+		}
+		return out[a].Prev < out[b].Prev
+	})
+	return out
+}

@@ -1,0 +1,199 @@
+package smartpointer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atoms"
+)
+
+// twoBlockSnapshot builds two well-separated atom clusters in one box.
+func twoBlockSnapshot(a float64) *atoms.Snapshot {
+	s := &atoms.Snapshot{Box: atoms.Box{L: atoms.Vec3{40 * a, 10 * a, 10 * a}}}
+	id := int64(0)
+	addBlock := func(x0 float64, nx int) {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < 3; y++ {
+				for z := 0; z < 3; z++ {
+					s.ID = append(s.ID, id)
+					s.Pos = append(s.Pos, atoms.Vec3{
+						x0 + float64(x)*a, float64(y) * a, float64(z) * a})
+					s.Vel = append(s.Vel, atoms.Vec3{})
+					id++
+				}
+			}
+		}
+	}
+	addBlock(0, 4)    // 36 atoms
+	addBlock(20*a, 3) // 27 atoms, far away
+	return s
+}
+
+func TestFragmentsSeparatesComponents(t *testing.T) {
+	a := 1.0
+	s := twoBlockSnapshot(a)
+	adj := Bonds(s, 1.1*a)
+	frags := Fragments(s, adj)
+	if len(frags) != 2 {
+		t.Fatalf("fragments %d, want 2", len(frags))
+	}
+	// Largest first.
+	if frags[0].Size() != 36 || frags[1].Size() != 27 {
+		t.Fatalf("sizes %d %d", frags[0].Size(), frags[1].Size())
+	}
+	if frags[0].Label != 0 || frags[1].Label != 1 {
+		t.Fatal("labels not ordered")
+	}
+	// No atom in two fragments; all atoms covered.
+	seen := map[int64]bool{}
+	for _, f := range frags {
+		for _, id := range f.IDs {
+			if seen[id] {
+				t.Fatalf("atom %d in two fragments", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != s.N() {
+		t.Fatalf("covered %d of %d atoms", len(seen), s.N())
+	}
+}
+
+func TestFragmentCentroid(t *testing.T) {
+	a := 1.0
+	s := twoBlockSnapshot(a)
+	adj := Bonds(s, 1.1*a)
+	frags := Fragments(s, adj)
+	// Block 1 spans x in [0,3a]: centroid x = 1.5a.
+	if math.Abs(frags[0].Centroid[0]-1.5) > 1e-9 {
+		t.Fatalf("centroid %v", frags[0].Centroid)
+	}
+	// Block 2 spans x in [20a,22a]: centroid x = 21a.
+	if math.Abs(frags[1].Centroid[0]-21) > 1e-9 {
+		t.Fatalf("centroid %v", frags[1].Centroid)
+	}
+}
+
+func TestFragmentCentroidAcrossBoundary(t *testing.T) {
+	// A two-atom "fragment" straddling the periodic boundary: atoms at
+	// x=9.8 and x=0.2 in a box of 10. The centroid must be ~0.0 (the
+	// wrap point), not 5.0.
+	s := &atoms.Snapshot{Box: atoms.Box{L: atoms.Vec3{10, 10, 10}},
+		ID:  []int64{0, 1},
+		Pos: []atoms.Vec3{{9.8, 1, 1}, {0.2, 1, 1}},
+		Vel: make([]atoms.Vec3, 2)}
+	adj := Bonds(s, 0.5)
+	frags := Fragments(s, adj)
+	if len(frags) != 1 {
+		t.Fatalf("fragments %d", len(frags))
+	}
+	x := frags[0].Centroid[0]
+	if !(x > 9.9 || x < 0.1) {
+		t.Fatalf("boundary centroid x=%g, want near the wrap point", x)
+	}
+}
+
+func TestCrackSplitsCrystalIntoFragments(t *testing.T) {
+	// Pull a crystal apart along x and watch one fragment become two —
+	// the CTH-style fragment-generation event.
+	a := 1.5496
+	s := atoms.FCCLattice(6, 3, 3, a)
+	adj := Bonds(s, 0.85*a)
+	before := Fragments(s, adj)
+	if len(before) != 1 {
+		t.Fatalf("intact crystal has %d fragments", len(before))
+	}
+	// Separate the halves by shifting the right half outward.
+	cut := s.Box.L[0] / 2
+	s.Box.L[0] *= 2 // room to move without periodic rejoining
+	for i := range s.Pos {
+		if s.Pos[i][0] >= cut {
+			s.Pos[i][0] += 5 * a
+		}
+	}
+	after := Fragments(s, Bonds(s, 0.85*a))
+	if len(after) != 2 {
+		t.Fatalf("split crystal has %d fragments", len(after))
+	}
+	matches := TrackFragments(before, after)
+	// Both new fragments descend from fragment 0 (a split), no deaths.
+	splitChildren := 0
+	for _, m := range matches {
+		if m.Cur >= 0 {
+			if m.Prev != 0 {
+				t.Fatalf("child %d has ancestor %d", m.Cur, m.Prev)
+			}
+			if m.Shared == 0 {
+				t.Fatal("split child shares no atoms with parent")
+			}
+			splitChildren++
+		}
+	}
+	if splitChildren != 2 {
+		t.Fatalf("split children %d", splitChildren)
+	}
+}
+
+func TestTrackFragmentsBirthsAndDeaths(t *testing.T) {
+	mk := func(label int, ids ...int64) *Fragment {
+		return &Fragment{Label: label, IDs: ids}
+	}
+	prev := []*Fragment{mk(0, 1, 2, 3), mk(1, 10, 11)}
+	cur := []*Fragment{mk(0, 1, 2, 3), mk(1, 50, 51)} // 10,11 gone; 50,51 born
+	matches := TrackFragments(prev, cur)
+	var birth, death, stable bool
+	for _, m := range matches {
+		switch {
+		case m.Prev == -1 && m.Cur == 1:
+			birth = true
+		case m.Prev == 1 && m.Cur == -1:
+			death = true
+		case m.Prev == 0 && m.Cur == 0 && m.Shared == 3:
+			stable = true
+		}
+	}
+	if !birth || !death || !stable {
+		t.Fatalf("matches %+v", matches)
+	}
+}
+
+// Property: fragments partition the atom set for arbitrary random
+// configurations — every atom in exactly one fragment, sizes sum to N.
+func TestFragmentsPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		r := newDeterministic(seed)
+		s := &atoms.Snapshot{Box: atoms.Box{L: atoms.Vec3{8, 8, 8}},
+			ID: make([]int64, n), Pos: make([]atoms.Vec3, n), Vel: make([]atoms.Vec3, n)}
+		for i := 0; i < n; i++ {
+			s.ID[i] = int64(i * 3) // non-dense IDs
+			s.Pos[i] = atoms.Vec3{r() * 8, r() * 8, r() * 8}
+		}
+		frags := Fragments(s, Bonds(s, 1.2))
+		total := 0
+		seen := map[int64]bool{}
+		for _, fr := range frags {
+			total += fr.Size()
+			for _, id := range fr.IDs {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newDeterministic returns a cheap deterministic [0,1) generator.
+func newDeterministic(seed int64) func() float64 {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	return func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+}

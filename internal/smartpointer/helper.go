@@ -1,0 +1,71 @@
+package smartpointer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/atoms"
+)
+
+// Merge combines per-rank partial snapshots (as the LAMMPS Helper
+// aggregation tree does with the bonds data arriving from the parallel
+// simulation) into one snapshot ordered by atom ID. All parts must share
+// the same box and timestep.
+func Merge(parts []*atoms.Snapshot) (*atoms.Snapshot, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("smartpointer: merge of zero parts")
+	}
+	out := &atoms.Snapshot{Step: parts[0].Step, Box: parts[0].Box}
+	for pi, p := range parts {
+		if p.Box != parts[0].Box {
+			return nil, fmt.Errorf("smartpointer: part %d box mismatch", pi)
+		}
+		if p.Step != parts[0].Step {
+			return nil, fmt.Errorf("smartpointer: part %d step %d != %d", pi, p.Step, parts[0].Step)
+		}
+		out.ID = append(out.ID, p.ID...)
+		out.Pos = append(out.Pos, p.Pos...)
+		out.Vel = append(out.Vel, p.Vel...)
+	}
+	// Order by ID and reject duplicates.
+	idx := make([]int, len(out.ID))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return out.ID[idx[a]] < out.ID[idx[b]] })
+	id := make([]int64, len(idx))
+	pos := make([]atoms.Vec3, len(idx))
+	vel := make([]atoms.Vec3, len(idx))
+	for k, i := range idx {
+		id[k], pos[k], vel[k] = out.ID[i], out.Pos[i], out.Vel[i]
+		if k > 0 && id[k] == id[k-1] {
+			return nil, fmt.Errorf("smartpointer: duplicate atom id %d across parts", id[k])
+		}
+	}
+	out.ID, out.Pos, out.Vel = id, pos, vel
+	return out, nil
+}
+
+// Partition splits a snapshot into n contiguous slabs along the x axis,
+// the inverse of Merge used to emulate per-rank LAMMPS output.
+func Partition(s *atoms.Snapshot, n int) []*atoms.Snapshot {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]*atoms.Snapshot, n)
+	for i := range parts {
+		parts[i] = &atoms.Snapshot{Step: s.Step, Box: s.Box}
+	}
+	w := s.Box.L[0] / float64(n)
+	for i := range s.Pos {
+		k := int(s.Box.Wrap(s.Pos[i])[0] / w)
+		if k >= n {
+			k = n - 1
+		}
+		p := parts[k]
+		p.ID = append(p.ID, s.ID[i])
+		p.Pos = append(p.Pos, s.Pos[i])
+		p.Vel = append(p.Vel, s.Vel[i])
+	}
+	return parts
+}

@@ -1,0 +1,390 @@
+package smartpointer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atoms"
+	"repro/internal/lammps"
+	"repro/internal/sim"
+)
+
+// fccCutoff picks a bond cutoff between the first (a/√2 ≈ 0.707a) and
+// second (a) FCC neighbor shells.
+func fccCutoff(a float64) float64 { return a * 0.85 }
+
+func TestBondsPerfectFCC(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(4, 4, 4, a)
+	adj := Bonds(s, fccCutoff(a))
+	if err := adj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.N(); i++ {
+		if adj.Degree(i) != 12 {
+			t.Fatalf("atom %d degree %d, want 12", i, adj.Degree(i))
+		}
+	}
+	if adj.NumBonds() != s.N()*12/2 {
+		t.Fatalf("bonds %d", adj.NumBonds())
+	}
+}
+
+func TestBrokenBondsDetectsNotch(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(5, 5, 5, a)
+	ref := Bonds(s, fccCutoff(a))
+	// Carving a notch removes atoms; rebuild adjacency over the same
+	// indexing by displacing the notch atoms far instead of deleting.
+	cur := s.Clone()
+	moved := 0
+	for i := range cur.Pos {
+		if cur.Pos[i][0] < a && cur.Pos[i][1] < cur.Box.L[1]/2 {
+			cur.Pos[i][2] = math.Mod(cur.Pos[i][2]+cur.Box.L[2]/2, cur.Box.L[2])
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test setup moved nothing")
+	}
+	curAdj := Bonds(cur, fccCutoff(a))
+	broken := BrokenBonds(ref, curAdj)
+	if len(broken) == 0 {
+		t.Fatal("no broken bonds detected")
+	}
+	// No broken bonds in the identity case.
+	if got := BrokenBonds(ref, ref); len(got) != 0 {
+		t.Fatalf("self-comparison broke %d bonds", len(got))
+	}
+}
+
+func TestCSymPerfectCrystalNearZero(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(4, 4, 4, a)
+	res := CSym(s, fccCutoff(a), 0.1)
+	if res.Max() > 1e-9 {
+		t.Fatalf("perfect crystal max csym %g, want ~0", res.Max())
+	}
+	if res.DefectCount() != 0 || res.BreakDetected(0.001) {
+		t.Fatal("perfect crystal misclassified as defective")
+	}
+}
+
+func TestCSymDetectsNotchSurface(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(5, 5, 5, a)
+	removed := lammps.Notch(s, 1.5*a, 0.5)
+	if removed == 0 {
+		t.Fatal("notch empty")
+	}
+	res := CSym(s, fccCutoff(a), 0.1)
+	if res.DefectCount() == 0 {
+		t.Fatal("notch surface not detected")
+	}
+	if !res.BreakDetected(0.01) {
+		t.Fatalf("break not detected: fraction %.3f", res.DefectFraction())
+	}
+	// Interior atoms must stay pristine.
+	interior := 0
+	for i, p := range res.P {
+		pos := s.Pos[i]
+		if pos[0] > 3*a && pos[0] < s.Box.L[0]-a && p < 1e-9 {
+			interior++
+		}
+	}
+	if interior == 0 {
+		t.Fatal("no pristine interior found; notch test is degenerate")
+	}
+}
+
+func TestCNAFCC(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(4, 4, 4, a)
+	adj := Bonds(s, fccCutoff(a))
+	res := CNA(adj)
+	if res.Fraction(StructFCC) != 1 {
+		t.Fatalf("FCC fraction %.3f, counts %v", res.Fraction(StructFCC), res.Counts)
+	}
+}
+
+func TestCNAHCP(t *testing.T) {
+	// The box must be at least ~3 cells per axis: smaller periodic
+	// images distort the common-neighbor sets.
+	a := 1.5
+	s := atoms.HCPLattice(4, 3, 3, a)
+	adj := Bonds(s, a*1.1) // capture the 12 neighbors at distance a
+	for i := 0; i < s.N(); i++ {
+		if adj.Degree(i) != 12 {
+			t.Fatalf("HCP atom %d degree %d, want 12", i, adj.Degree(i))
+		}
+	}
+	res := CNA(adj)
+	if res.Fraction(StructHCP) != 1 {
+		t.Fatalf("HCP fraction %.3f, counts %v", res.Fraction(StructHCP), res.Counts)
+	}
+}
+
+func TestCNASignatureFCCPairs(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(4, 4, 4, a)
+	adj := Bonds(s, fccCutoff(a))
+	sig := PairSignature(adj, 0, int(adj.Adj[0][0]))
+	if sig != (CNASignature{4, 2, 1}) {
+		t.Fatalf("FCC pair signature %+v, want {4 2 1}", sig)
+	}
+}
+
+func TestCNANotchedCrystalHasOtherAtoms(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(5, 5, 5, a)
+	lammps.Notch(s, 1.5*a, 0.5)
+	adj := Bonds(s, fccCutoff(a))
+	res := CNA(adj)
+	if res.Counts[StructOther] == 0 {
+		t.Fatal("crack surface produced no Other labels")
+	}
+	if res.Counts[StructFCC] == 0 {
+		t.Fatal("interior FCC should survive")
+	}
+	if got := res.Fraction(StructOther) + res.Fraction(StructFCC) + res.Fraction(StructHCP) + res.Fraction(StructBCC); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("fractions sum to %g", got)
+	}
+}
+
+func TestStructureStrings(t *testing.T) {
+	if StructFCC.String() != "FCC" || StructHCP.String() != "HCP" ||
+		StructBCC.String() != "BCC" || StructOther.String() != "Other" {
+		t.Fatal("structure names wrong")
+	}
+	if Structure(42).String() == "" {
+		t.Fatal("unknown structure should format")
+	}
+}
+
+func TestMergePartitionRoundTrip(t *testing.T) {
+	a := 1.5496
+	s := atoms.FCCLattice(4, 4, 4, a)
+	s.Step = 9
+	parts := Partition(s, 4)
+	total := 0
+	for _, p := range parts {
+		total += p.N()
+	}
+	if total != s.N() {
+		t.Fatalf("partition lost atoms: %d != %d", total, s.N())
+	}
+	merged, err := Merge(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.N() != s.N() || merged.Step != 9 {
+		t.Fatalf("merged n=%d step=%d", merged.N(), merged.Step)
+	}
+	// IDs sorted; positions must match the original by ID.
+	byID := map[int64]atoms.Vec3{}
+	for i, id := range s.ID {
+		byID[id] = s.Pos[i]
+	}
+	for i, id := range merged.ID {
+		if i > 0 && merged.ID[i-1] >= id {
+			t.Fatal("merged IDs not strictly increasing")
+		}
+		if byID[id] != merged.Pos[i] {
+			t.Fatalf("atom %d position mismatch", id)
+		}
+	}
+}
+
+func TestMergeRejectsBadParts(t *testing.T) {
+	a := 1.5
+	s1 := atoms.FCCLattice(2, 2, 2, a)
+	s2 := atoms.FCCLattice(2, 2, 2, a)
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty merge should fail")
+	}
+	if _, err := Merge([]*atoms.Snapshot{s1, s2}); err == nil {
+		t.Fatal("duplicate IDs should fail")
+	}
+	s3 := atoms.FCCLattice(2, 2, 2, a)
+	for i := range s3.ID {
+		s3.ID[i] += int64(s1.N())
+	}
+	s3.Step = 5
+	if _, err := Merge([]*atoms.Snapshot{s1, s3}); err == nil {
+		t.Fatal("step mismatch should fail")
+	}
+	s3.Step = 0
+	s3.Box.L[0] *= 2
+	if _, err := Merge([]*atoms.Snapshot{s1, s3}); err == nil {
+		t.Fatal("box mismatch should fail")
+	}
+}
+
+// Property: Partition then Merge is the identity (up to ID ordering) for
+// random partition counts.
+func TestPartitionMergeProperty(t *testing.T) {
+	a := 1.5496
+	base := atoms.FCCLattice(3, 3, 3, a)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		merged, err := Merge(Partition(base, n))
+		if err != nil || merged.N() != base.N() {
+			return false
+		}
+		for i, id := range merged.ID {
+			if id != int64(i) { // FCC IDs are dense 0..N-1
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSym is invariant under rigid translation of the whole
+// crystal (wrapped through the periodic box).
+func TestCSymTranslationInvarianceProperty(t *testing.T) {
+	a := 1.5496
+	base := atoms.FCCLattice(3, 3, 3, a)
+	ref := CSym(base, fccCutoff(a), 0.1)
+	f := func(dx, dy, dz float64) bool {
+		shift := atoms.Vec3{math.Mod(dx, 10), math.Mod(dy, 10), math.Mod(dz, 10)}
+		for i := range shift {
+			if math.IsNaN(shift[i]) || math.IsInf(shift[i], 0) {
+				shift[i] = 0
+			}
+		}
+		s := base.Clone()
+		for i := range s.Pos {
+			s.Pos[i] = s.Box.Wrap(s.Pos[i].Add(shift))
+		}
+		got := CSym(s, fccCutoff(a), 0.1)
+		for i := range got.P {
+			if math.Abs(got.P[i]-ref.P[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Characteristics(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	h := CharacteristicsFor(KindHelper)
+	if h.Complexity != "O(n)" || !h.Supports(ModelTree) || h.DynamicBranching {
+		t.Fatalf("Helper row %+v", h)
+	}
+	b := CharacteristicsFor(KindBonds)
+	if b.Complexity != "O(n^2)" || !b.DynamicBranching ||
+		!b.Supports(ModelSerial) || !b.Supports(ModelRR) || !b.Supports(ModelParallel) {
+		t.Fatalf("Bonds row %+v", b)
+	}
+	c := CharacteristicsFor(KindCSym)
+	if c.Complexity != "O(n)" || c.DynamicBranching || c.Supports(ModelParallel) {
+		t.Fatalf("CSym row %+v", c)
+	}
+	n := CharacteristicsFor(KindCNA)
+	if n.Complexity != "O(n^3)" || n.Supports(ModelTree) {
+		t.Fatalf("CNA row %+v", n)
+	}
+	if KindHelper.String() != "Helper" || KindCNA.String() != "CNA" {
+		t.Fatal("kind names wrong")
+	}
+	if ModelRR.String() != "RR" || ModelTree.String() != "Tree" {
+		t.Fatal("model names wrong")
+	}
+}
+
+func TestCostModelScaling(t *testing.T) {
+	models := DefaultCostModels()
+	bonds := models[KindBonds]
+	ref := int64(refAtoms256)
+	t1 := bonds.ServiceTime(ref, ModelSerial, 1, false)
+	if t1 != bonds.Base {
+		t.Fatalf("reference service time %v, want %v", t1, bonds.Base)
+	}
+	// O(n^2): doubling atoms quadruples time.
+	t2 := bonds.ServiceTime(2*ref, ModelSerial, 1, false)
+	ratio := float64(t2) / float64(t1)
+	if math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("O(n^2) ratio %g, want 4", ratio)
+	}
+	// CSym is O(n): doubling doubles.
+	cs := models[KindCSym]
+	ratio = float64(cs.ServiceTime(2*ref, ModelSerial, 1, false)) /
+		float64(cs.ServiceTime(ref, ModelSerial, 1, false))
+	if math.Abs(ratio-2) > 0.01 {
+		t.Fatalf("O(n) ratio %g, want 2", ratio)
+	}
+	// CNA is O(n^3).
+	cna := models[KindCNA]
+	ratio = float64(cna.ServiceTime(2*ref, ModelSerial, 1, false)) /
+		float64(cna.ServiceTime(ref, ModelSerial, 1, false))
+	if math.Abs(ratio-8) > 0.01 {
+		t.Fatalf("O(n^3) ratio %g, want 8", ratio)
+	}
+}
+
+func TestCostModelComputeModels(t *testing.T) {
+	bonds := DefaultCostModels()[KindBonds]
+	ref := int64(refAtoms256)
+	serial := bonds.ServiceTime(ref, ModelSerial, 1, false)
+	// RR does not shrink service time but multiplies throughput.
+	if got := bonds.ServiceTime(ref, ModelRR, 4, false); got != serial {
+		t.Fatalf("RR service time %v, want %v", got, serial)
+	}
+	if got := bonds.ThroughputPeriod(ref, ModelRR, 4, false); got != serial/4 {
+		t.Fatalf("RR throughput period %v, want %v", got, serial/4)
+	}
+	// Parallel shrinks service time, sublinearly.
+	par := bonds.ServiceTime(ref, ModelParallel, 4, false)
+	if par >= serial || par <= serial/4 {
+		t.Fatalf("parallel service time %v vs serial %v: want sublinear speedup", par, serial)
+	}
+	// Crack factor raises cost.
+	if got := bonds.ServiceTime(ref, ModelSerial, 1, true); got <= serial {
+		t.Fatalf("crack time %v should exceed %v", got, serial)
+	}
+}
+
+func TestReplicasToSustain(t *testing.T) {
+	bonds := DefaultCostModels()[KindBonds]
+	period := 15 * sim.Second
+	// 256 nodes: 48s serial -> 4 RR replicas sustain 15s cadence.
+	if got := bonds.ReplicasToSustain(refAtoms256, ModelRR, period, false, 32); got != 4 {
+		t.Fatalf("256-node replicas %d, want 4", got)
+	}
+	// 512 nodes: 192s serial -> 13 replicas.
+	if got := bonds.ReplicasToSustain(2*refAtoms256, ModelRR, period, false, 32); got != 13 {
+		t.Fatalf("512-node replicas %d, want 13", got)
+	}
+	// 1024 nodes: 768s serial -> 52 replicas, beyond a 24-node staging
+	// area: insufficient (0), the Fig. 9 offline trigger.
+	if got := bonds.ReplicasToSustain(4*refAtoms256, ModelRR, period, false, 24); got != 0 {
+		t.Fatalf("1024-node replicas %d, want 0 (insufficient)", got)
+	}
+	if got := bonds.ReplicasToSustain(4*refAtoms256, ModelRR, period, false, 64); got != 52 {
+		t.Fatalf("1024-node unlimited replicas %d, want 52", got)
+	}
+}
+
+func TestHelperIsFastAndOverProvisioned(t *testing.T) {
+	helper := DefaultCostModels()[KindHelper]
+	st := helper.ServiceTime(refAtoms256, ModelTree, 4, false)
+	if st >= 15*sim.Second {
+		t.Fatalf("helper service time %v should beat the output period", st)
+	}
+	// Even a decreased helper sustains the cadence (the Fig. 7 steal).
+	if got := helper.ThroughputPeriod(refAtoms256, ModelTree, 2, false); got >= 15*sim.Second {
+		t.Fatalf("decreased helper period %v", got)
+	}
+}

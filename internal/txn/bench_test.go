@@ -1,0 +1,48 @@
+package txn
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// BenchmarkTransaction measures one full commit at several writer scales
+// (each iteration is a complete vote/decide/ack protocol run).
+func BenchmarkTransaction(b *testing.B) {
+	for _, writers := range []int{128, 1024, 4096} {
+		writers := writers
+		b.Run(itoa(writers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(int64(i))
+				mc := cluster.RedSky()
+				mach := cluster.New(eng, mc)
+				tx, err := New(eng, mach, Config{Writers: writers, Readers: writers / 128})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var st Stats
+				eng.Go("driver", func(p *sim.Proc) { st = tx.Run(p) })
+				eng.Run()
+				if st.Outcome != Committed {
+					b.Fatal("aborted")
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

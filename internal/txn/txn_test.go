@@ -1,0 +1,199 @@
+package txn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func runTxn(t *testing.T, cfg Config, withMachine bool) (*Transaction, Stats) {
+	t.Helper()
+	eng := sim.NewEngine(17)
+	var mach *cluster.Machine
+	if withMachine {
+		mc := cluster.RedSky()
+		mc.Nodes = 512
+		mach = cluster.New(eng, mc)
+	}
+	tx, err := New(eng, mach, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	eng.Go("driver", func(p *sim.Proc) { st = tx.Run(p) })
+	eng.Run()
+	return tx, st
+}
+
+func TestCommitAllHealthy(t *testing.T) {
+	tx, st := runTxn(t, Config{Writers: 64, Readers: 4}, true)
+	if st.Outcome != Committed {
+		t.Fatalf("outcome %v", st.Outcome)
+	}
+	if st.Decided != 68 {
+		t.Fatalf("decided %d, want 68", st.Decided)
+	}
+	for rank, o := range tx.Outcomes() {
+		if o != Committed {
+			t.Fatalf("rank %d decided %v", rank, o)
+		}
+	}
+	if st.Duration <= 0 || st.Messages == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAbortVotePropagates(t *testing.T) {
+	tx, st := runTxn(t, Config{Writers: 32, Readers: 4,
+		AbortVoters: map[int]bool{17: true}}, true)
+	if st.Outcome != Aborted {
+		t.Fatalf("outcome %v", st.Outcome)
+	}
+	for rank, o := range tx.Outcomes() {
+		if o != Aborted {
+			t.Fatalf("rank %d decided %v", rank, o)
+		}
+	}
+}
+
+func TestReaderSideAbort(t *testing.T) {
+	// An abort vote on the reader side must cross the sub-coordinator
+	// boundary.
+	_, st := runTxn(t, Config{Writers: 16, Readers: 8,
+		AbortVoters: map[int]bool{16 + 3: true}}, true)
+	if st.Outcome != Aborted {
+		t.Fatalf("outcome %v", st.Outcome)
+	}
+}
+
+func TestSilentParticipantAborts(t *testing.T) {
+	tx, st := runTxn(t, Config{Writers: 32, Readers: 4,
+		SilentRanks: map[int]bool{9: true}, VoteTimeout: sim.Second}, true)
+	if st.Outcome != Aborted {
+		t.Fatalf("outcome %v", st.Outcome)
+	}
+	// The silent rank never decides; everyone else agrees.
+	outcomes := tx.Outcomes()
+	if _, ok := outcomes[9]; ok {
+		t.Fatal("silent rank should not decide")
+	}
+	for _, o := range outcomes {
+		if o != Aborted {
+			t.Fatalf("inconsistent decision %v", o)
+		}
+	}
+}
+
+func TestSilentSubtreeStillCompletes(t *testing.T) {
+	// A silent internal tree node orphans its whole subtree, yet the
+	// transaction completes with a consistent abort for everyone who can
+	// still hear the coordinator.
+	tx, st := runTxn(t, Config{Writers: 64, Readers: 4,
+		SilentRanks: map[int]bool{1: true}, // internal node (children 9..16)
+		VoteTimeout: sim.Second}, true)
+	if st.Outcome != Aborted {
+		t.Fatalf("outcome %v", st.Outcome)
+	}
+	for _, o := range tx.Outcomes() {
+		if o != Aborted {
+			t.Fatal("inconsistent outcome")
+		}
+	}
+}
+
+func TestScalabilityTreeDepth(t *testing.T) {
+	// Duration grows slowly (with tree depth), not linearly with writer
+	// count — the paper's Fig. 6 scalability claim.
+	var durations []sim.Time
+	for _, w := range []int{64, 512, 4096} {
+		_, st := runTxn(t, Config{Writers: w, Readers: 4}, true)
+		if st.Outcome != Committed {
+			t.Fatalf("writers=%d outcome %v", w, st.Outcome)
+		}
+		durations = append(durations, st.Duration)
+	}
+	if durations[2] <= durations[0] {
+		t.Fatalf("durations should grow: %v", durations)
+	}
+	// 64x writer growth must cost far less than 8x duration.
+	if float64(durations[2]) > 8*float64(durations[0]) {
+		t.Fatalf("poor scalability: %v", durations)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if _, err := New(eng, nil, Config{Writers: 0, Readers: 1}); err == nil {
+		t.Fatal("zero writers should fail")
+	}
+	if _, err := New(eng, nil, Config{Writers: 1, Readers: 0}); err == nil {
+		t.Fatal("zero readers should fail")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Fatal("outcome strings wrong")
+	}
+}
+
+func TestCostlessTransaction(t *testing.T) {
+	// nil machine: protocol still completes with zero network cost.
+	_, st := runTxn(t, Config{Writers: 8, Readers: 2}, false)
+	if st.Outcome != Committed {
+		t.Fatalf("outcome %v", st.Outcome)
+	}
+}
+
+// Property: atomicity — under arbitrary abort/silent failure patterns,
+// every participant that decides agrees with the coordinator's outcome,
+// and an all-healthy subset commits.
+func TestAtomicityProperty(t *testing.T) {
+	f := func(seed int64, wRaw, rRaw uint8, failures []uint16) bool {
+		w := int(wRaw%60) + 4
+		r := int(rRaw%8) + 1
+		cfg := Config{Writers: w, Readers: r, VoteTimeout: sim.Second,
+			AbortVoters: map[int]bool{}, SilentRanks: map[int]bool{}}
+		anyFailure := false
+		for i, fr := range failures {
+			if i >= 4 {
+				break
+			}
+			rank := int(fr) % (w + r)
+			if rank == 0 {
+				continue // keep the global coordinator alive
+			}
+			anyFailure = true
+			if fr%2 == 0 {
+				cfg.AbortVoters[rank] = true
+			} else {
+				cfg.SilentRanks[rank] = true
+			}
+		}
+		eng := sim.NewEngine(seed)
+		tx, err := New(eng, nil, cfg)
+		if err != nil {
+			return false
+		}
+		var st Stats
+		eng.Go("driver", func(p *sim.Proc) { st = tx.Run(p) })
+		eng.Run()
+		if anyFailure && st.Outcome != Aborted {
+			return false
+		}
+		if !anyFailure && st.Outcome != Committed {
+			return false
+		}
+		for _, o := range tx.Outcomes() {
+			if o != st.Outcome {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package iocontainer
+
+import "testing"
+
+// The facade tests exercise the public API exactly as the examples do,
+// keeping the aliases honest.
+
+func TestPublicQuickstart(t *testing.T) {
+	cfg := Config{
+		SimNodes:     256,
+		StagingNodes: 13,
+		Sizes:        DefaultSizes(13),
+		Steps:        10,
+		CrackStep:    -1,
+		Seed:         1,
+	}
+	rt, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != 10 {
+		t.Fatalf("emitted %d", res.Emitted)
+	}
+}
+
+func TestPublicTables(t *testing.T) {
+	if len(Table1()) != 4 {
+		t.Fatal("Table1 rows")
+	}
+	if len(Table2()) != 3 {
+		t.Fatal("Table2 rows")
+	}
+	if ScaleForNodes(256).AtomCount != 8819989 {
+		t.Fatal("scale drifted")
+	}
+	if len(DefaultCostModels()) != 4 {
+		t.Fatal("cost models")
+	}
+	if len(DefaultSpecs()) != 4 {
+		t.Fatal("default specs")
+	}
+	specs := SpecsWithBondsModel(ModelParallel)
+	found := false
+	for _, s := range specs {
+		if s.Kind == KindBonds && s.Model == ModelParallel {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("bonds model override missing")
+	}
+}
+
+func TestPublicMachines(t *testing.T) {
+	if Franklin().Nodes != 9572 || RedSky().Nodes != 2823 {
+		t.Fatal("machine configs drifted")
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if len(Experiments()) != 10 {
+		t.Fatalf("experiment count %d", len(Experiments()))
+	}
+	e, ok := ExperimentByID("table1")
+	if !ok {
+		t.Fatal("table1 missing")
+	}
+	out, err := e.Run(1)
+	if err != nil || out.ID != "table1" {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicOutcomes(t *testing.T) {
+	if TxnCommitted.String() != "committed" || TxnAborted.String() != "aborted" {
+		t.Fatal("txn outcomes")
+	}
+	if Second != 1000*Millisecond || Minute != 60*Second {
+		t.Fatal("durations")
+	}
+	_ = Microsecond
+}
