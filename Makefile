@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# check is what CI runs.
+check: fmt vet build race
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -7,6 +7,7 @@
 //	iocontainersim [-sim 256] [-staging 13] [-steps 20] [-period 15]
 //	               [-crack -1] [-seed 42] [-parallel-bonds]
 //	               [-no-management] [-no-offline] [-no-steal]
+//	               [-crash-node -1] [-crash-at 60] [-no-self-heal]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -39,6 +41,9 @@ func main() {
 	chart := flag.Bool("chart", false, "render ASCII charts of the key series")
 	standby := flag.Bool("standby", false, "deploy a standby global manager")
 	killGM := flag.Float64("kill-gm", 0, "kill the primary global manager at this virtual second (0 = never)")
+	crashNode := flag.Int("crash-node", -1, "machine node to fail-stop (-1 = none; staging IDs start at -sim)")
+	crashAt := flag.Float64("crash-at", 60, "virtual second at which -crash-node dies")
+	noHeal := flag.Bool("no-self-heal", false, "disable the replica-restart protocol")
 	flag.Parse()
 	showCharts = *chart
 
@@ -62,14 +67,23 @@ func main() {
 		Seed:         *seed,
 		StandbyGM:    *standby,
 		Policy: core.PolicyConfig{
-			DisableManagement: *noMgmt,
-			DisableOffline:    *noOffline,
-			DisableStealing:   *noSteal,
-			KillGMAt:          sim.Time(*killGM * float64(sim.Second)),
+			DisableManagement:  *noMgmt,
+			DisableOffline:     *noOffline,
+			DisableStealing:    *noSteal,
+			KillGMAt:           sim.Time(*killGM * float64(sim.Second)),
+			DisableSelfHealing: *noHeal,
 		},
 	}
 	if *parallelBonds {
 		cfg.Specs = core.SpecsWithBondsModel(smartpointer.ModelParallel)
+	}
+	if *crashNode >= 0 {
+		cfg.Faults = &fault.Config{
+			Crashes: []fault.Crash{{
+				Node: *crashNode,
+				At:   sim.Time(*crashAt * float64(sim.Second)),
+			}},
+		}
 	}
 	runAndReport(cfg)
 }
@@ -129,6 +143,11 @@ func runAndReport(cfg core.Config) {
 	e2e := res.Recorder.Series("e2e")
 	fmt.Printf("summary: emitted=%d exited=%d dropped=%d spare=%d writer-blocked=%s e2e-samples=%d\n",
 		res.Emitted, res.Exits, res.Dropped, res.Spare, res.WriterBlocked, e2e.Len())
+	if len(res.DownNodes) > 0 || res.FaultStats != (fault.Stats{}) {
+		fmt.Printf("faults: crashed-nodes=%v crashes=%d ctl-dropped=%d sends-failed=%d suspects=%v\n",
+			res.DownNodes, res.FaultStats.CrashesFired, res.FaultStats.CtlDropped,
+			res.FaultStats.SendsFailed, res.Suspects)
+	}
 	if e2e.Len() > 0 {
 		fmt.Printf("end-to-end latency: first=%.1fs last=%.1fs\n", e2e.Points[0].V, e2e.Last().V)
 	}

@@ -3,18 +3,20 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
 // Machine is a simulated high-end machine: a set of nodes joined by an
 // interconnect, with batch-style allocation.
 type Machine struct {
-	eng   *sim.Engine
-	cfg   Config
-	nodes []*Node
-	free  []bool // free[i] reports whether nodes[i] is unallocated
-	nfree int
-	stats NetStats
+	eng    *sim.Engine
+	cfg    Config
+	nodes  []*Node
+	free   []bool // free[i] reports whether nodes[i] is unallocated
+	nfree  int
+	stats  NetStats
+	faults *fault.Schedule // nil = no faults
 }
 
 // Node is one machine node. Cores and memory are sim resources so
@@ -26,6 +28,7 @@ type Node struct {
 	tx    *sim.Resource
 	rx    *sim.Resource
 	m     *Machine
+	down  bool
 }
 
 // NetStats aggregates interconnect activity for experiment reporting.
@@ -70,6 +73,29 @@ func (m *Machine) Node(id int) *Node {
 // FreeNodes returns the number of unallocated nodes.
 func (m *Machine) FreeNodes() int { return m.nfree }
 
+// SetFaults attaches a fault schedule. The machine registers its own crash
+// handler first, so when a crash fires the node is already marked down (and
+// its NIC ports drained) before higher-layer handlers run.
+func (m *Machine) SetFaults(s *fault.Schedule) {
+	m.faults = s
+	s.OnCrash(func(id int) {
+		if id < 0 || id >= len(m.nodes) {
+			return
+		}
+		n := m.nodes[id]
+		n.down = true
+		// Unwedge anything parked on the dead node's NIC: grow the ports
+		// effectively without bound so blocked transfers complete (their
+		// delivery checks fail afterwards) instead of parking forever.
+		n.tx.Grow(1 << 40)
+		n.rx.Grow(1 << 40)
+	})
+}
+
+// Faults returns the attached fault schedule (nil when none; all
+// fault.Schedule accessors are nil-safe).
+func (m *Machine) Faults() *fault.Schedule { return m.faults }
+
 // Stats returns a snapshot of interconnect statistics.
 func (m *Machine) Stats() NetStats { return m.stats }
 
@@ -78,6 +104,9 @@ func (n *Node) Cores() *sim.Resource { return n.cores }
 
 // MemMB returns the node's memory resource (MiB units).
 func (n *Node) MemMB() *sim.Resource { return n.memMB }
+
+// Up reports whether the node is alive (not crashed by the fault schedule).
+func (n *Node) Up() bool { return !n.down }
 
 // Allocation is a batch allocation of whole nodes, as a scheduler would
 // grant for a job. The paper's setting allocates once for the entire run

@@ -11,6 +11,13 @@ import "repro/internal/sim"
 // deadlock). This is a store-and-forward approximation: good enough to
 // reproduce the paper's message-round protocol costs and queueing shapes
 // without per-flit detail.
+//
+// When a fault schedule is attached, transfers consult it: a crashed or
+// partitioned endpoint loses the message (the sender still pays the wire
+// time it spent), and link-degradation windows scale latency and bandwidth.
+// Send and RDMAGet report delivery so callers can react; existing callers
+// that predate fault injection ignore the result, which is correct in
+// fault-free runs (delivery never fails without a schedule).
 
 // latencyBetween returns the wire latency between two nodes under the
 // configured topology.
@@ -27,51 +34,82 @@ func (m *Machine) latencyBetween(from, to int) sim.Time {
 	} else if from == to {
 		return 0
 	}
+	if f := m.faults.LatencyFactor(); f != 1 {
+		lat = sim.Time(float64(lat) * f)
+	}
 	return lat
 }
 
-// transferTime returns size/bandwidth for the configured NIC rate.
+// transferTime returns size/bandwidth for the configured NIC rate, scaled
+// by any active link-degradation window.
 func (m *Machine) transferTime(size int64) sim.Time {
 	if size <= 0 {
 		return 0
 	}
 	bytesPerSec := m.cfg.LinkBandwidthMBps * 1024 * 1024
+	if f := m.faults.SlowdownFactor(); f > 1 {
+		bytesPerSec /= f
+	}
 	return sim.Time(float64(size) / bytesPerSec * float64(sim.Second))
 }
 
 // Send moves size bytes from node `from` to node `to`, blocking p for the
 // full transfer duration. Intra-node sends cost only a memcpy-scale time.
-func (m *Machine) Send(p *sim.Proc, from, to int, size int64) {
+// It reports whether the message was delivered: a dead sender sends
+// nothing, and a message bound for a dead or partitioned node is lost at
+// the wire after the sender has paid for injection.
+func (m *Machine) Send(p *sim.Proc, from, to int, size int64) bool {
 	start := m.eng.Now()
+	if !m.faults.NodeUp(from) {
+		m.faults.NoteSendFailed()
+		return false
+	}
 	if from == to {
 		// Intra-node: charge memory-bandwidth-scale copy (10x NIC rate).
 		p.Sleep(m.transferTime(size) / 10)
 		m.account(size, m.eng.Now()-start)
-		return
+		return true
 	}
 	src, dst := m.nodes[from], m.nodes[to]
 	src.tx.Acquire(p, 1)
 	p.Sleep(m.transferTime(size))
 	src.tx.Release(1)
 	p.Sleep(m.latencyBetween(from, to))
+	if !m.faults.NodeUp(to) || m.faults.Partitioned(from, to) {
+		m.account(size, m.eng.Now()-start)
+		m.faults.NoteSendFailed()
+		return false
+	}
 	dst.rx.Acquire(p, 1)
 	p.Sleep(m.transferTime(size))
 	dst.rx.Release(1)
 	m.account(size, m.eng.Now()-start)
+	return true
 }
 
 // RDMAGet models a one-sided pull: p (running at node `reader`) sends a
 // small request to `target` and the data flows back. This is DataTap's
-// fetch primitive: the reader schedules the get when it is ready.
-func (m *Machine) RDMAGet(p *sim.Proc, reader, target int, size int64) {
+// fetch primitive: the reader schedules the get when it is ready. It
+// reports whether the pull completed; a dead or partitioned target cannot
+// serve the buffer, and the reader learns after the request latency.
+func (m *Machine) RDMAGet(p *sim.Proc, reader, target int, size int64) bool {
 	start := m.eng.Now()
+	if !m.faults.NodeUp(reader) {
+		m.faults.NoteSendFailed()
+		return false
+	}
 	if reader == target {
 		p.Sleep(m.transferTime(size) / 10)
 		m.account(size, m.eng.Now()-start)
-		return
+		return true
 	}
 	// Request message (64-byte descriptor).
 	p.Sleep(m.latencyBetween(reader, target) + m.transferTime(64))
+	if !m.faults.NodeUp(target) || m.faults.Partitioned(reader, target) {
+		m.account(64, m.eng.Now()-start)
+		m.faults.NoteSendFailed()
+		return false
+	}
 	// Response: serialized on target's tx port and reader's rx port.
 	src, dst := m.nodes[target], m.nodes[reader]
 	src.tx.Acquire(p, 1)
@@ -82,6 +120,7 @@ func (m *Machine) RDMAGet(p *sim.Proc, reader, target int, size int64) {
 	p.Sleep(m.transferTime(size))
 	dst.rx.Release(1)
 	m.account(size+64, m.eng.Now()-start)
+	return true
 }
 
 // EstimateSend returns the uncontended time a Send of size bytes between

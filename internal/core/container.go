@@ -78,6 +78,15 @@ type Container struct {
 	mailbox *evpath.Mailbox
 	toGM    *evpath.Stone // bridge to the global manager's control mailbox
 
+	// Self-healing state: healSeq numbers heal rounds so stale grants are
+	// recognized; deferred buffers mailbox events that arrived while an
+	// in-progress doHeal was pumping the mailbox for its grant; replicaSeq
+	// hands out replica indices monotonically so names stay unique across
+	// crash/replace cycles.
+	healSeq    int64
+	deferred   []*evpath.Event
+	replicaSeq int
+
 	// diskSinks receives output when the downstream is offline (one
 	// shared sink; per-replica ADIOS groups all point at it).
 	diskSink   *adios.FileSink
@@ -242,14 +251,42 @@ func (c *Container) heartbeatLoop(p *sim.Proc) {
 	}
 }
 
+// replicaWatchLoop is the local manager's crash detector, spawned only
+// under fault injection with self-healing enabled. It heartbeats the
+// container's replica nodes once per policy interval; when a node stops
+// answering (crashed), it submits a HealReq to the container's own
+// mailbox so that the repair serializes with resizes and offline
+// transitions in the manager loop.
+func (c *Container) replicaWatchLoop(p *sim.Proc) {
+	interval := c.rt.cfg.Policy.Interval
+	reported := map[int]bool{}
+	for {
+		p.Sleep(interval)
+		if c.state == StateOffline || c.mailbox.Closed() {
+			return
+		}
+		crashed := false
+		for _, r := range c.replicas {
+			if !r.node.Up() && !reported[r.node.ID] {
+				reported[r.node.ID] = true
+				crashed = true
+			}
+		}
+		if crashed {
+			c.mailbox.Stone.Submit(p, &evpath.Event{Type: msgHeal, Data: &HealReq{}})
+		}
+	}
+}
+
 // addReplica creates and starts a replica on node n.
 func (c *Container) addReplica(n *cluster.Node) *replica {
 	r := &replica{
 		c:    c,
-		idx:  len(c.replicas),
+		idx:  c.replicaSeq,
 		node: n,
 		done: sim.NewEvent(c.rt.eng),
 	}
+	c.replicaSeq++
 	if c.input != nil {
 		r.reader = c.input.NewReader(n.ID)
 	}
@@ -337,6 +374,11 @@ func (r *replica) run(p *sim.Proc) {
 // rather than forwarded.
 func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 	c := r.c
+	// A stalled node freezes mid-step: the process is alive but makes no
+	// progress until the stall window closes (nil-safe; 0 without faults).
+	if d := c.rt.mach.Faults().StallRemaining(r.node.ID); d > 0 {
+		p.Sleep(d)
+	}
 	pg, _ := m.Data.(*bp.ProcessGroup)
 	fi := FrameInfo{Step: m.Step, Atoms: c.rt.cfg.Scale.AtomCount}
 	if pg != nil {

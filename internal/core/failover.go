@@ -59,9 +59,12 @@ func (gm *GlobalManager) standbyLoop(p *sim.Proc) {
 				}
 				break
 			}
-			gm.dispatch(ev)
+			if gm.dead {
+				return
+			}
+			gm.dispatch(p, ev)
 		}
-		if gm.ctl.Closed() {
+		if gm.ctl.Closed() || gm.dead {
 			return
 		}
 		// No heartbeat yet means the primary hasn't started beating;
@@ -75,18 +78,23 @@ func (gm *GlobalManager) standbyLoop(p *sim.Proc) {
 	}
 }
 
-// takeOver promotes the standby: adopt the spare pool from authoritative
-// ownership and rehome every surviving container.
+// takeOver promotes the standby: rehome every surviving container, then
+// adopt the spare pool from authoritative ownership. The order matters:
+// each Rehome is a control round that serializes behind any resize the
+// dead primary left in flight, so by the time the last container has
+// rehomed, nodes it was granted mid-resize appear in its ownership list
+// and are not double-counted as spare (which would leak them to two
+// owners).
 func (gm *GlobalManager) takeOver(p *sim.Proc) {
 	rt := gm.rt
 	rt.gm = gm
-	gm.spare = rt.unownedStagingNodes()
 	for _, c := range rt.containers {
 		if c.State() != StateOnline {
 			continue
 		}
 		gm.Rehome(p, c.Name())
 	}
+	gm.spare = rt.unownedStagingNodes()
 	gm.record(p, Action{T: p.Now(), Kind: "failover", Target: "global-manager",
 		N: len(gm.spare), Detail: "standby took over"})
 }
@@ -103,7 +111,7 @@ func (rt *Runtime) unownedStagingNodes() []*cluster.Node {
 	}
 	var out []*cluster.Node
 	for _, n := range rt.stagingNodes {
-		if !owned[n.ID] {
+		if !owned[n.ID] && n.Up() {
 			out = append(out, n)
 		}
 	}

@@ -103,6 +103,72 @@ func TestFailoverWithMonitoringProbe(t *testing.T) {
 	}
 }
 
+// A standby takeover racing an in-flight resize must not leak the nodes
+// the dying primary had already handed to a container: the takeover
+// recomputes the spare pool only after every rehome round, and each rehome
+// serializes behind whatever resize the container was executing, so
+// granted nodes show up as owned, not spare.
+func TestFailoverMidResizeDoesNotLeakNodes(t *testing.T) {
+	// Find when the bonds increase lands in an undisturbed run, then kill
+	// the primary at several offsets inside the resize window (the round
+	// includes an aprun launch of up to 27 s, so these offsets fall
+	// mid-round).
+	clean := runScenario(t, fig7Config())
+	var incAt sim.Time = -1
+	for _, a := range clean.Actions {
+		if a.Kind == "increase" && a.Target == "bonds" {
+			incAt = a.T
+			break
+		}
+	}
+	if incAt < 0 {
+		t.Fatalf("clean run never increased bonds: %v", clean.Actions)
+	}
+	for _, back := range []sim.Time{1, 3, 8, 15, 25} {
+		killAt := incAt - back*sim.Second
+		if killAt <= 0 {
+			continue
+		}
+		cfg := fig7Config()
+		cfg.StandbyGM = true
+		cfg.Policy.KillGMAt = killAt
+		rt, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No node may be owned by two containers, or owned and spare.
+		owner := map[int]string{}
+		for _, c := range rt.Containers() {
+			for _, n := range c.Nodes() {
+				if prev, dup := owner[n.ID]; dup {
+					t.Fatalf("kill at %v: node %d owned by %s and %s",
+						killAt, n.ID, prev, c.Name())
+				}
+				owner[n.ID] = c.Name()
+			}
+		}
+		for _, n := range rt.GM().SpareNodes() {
+			if prev, dup := owner[n.ID]; dup {
+				t.Fatalf("kill at %v: node %d both spare and owned by %s",
+					killAt, n.ID, prev)
+			}
+			owner[n.ID] = "spare"
+		}
+		total := res.Spare
+		for _, n := range res.FinalSizes {
+			total += n
+		}
+		if total != cfg.StagingNodes {
+			t.Fatalf("kill at %v: %d nodes accounted, want %d (sizes %v spare %d)",
+				killAt, total, cfg.StagingNodes, res.FinalSizes, res.Spare)
+		}
+	}
+}
+
 // Regression: a parallel relaunch that completes after the run's shutdown
 // horizon must not leave non-fetcher replicas polling forever (this
 // exact configuration once livelocked the engine).

@@ -52,8 +52,38 @@ type PolicyConfig struct {
 	InjectTradeFailures int
 	// KillGMAt, when > 0, makes the primary global manager die (stop
 	// serving) at that virtual time — the failure the standby exists
-	// for.
+	// for. Death is immediate: an in-flight control round is abandoned
+	// mid-call, exactly the window the standby's takeover must tolerate.
 	KillGMAt sim.Time
+	// CallTimeout bounds each synchronous control round with a container
+	// (default 30 s: above the worst-case round, which includes an
+	// aprun launch of up to 27 s — and sized so the full retry budget
+	// of 30+60+120 s fits inside a default-length run, leaving the GM
+	// time to suspect a dead manager and keep managing the rest). A
+	// round that misses the deadline is retried with the same sequence
+	// number; container managers deduplicate, so a spuriously-retried
+	// round is answered from the cache, never re-executed — which is
+	// what makes the tighter first deadline safe.
+	CallTimeout sim.Time
+	// CallRetries is how many extra rounds a timed-out call gets before
+	// the container is marked suspect (default 2). Each retry doubles the
+	// round deadline (exponential backoff), so a merely slow container
+	// gets progressively more room while a dead one is bounded.
+	CallRetries int
+	// SilencePatience is how many policy intervals of silence an online,
+	// active container is allowed before the GM probes it with a
+	// liveness Query (default 4; negative disables). Monitoring samples
+	// only flow while steps are processed, so a container whose manager
+	// node crashed starves *silently*: its surviving replicas report no
+	// queue pressure and the bottleneck scan never gains a reason to
+	// call — and thereby suspect — it. The probe gives the suspect
+	// machinery that reason.
+	SilencePatience int
+	// DisableSelfHealing turns off the per-container replica watch and
+	// restart protocol (ablation arm of the fault experiments). It has no
+	// effect when no fault schedule is configured — the watch only runs
+	// under fault injection.
+	DisableSelfHealing bool
 	// CustomTick, when non-nil, replaces the built-in policy evaluation
 	// each management interval — the user-defined management policies
 	// the paper's user-space design exists to permit. The function may
@@ -88,6 +118,15 @@ func (pc PolicyConfig) withDefaults(outputPeriod sim.Time, queueCap int) PolicyC
 	}
 	if pc.OfflinePatience <= 0 {
 		pc.OfflinePatience = 4
+	}
+	if pc.CallTimeout <= 0 {
+		pc.CallTimeout = 30 * sim.Second
+	}
+	if pc.CallRetries <= 0 {
+		pc.CallRetries = 2
+	}
+	if pc.SilencePatience == 0 {
+		pc.SilencePatience = 4
 	}
 	return pc
 }
@@ -127,6 +166,16 @@ type GlobalManager struct {
 	crackSeen     bool
 	branchDone    bool
 	overflowTicks map[string]int
+	// suspect marks containers whose control rounds exhausted their retry
+	// budget; the policy skips them instead of blocking on them again.
+	suspect map[string]bool
+	// lastHeard is when the GM last had proof of life from each
+	// container — a monitoring sample, an upward notice, or an answered
+	// control round. The silence probe reads it.
+	lastHeard map[string]sim.Time
+	// dead is set when this manager's node crashes or KillGMAt fires; a
+	// dead manager abandons whatever it is doing, including mid-call.
+	dead bool
 	// pending buffers protocol responses that were received outside the
 	// op that is waiting for them (the pump loop and an in-flight call
 	// share the control mailbox).
@@ -142,8 +191,25 @@ type GlobalManager struct {
 // Actions returns the management decisions taken so far.
 func (gm *GlobalManager) Actions() []Action { return append([]Action(nil), gm.actions...) }
 
+// Suspects returns the names of containers marked suspect, sorted.
+func (gm *GlobalManager) Suspects() []string {
+	var out []string
+	for name := range gm.suspect {
+		out = append(out, name)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 // Spare returns the current spare staging node count.
 func (gm *GlobalManager) Spare() int { return len(gm.spare) }
+
+// SpareNodes returns the spare pool (shared slice; do not mutate).
+func (gm *GlobalManager) SpareNodes() []*cluster.Node { return gm.spare }
 
 // Aggregator exposes the monitoring state (for tests and experiments).
 func (gm *GlobalManager) Aggregator() *monitor.Aggregator { return gm.agg }
@@ -156,6 +222,14 @@ func newGlobalManager(rt *Runtime, node int, policy PolicyConfig, spare []*clust
 		spare:         spare,
 		toContainer:   make(map[string]*evpath.Stone),
 		overflowTicks: make(map[string]int),
+		suspect:       make(map[string]bool),
+		lastHeard:     make(map[string]sim.Time),
+	}
+	if policy.KillGMAt > 0 {
+		// Death is an engine event, not a loop-top check: the manager can
+		// die while parked mid-call, which is the race the standby
+		// takeover must survive.
+		rt.eng.At(policy.KillGMAt, func() { gm.dead = true })
 	}
 	gm.ev = evpath.NewManager(rt.eng, rt.mach, node)
 	gm.ctl = evpath.NewMailbox(gm.ev, 0)
@@ -194,8 +268,8 @@ func (gm *GlobalManager) closeBridges() {
 // tick the policy at each interval.
 func (gm *GlobalManager) run(p *sim.Proc) {
 	for {
-		if gm.policy.KillGMAt > 0 && p.Now() >= gm.policy.KillGMAt {
-			return // the primary dies silently
+		if gm.dead {
+			return // the primary died silently
 		}
 		if gm.toStandby != nil {
 			gm.toStandby.Submit(p, &evpath.Event{Type: msgGMHeartbeat,
@@ -210,9 +284,12 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 				}
 				break
 			}
-			gm.dispatch(ev)
+			if gm.dead {
+				return
+			}
+			gm.dispatch(p, ev)
 		}
-		if gm.ctl.Closed() {
+		if gm.ctl.Closed() || gm.dead {
 			return
 		}
 		if gm.policy.DisableManagement {
@@ -231,15 +308,52 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 
 // dispatch routes one monitoring/notice event (responses never reach this
 // path; the overlay split sends them to the response mailbox).
-func (gm *GlobalManager) dispatch(ev *evpath.Event) {
+func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 	switch data := ev.Data.(type) {
 	case monitor.Sample:
 		gm.agg.Ingest(data)
+		gm.lastHeard[data.Container] = p.Now()
 	case *CrackNotice:
 		gm.crackSeen = true
+		gm.lastHeard[data.From] = p.Now()
 	case *GMHeartbeat:
 		gm.lastPrimaryBeat = data.At
+	case *SpareReq:
+		gm.grantSpare(p, data)
+		gm.lastHeard[data.From] = p.Now()
+	case *HealNotice:
+		gm.lastHeard[data.From] = p.Now()
+		detail := fmt.Sprintf("replaced %d crashed node(s)", data.Lost)
+		kind := "heal"
+		if data.Degraded {
+			kind = "degrade"
+			detail = fmt.Sprintf("no spare for %d crashed node(s); continuing at size %d",
+				data.Lost, data.Size)
+		}
+		gm.record(p, Action{T: p.Now(), Kind: kind, Target: data.From,
+			N: data.Size, Detail: detail})
 	}
+}
+
+// grantSpare answers a local manager's replica-restart request: pop up to
+// N nodes from the spare pool and send them down the container's control
+// bridge. An empty grant tells the requester to degrade.
+func (gm *GlobalManager) grantSpare(p *sim.Proc, req *SpareReq) {
+	stone, ok := gm.toContainer[req.From]
+	if !ok {
+		return
+	}
+	take := req.N
+	if take > len(gm.spare) {
+		take = len(gm.spare)
+	}
+	var grant []*cluster.Node
+	if take > 0 {
+		grant = append(grant, gm.spare[:take]...)
+		gm.spare = gm.spare[take:]
+	}
+	stone.Submit(p, &evpath.Event{Type: msgSpareGrant, Size: ctlMsgBytes,
+		Data: &SpareGrant{Seq: req.Seq, Nodes: grant}})
 }
 
 // takePending removes and returns the first buffered response matching
@@ -255,30 +369,118 @@ func (gm *GlobalManager) takePending(match func(any) bool) any {
 }
 
 // call performs one synchronous control round with a container: send the
-// request, pump overlay traffic until the matching response arrives.
+// request, pump overlay traffic until the matching response arrives. Each
+// round has a deadline; a round that misses it is retried with the SAME
+// sequence number (container managers deduplicate, so mutating requests
+// never execute twice) and a doubled deadline. When the retry budget runs
+// out the container is marked suspect and the call gives up — the policy
+// tick proceeds instead of blocking forever on a dead container.
 func (gm *GlobalManager) call(p *sim.Proc, target string, mk func(seq int64) any, match func(any) bool) any {
-	gm.seq++
+	v := gm.callRound(p, target, mk, match)
+	if v != nil {
+		// An answered round is proof of life for the silence probe.
+		gm.lastHeard[target] = p.Now()
+	}
+	return v
+}
+
+func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64) any, match func(any) bool) any {
+	// Sequence numbers come from a runtime-wide counter so the primary's
+	// and the standby's rounds never collide in a container's dedup cache
+	// across a failover.
+	gm.rt.ctlSeq++
+	gm.seq = gm.rt.ctlSeq
+	gm.purgeStale()
 	stone, ok := gm.toContainer[target]
 	if !ok {
 		gm.rt.fail(fmt.Errorf("core: no control bridge to container %q", target))
 		return nil
 	}
+	if gm.suspect[target] {
+		return nil
+	}
 	req := mk(gm.seq)
-	stone.Submit(p, &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req})
-	for {
-		if v := gm.takePending(match); v != nil {
-			return v
-		}
-		ev, ok := gm.rsp.Recv(p)
-		if !ok {
+	timeout := gm.policy.CallTimeout
+	for attempt := 0; attempt <= gm.policy.CallRetries; attempt++ {
+		if gm.dead {
 			return nil
 		}
-		if match(ev.Data) {
-			return ev.Data
+		stone.Submit(p, &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req})
+		deadline := p.Now() + timeout
+		for {
+			if v := gm.takePending(match); v != nil {
+				return v
+			}
+			ev, ok := gm.rsp.RecvTimeout(p, deadline-p.Now())
+			if !ok {
+				if gm.rsp.Closed() {
+					// Shutdown mid-round: keep whatever buffered responses
+					// remain for other callers before giving up.
+					gm.drainResponses()
+					if v := gm.takePending(match); v != nil {
+						return v
+					}
+					return nil
+				}
+				break // round deadline; retry with backoff
+			}
+			if gm.dead {
+				gm.pending = append(gm.pending, ev.Data)
+				return nil
+			}
+			if match(ev.Data) {
+				return ev.Data
+			}
+			// A response for a different caller; buffer it.
+			gm.pending = append(gm.pending, ev.Data)
 		}
-		// A response for a different caller; buffer it.
+		timeout *= 2
+	}
+	gm.markSuspect(p, target)
+	return nil
+}
+
+// drainResponses moves everything left in the (closed) response mailbox
+// into the pending buffer so responses destined for other callers are not
+// lost with the mailbox.
+func (gm *GlobalManager) drainResponses() {
+	for {
+		ev, ok := gm.rsp.TryRecv()
+		if !ok {
+			return
+		}
 		gm.pending = append(gm.pending, ev.Data)
 	}
+}
+
+// purgeStale drops buffered responses from sequence rounds that have
+// already concluded (a retried round can produce duplicate responses; once
+// a newer round starts they can never match again).
+func (gm *GlobalManager) purgeStale() {
+	if len(gm.pending) == 0 {
+		return
+	}
+	kept := gm.pending[:0]
+	for _, v := range gm.pending {
+		if s, ok := respSeq(v); !ok || s >= gm.seq {
+			kept = append(kept, v)
+		}
+	}
+	for i := len(kept); i < len(gm.pending); i++ {
+		gm.pending[i] = nil
+	}
+	gm.pending = kept
+}
+
+// markSuspect records that a container stopped answering control rounds.
+// The policy skips suspect containers from then on.
+func (gm *GlobalManager) markSuspect(p *sim.Proc, target string) {
+	if gm.suspect[target] {
+		return
+	}
+	gm.suspect[target] = true
+	gm.record(p, Action{T: p.Now(), Kind: "suspect", Target: target,
+		Detail: "control rounds exhausted retries"})
 }
 
 func msgTypeFor(req any) string {
@@ -301,6 +503,30 @@ func msgTypeFor(req any) string {
 		return msgRehome
 	}
 	return "ctl.unknown"
+}
+
+// respSeq extracts the sequence number from a protocol response (ok=false
+// for non-protocol payloads).
+func respSeq(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *IncreaseResp:
+		return r.Seq, true
+	case *DecreaseResp:
+		return r.Seq, true
+	case *OfflineResp:
+		return r.Seq, true
+	case *SetOutputResp:
+		return r.Seq, true
+	case *QueryResp:
+		return r.Seq, true
+	case *ActivateResp:
+		return r.Seq, true
+	case *AddTapResp:
+		return r.Seq, true
+	case *RehomeResp:
+		return r.Seq, true
+	}
+	return 0, false
 }
 
 // Increase grows a container onto the given nodes via the full protocol
@@ -373,6 +599,9 @@ func (gm *GlobalManager) Activate(p *sim.Proc, target string, active bool) {
 }
 
 func (gm *GlobalManager) record(p *sim.Proc, a Action) {
+	if gm.dead {
+		return // a zombie primary woken by a late response records nothing
+	}
 	gm.actions = append(gm.actions, a)
 	gm.lastAction = p.Now()
 	gm.actionTaken = true
@@ -380,7 +609,40 @@ func (gm *GlobalManager) record(p *sim.Proc, a Action) {
 }
 
 // tick runs one built-in policy evaluation.
+// probeSilent pings containers the GM has not heard from in
+// SilencePatience policy intervals. Monitoring samples only flow while a
+// container is processing steps, so a container whose manager node died
+// starves *silently*: its surviving replicas have nothing to report, the
+// bottleneck scan never selects it, and without this probe the GM would
+// have no reason to call — and thereby suspect — it for the rest of the
+// run. The probe is an ordinary Query round, so a dead manager exhausts
+// the usual retry budget and lands in the existing suspect path, while a
+// live-but-idle container answers a single 256 B round per patience
+// window (which itself refreshes lastHeard).
+func (gm *GlobalManager) probeSilent(p *sim.Proc) {
+	if gm.policy.SilencePatience < 0 {
+		return
+	}
+	patience := sim.Time(gm.policy.SilencePatience) * gm.policy.Interval
+	for _, c := range gm.rt.containers {
+		name := c.Name()
+		if !c.Active() || gm.suspect[name] {
+			continue
+		}
+		last, ok := gm.lastHeard[name]
+		if !ok {
+			gm.lastHeard[name] = p.Now() // first scan: start the clock
+			continue
+		}
+		if p.Now()-last <= patience {
+			continue
+		}
+		gm.Query(p, name, gm.rt.cfg.StagingNodes)
+	}
+}
+
 func (gm *GlobalManager) tick(p *sim.Proc) {
+	gm.probeSilent(p)
 	if gm.actionTaken && p.Now()-gm.lastAction < gm.policy.Cooldown {
 		return
 	}
@@ -431,7 +693,7 @@ func (gm *GlobalManager) tick(p *sim.Proc) {
 func (gm *GlobalManager) findBottlenecks() []*Container {
 	var candidates []string
 	for _, c := range gm.rt.containers {
-		if !c.Active() {
+		if !c.Active() || gm.suspect[c.Name()] {
 			continue
 		}
 		w := gm.agg.Window(c.Name())
@@ -519,7 +781,8 @@ func (gm *GlobalManager) mostOverProvisioned(p *sim.Proc, bneck *Container) (*Co
 	var best *Container
 	bestSurplus := 0
 	for _, c := range gm.rt.containers {
-		if c == bneck || c.State() != StateOnline || len(c.nodes) == 0 {
+		if c == bneck || c.State() != StateOnline || len(c.nodes) == 0 ||
+			gm.suspect[c.Name()] {
 			continue
 		}
 		if !c.Active() {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/adios"
 	"repro/internal/cluster"
 	"repro/internal/datatap"
+	"repro/internal/fault"
 	"repro/internal/lammps"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
@@ -78,6 +79,10 @@ type Config struct {
 	// TraceSteps records each step's per-stage completion times in
 	// Result.StepTrace (diagnostic; off by default).
 	TraceSteps bool
+	// Faults injects a deterministic fault schedule (node crashes, link
+	// degradation, partitions, control-message loss) into the run. Nil or
+	// empty means a fault-free machine; see the fault package.
+	Faults *fault.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +156,13 @@ type Runtime struct {
 	dropped      int
 	firstErr     error
 	stepTrace    map[int64]map[string]sim.Time
+
+	// faults is the armed fault schedule (nil on fault-free runs).
+	faults *fault.Schedule
+	// ctlSeq numbers control rounds across every global manager instance;
+	// a runtime-wide counter keeps a standby's rounds distinct from the
+	// primary's in the containers' deduplication caches.
+	ctlSeq int64
 }
 
 // Build assembles (but does not run) a pipeline runtime.
@@ -167,6 +179,21 @@ func Build(cfg Config) (*Runtime, error) {
 	}
 	machCfg.Nodes = cfg.SimNodes + cfg.StagingNodes
 	rt.mach = cluster.New(rt.eng, machCfg)
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		fc := *cfg.Faults
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed
+		}
+		sched, err := fault.NewSchedule(rt.eng, fc)
+		if err != nil {
+			return nil, err
+		}
+		rt.faults = sched
+		// The machine registers its crash handler first, so by the time
+		// the runtime's handler below runs, the node is already down.
+		rt.mach.SetFaults(sched)
+		sched.OnCrash(rt.onNodeCrash)
+	}
 	rt.launcher = cluster.NewLauncher(rt.mach)
 	rt.io = adios.NewIO(rt.eng, rt.mach, adios.DefaultDisk())
 
@@ -295,6 +322,10 @@ func Build(cfg Config) (*Runtime, error) {
 		if rt.standby != nil {
 			rt.standby.connect(c)
 		}
+		if rt.faults != nil && !cfg.Policy.DisableSelfHealing {
+			c := c
+			rt.eng.Go(c.spec.Name+"-watch", c.replicaWatchLoop)
+		}
 	}
 	rt.eng.Go("global-manager", rt.gm.run)
 	if rt.standby != nil {
@@ -406,6 +437,48 @@ func (rt *Runtime) TakeSpare(n int) []*cluster.Node {
 	rt.gm.spare = rt.gm.spare[n:]
 	return nodes
 }
+
+// onNodeCrash is the runtime-level crash handler, invoked by the fault
+// schedule after the machine has taken the node down. It kills the
+// software resident on the node: replica processes get their stop flags
+// and in-flight computations aborted (the interrupted step requeues, so
+// a survivor can redo it), dead writer endpoints are detached from their
+// channels, queued descriptors whose payload died with the node are
+// invalidated, and a manager whose node died stops serving.
+func (rt *Runtime) onNodeCrash(id int) {
+	for _, ch := range rt.channels {
+		ch.InvalidateNode(id)
+	}
+	for _, c := range rt.containers {
+		for _, r := range c.replicas {
+			if r.node.ID != id {
+				continue
+			}
+			r.stop = true
+			if r.busy && r.abort != nil {
+				r.abort.Fire()
+			}
+			if r.writer != nil && c.output != nil {
+				c.output.RemoveWriter(r.writer)
+			}
+			for tap, w := range r.tapWriters {
+				tap.RemoveWriter(w)
+			}
+		}
+		if c.mgrEV.Node() == id && c.state != StateOffline {
+			c.mailbox.Close()
+		}
+	}
+	if rt.gm != nil && rt.gm.node == id {
+		rt.gm.dead = true
+	}
+	if rt.standby != nil && rt.standby.node == id {
+		rt.standby.dead = true
+	}
+}
+
+// Faults returns the armed fault schedule (nil on fault-free runs).
+func (rt *Runtime) Faults() *fault.Schedule { return rt.faults }
 
 // fail records the first runtime error.
 func (rt *Runtime) fail(err error) {
@@ -550,6 +623,14 @@ type Result struct {
 	// StepTrace (when Config.TraceSteps) maps step -> container -> the
 	// virtual time the container finished that step.
 	StepTrace map[int64]map[string]sim.Time
+	// Suspects lists containers the global manager gave up on (control
+	// rounds exhausted their retries), sorted.
+	Suspects []string
+	// FaultStats summarizes injected-fault activity (zero value on
+	// fault-free runs).
+	FaultStats fault.Stats
+	// DownNodes lists the machine nodes that crashed during the run.
+	DownNodes []int
 }
 
 func (rt *Runtime) result() *Result {
@@ -567,6 +648,11 @@ func (rt *Runtime) result() *Result {
 		Provenance:       map[string]string{},
 	}
 	res.StepTrace = rt.stepTrace
+	res.Suspects = rt.gm.Suspects()
+	if rt.faults != nil {
+		res.FaultStats = rt.faults.Stats()
+		res.DownNodes = rt.faults.DownNodes()
+	}
 	for _, c := range rt.containers {
 		res.States[c.Name()] = c.State().String()
 		res.FinalSizes[c.Name()] = c.Size()

@@ -21,6 +21,11 @@ const (
 	msgAddTap        = "ctl.add_tap"
 	msgResp          = "ctl.resp"
 	msgCrackDetected = "ctl.crack"
+	// Replica-restart protocol (self-healing under fault injection).
+	msgSpare      = "ctl.spare"       // LM -> GM: request replacement nodes
+	msgSpareGrant = "ctl.spare_grant" // GM -> LM: granted nodes (may be empty)
+	msgHeal       = "ctl.heal"        // watch -> own LM: crashed replica detected
+	msgHealNotice = "ctl.heal_notice" // LM -> GM: heal outcome, for the action log
 )
 
 // IncreaseReq asks a container to grow onto the given nodes (paper
@@ -118,39 +123,106 @@ type CrackNotice struct {
 	Step int64
 }
 
+// SpareReq is the replica-restart protocol's first leg: a local manager
+// that detected crashed replicas asks the global manager for replacement
+// nodes. It travels upward on the container's control bridge and is served
+// from the global manager's pump (not the synchronous call path).
+type SpareReq struct {
+	Seq  int64
+	From string
+	N    int
+}
+
+// SpareGrant answers a SpareReq with zero or more spare nodes. An empty
+// grant instructs the requester to degrade (continue at reduced size).
+type SpareGrant struct {
+	Seq   int64
+	Nodes []*cluster.Node
+}
+
+// HealReq is submitted by a container's own replica watch to its local
+// manager when a resident node crashed; running the repair inside the
+// manager loop serializes it with resizes and offlines.
+type HealReq struct{}
+
+// HealNotice reports a heal outcome to the global manager's action log.
+type HealNotice struct {
+	From     string
+	Lost     int
+	Size     int
+	Degraded bool
+}
+
 // managerLoop is the container's local manager process: it serves control
-// requests from the global manager, one at a time.
+// requests from the global manager, one at a time. Served rounds are
+// cached by sequence number so a retried request (the global manager's
+// at-least-once delivery under call timeouts) resends the original
+// response instead of executing a mutating operation twice.
 func (c *Container) managerLoop(p *sim.Proc) {
+	served := make(map[int64]any)
 	for {
-		ev, ok := c.mailbox.Recv(p)
-		if !ok {
-			return
+		var ev *evpath.Event
+		if len(c.deferred) > 0 {
+			// Events set aside while doHeal was pumping for its grant.
+			ev = c.deferred[0]
+			c.deferred = c.deferred[1:]
+		} else {
+			var ok bool
+			ev, ok = c.mailbox.Recv(p)
+			if !ok {
+				return
+			}
 		}
+		// Self-healing traffic is not a synchronous GM round.
+		switch msg := ev.Data.(type) {
+		case *HealReq:
+			c.doHeal(p)
+			continue
+		case *SpareGrant:
+			// A grant that arrives after its heal round timed out still
+			// carries real spare nodes; absorb them rather than leak them.
+			if len(msg.Nodes) > 0 {
+				c.integrateNodes(p, msg.Nodes)
+			}
+			continue
+		}
+		seq, hasSeq := reqSeq(ev.Data)
+		if hasSeq {
+			if cached, dup := served[seq]; dup {
+				c.reply(p, cached)
+				if _, wasOffline := cached.(*OfflineResp); wasOffline {
+					return
+				}
+				continue
+			}
+		}
+		var resp any
+		exit := false
 		switch req := ev.Data.(type) {
 		case *IncreaseReq:
 			launch, intra := c.doIncrease(p, req.Nodes)
-			c.reply(p, &IncreaseResp{Seq: req.Seq, Launch: launch, Intra: intra,
-				Size: len(c.replicas)})
+			resp = &IncreaseResp{Seq: req.Seq, Launch: launch, Intra: intra,
+				Size: len(c.replicas)}
 		case *DecreaseReq:
 			nodes, pause, drain := c.doDecrease(p, req.N)
-			c.reply(p, &DecreaseResp{Seq: req.Seq, Nodes: nodes, PauseWait: pause,
-				Drain: drain, Size: len(c.replicas)})
+			resp = &DecreaseResp{Seq: req.Seq, Nodes: nodes, PauseWait: pause,
+				Drain: drain, Size: len(c.replicas)}
 		case *OfflineReq:
 			nodes, dropped := c.doOffline(p)
-			c.reply(p, &OfflineResp{Seq: req.Seq, Nodes: nodes, Dropped: dropped})
-			return // the manager itself shuts down with its container
+			resp = &OfflineResp{Seq: req.Seq, Nodes: nodes, Dropped: dropped}
+			exit = true // the manager itself shuts down with its container
 		case *SetOutputReq:
 			c.doSetOutput(req.Provenance)
-			c.reply(p, &SetOutputResp{Seq: req.Seq})
+			resp = &SetOutputResp{Seq: req.Seq}
 		case *QueryReq:
-			c.reply(p, &QueryResp{Seq: req.Seq, Size: len(c.replicas),
-				Needed: c.ReplicasNeeded(req.Max), Period: c.ThroughputPeriod()})
+			resp = &QueryResp{Seq: req.Seq, Size: len(c.replicas),
+				Needed: c.ReplicasNeeded(req.Max), Period: c.ThroughputPeriod()}
 		case *ActivateReq:
 			c.active = req.Active
-			c.reply(p, &ActivateResp{Seq: req.Seq})
+			resp = &ActivateResp{Seq: req.Seq}
 		case *AddTapReq:
 			c.doAddTap(req.Ch)
-			c.reply(p, &AddTapResp{Seq: req.Seq})
+			resp = &AddTapResp{Seq: req.Seq}
 		case *RehomeReq:
 			c.toGM.CloseBridge()
 			c.toGM = c.mgrEV.NewBridge(req.Inbox, 0)
@@ -158,13 +230,44 @@ func (c *Container) managerLoop(p *sim.Proc) {
 				// The probe must follow the new upward path.
 				c.probe.Out = c.toGM
 			}
-			c.reply(p, &RehomeResp{Seq: req.Seq})
+			resp = &RehomeResp{Seq: req.Seq}
 		default:
 			c.rt.fail(fmt.Errorf("core: container %s got unknown control %T",
 				c.spec.Name, ev.Data))
 			return
 		}
+		if hasSeq {
+			served[seq] = resp
+		}
+		c.reply(p, resp)
+		if exit {
+			return
+		}
 	}
+}
+
+// reqSeq extracts the sequence number from a protocol request (ok=false
+// for non-round messages).
+func reqSeq(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *IncreaseReq:
+		return r.Seq, true
+	case *DecreaseReq:
+		return r.Seq, true
+	case *OfflineReq:
+		return r.Seq, true
+	case *SetOutputReq:
+		return r.Seq, true
+	case *QueryReq:
+		return r.Seq, true
+	case *ActivateReq:
+		return r.Seq, true
+	case *AddTapReq:
+		return r.Seq, true
+	case *RehomeReq:
+		return r.Seq, true
+	}
+	return 0, false
 }
 
 func (c *Container) reply(p *sim.Proc, data any) {
@@ -316,6 +419,129 @@ func (c *Container) doOffline(p *sim.Proc) (released []*cluster.Node, dropped in
 	c.replicas = nil
 	c.mailbox.Close()
 	return released, dropped
+}
+
+// doHeal runs the container-side legs of the replica-restart protocol
+// (multi-round, in the style of the increase protocol of Fig. 3):
+//
+//  1. reap replicas whose nodes crashed — detach their transport
+//     endpoints, abort in-flight steps (requeued, not lost), and wait for
+//     the processes to exit;
+//  2. ask the global manager for replacement nodes (SpareReq up the
+//     control bridge, answered from the manager's pump);
+//  3. on a grant: aprun-launch the replacements, run the metadata
+//     exchange, and re-wire replicas onto the input/output/tap channels;
+//     on an empty grant or a silent manager: degrade — continue at the
+//     smaller size rather than stall the pipeline.
+//
+// Running inside the manager loop serializes healing with resizes and
+// offline transitions.
+func (c *Container) doHeal(p *sim.Proc) {
+	var survivors []*replica
+	var dead []*replica
+	for _, r := range c.replicas {
+		if r.node.Up() {
+			survivors = append(survivors, r)
+		} else {
+			dead = append(dead, r)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	for _, r := range dead {
+		r.stop = true
+		if r.busy && r.abort != nil {
+			r.abort.Fire() // in-flight step is requeued by the abort path
+		}
+		// Detach dead endpoints first: RemoveWriter also releases a
+		// process parked on the dead writer's buffer, letting it exit.
+		if r.writer != nil && c.output != nil {
+			c.output.RemoveWriter(r.writer)
+		}
+		for tap, w := range r.tapWriters {
+			tap.RemoveWriter(w)
+		}
+	}
+	for _, r := range dead {
+		// Bounded wait: a zombie stuck behind a saturated downstream will
+		// exit on its own once unblocked; healing proceeds without it.
+		r.done.WaitTimeout(p, 30*sim.Second)
+	}
+	var liveNodes []*cluster.Node
+	for _, n := range c.nodes {
+		if n.Up() {
+			liveNodes = append(liveNodes, n)
+		}
+	}
+	c.replicas = survivors
+	c.nodes = liveNodes
+	lost := len(dead)
+
+	c.healSeq++
+	c.toGM.Submit(p, &evpath.Event{Type: msgSpare, Size: ctlMsgBytes,
+		Data: &SpareReq{Seq: c.healSeq, From: c.spec.Name, N: lost}})
+	granted := c.awaitGrant(p)
+	if len(granted) == 0 {
+		c.notifyHeal(p, lost, true)
+		return
+	}
+	c.integrateNodes(p, granted)
+	c.notifyHeal(p, lost, false)
+}
+
+// awaitGrant pumps the container mailbox until the current heal round's
+// grant arrives (or the deadline passes). It runs inside the manager loop,
+// so the grant cannot be delivered by anyone else; unrelated control
+// traffic that arrives meanwhile is deferred, preserving order, for the
+// manager loop to process after the heal. Grants from a timed-out earlier
+// round still carry real spare nodes, so their nodes are merged rather
+// than leaked.
+func (c *Container) awaitGrant(p *sim.Proc) []*cluster.Node {
+	deadline := p.Now() + 2*c.rt.cfg.Policy.Interval
+	var granted []*cluster.Node
+	for {
+		ev, ok := c.mailbox.RecvTimeout(p, deadline-p.Now())
+		if !ok {
+			return granted // deadline passed or mailbox closed
+		}
+		if g, isGrant := ev.Data.(*SpareGrant); isGrant {
+			granted = append(granted, g.Nodes...)
+			if g.Seq == c.healSeq {
+				return granted
+			}
+			continue
+		}
+		c.deferred = append(c.deferred, ev)
+	}
+}
+
+// integrateNodes brings replacement nodes into the running container:
+// aprun launch, metadata exchange with the survivors, and replica
+// creation (which re-wires the input/output/tap endpoints). A parallel
+// (MPI-style) component cannot add ranks in place, so it relaunches over
+// the combined node set instead, as with an increase.
+func (c *Container) integrateNodes(p *sim.Proc, nodes []*cluster.Node) {
+	if c.spec.Model == smartpointer.ModelParallel && len(c.replicas) > 0 {
+		c.doParallelRelaunch(p, nodes)
+		return
+	}
+	if _, err := c.rt.launcher.Launch(p, c.spec.Name, nodes); err != nil {
+		c.rt.fail(err)
+		return
+	}
+	c.exchangeMetadata(p, nodes, c.replicas)
+	for _, n := range nodes {
+		c.nodes = append(c.nodes, n)
+		c.addReplica(n)
+	}
+}
+
+// notifyHeal reports the heal outcome up to the global manager.
+func (c *Container) notifyHeal(p *sim.Proc, lost int, degraded bool) {
+	c.toGM.Submit(p, &evpath.Event{Type: msgHealNotice, Size: ctlMsgBytes,
+		Data: &HealNotice{From: c.spec.Name, Lost: lost,
+			Size: len(c.replicas), Degraded: degraded}})
 }
 
 // doAddTap attaches an observer channel and gives every replica a writer

@@ -53,6 +53,10 @@ type Stats struct {
 	WriterBlocked sim.Time
 	// PauseWait accumulates time spent waiting for writers to pause.
 	PauseWait sim.Time
+	// Invalidated counts descriptors whose payload could not be pulled
+	// (writer node crashed before the reader got to it) plus descriptors
+	// purged by InvalidateNode.
+	Invalidated int64
 }
 
 // Config parameterizes a channel.
@@ -244,9 +248,15 @@ func (w *Writer) Write(p *sim.Proc, step int64, size int64, data any) bool {
 		Data:    data,
 	}
 	m.release = func() { w.buf.Release(int(size)) }
-	// Push the descriptor to the queue's home node.
+	// Push the descriptor to the queue's home node. A push lost to a fault
+	// (dead endpoint, partition) fails the write: the payload never becomes
+	// visible downstream.
 	if w.ch.mach != nil && w.node != w.ch.cfg.HomeNode {
-		w.ch.mach.Send(p, w.node, w.ch.cfg.HomeNode, descriptorBytes)
+		if !w.ch.mach.Send(p, w.node, w.ch.cfg.HomeNode, descriptorBytes) {
+			m.release()
+			w.finishWrite(start)
+			return false
+		}
 	}
 	ok := w.ch.meta.Put(p, m)
 	if !ok {
@@ -290,27 +300,45 @@ func (r *Reader) Node() int { return r.node }
 
 // Fetch takes the next available descriptor and pulls its payload
 // (RDMA get from the writer's buffer), blocking until data arrives.
-// ok is false once the channel is closed and drained.
+// ok is false once the channel is closed and drained. A descriptor whose
+// writer node died before the pull is invalidated and skipped — the reader
+// moves on to the next descriptor instead of fetching a dead buffer
+// forever.
 func (r *Reader) Fetch(p *sim.Proc) (*Meta, bool) {
-	m, ok := r.ch.meta.Get(p)
-	if !ok {
-		return nil, false
+	for {
+		m, ok := r.ch.meta.Get(p)
+		if !ok {
+			return nil, false
+		}
+		if r.pull(p, m) {
+			return m, true
+		}
 	}
-	r.pull(p, m)
-	return m, true
 }
 
-// FetchTimeout is Fetch with a deadline for the descriptor wait.
+// FetchTimeout is Fetch with a deadline for the descriptor wait. The
+// deadline covers the whole attempt: descriptors invalidated by a dead
+// writer consume budget but do not restart it.
 func (r *Reader) FetchTimeout(p *sim.Proc, d sim.Time) (*Meta, bool) {
-	m, ok := r.ch.meta.GetTimeout(p, d)
-	if !ok {
-		return nil, false
+	deadline := r.ch.eng.Now() + d
+	for {
+		m, ok := r.ch.meta.GetTimeout(p, deadline-r.ch.eng.Now())
+		if !ok {
+			return nil, false
+		}
+		if r.pull(p, m) {
+			return m, true
+		}
+		if r.ch.eng.Now() >= deadline {
+			return nil, false
+		}
 	}
-	r.pull(p, m)
-	return m, true
 }
 
-func (r *Reader) pull(p *sim.Proc, m *Meta) {
+// pull transfers m's payload; it reports false when the writer's node is
+// dead or partitioned and the payload is unreachable (the descriptor is
+// counted invalidated and its buffer reservation dropped).
+func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
 	if r.ch.pullTokens != nil {
 		r.ch.pullTokens.Acquire(p, 1)
 		if gap := r.ch.cfg.PullSpacing; gap > 0 {
@@ -320,15 +348,53 @@ func (r *Reader) pull(p *sim.Proc, m *Meta) {
 			r.ch.lastPullAt = r.ch.eng.Now()
 		}
 	}
+	ok := true
 	if r.ch.mach != nil {
-		r.ch.mach.RDMAGet(p, r.node, m.SrcNode, m.Size)
+		ok = r.ch.mach.RDMAGet(p, r.node, m.SrcNode, m.Size)
 	}
 	if r.ch.pullTokens != nil {
 		r.ch.pullTokens.Release(1)
 	}
 	m.release()
+	if !ok {
+		r.ch.stats.Invalidated++
+		return false
+	}
 	r.ch.stats.StepsPulled++
 	r.ch.stats.BytesPulled += m.Size
+	return true
+}
+
+// InvalidateNode purges queued descriptors whose payload lives on the given
+// (crashed) node, returning how many were dropped. Readers never see them;
+// without this, each parked descriptor costs a reader one failed pull.
+func (c *Channel) InvalidateNode(node int) int {
+	n := c.meta.RemoveWhere(func(m *Meta) bool {
+		if m.SrcNode != node {
+			return false
+		}
+		m.release()
+		return true
+	})
+	c.stats.Invalidated += int64(n)
+	return n
+}
+
+// RemoveWriter detaches a (dead) writer endpoint: pause rounds and metadata
+// exchanges stop addressing it, and anything parked on its buffer is
+// released. Removing a writer that is not attached is a no-op.
+func (c *Channel) RemoveWriter(w *Writer) {
+	for i, x := range c.writers {
+		if x == w {
+			c.writers = append(c.writers[:i], c.writers[i+1:]...)
+			break
+		}
+	}
+	w.buf.Grow(1 << 61)
+	if w.idle != nil {
+		w.idle.Fire()
+		w.idle = nil
+	}
 }
 
 // Pause asks every writer to stop producing and waits until all in-flight

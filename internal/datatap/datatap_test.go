@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -381,6 +382,97 @@ func TestPauseResumeConservationProperty(t *testing.T) {
 		return pulled == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under a random fault schedule — link degradation, transient
+// partitions, drop windows, a bystander crash, everything except
+// permanent writer death — every step the writer successfully published
+// is accounted exactly once: pulled by the reader or invalidated by a
+// fault, never lost silently and never duplicated.
+func TestFaultScheduleConservationProperty(t *testing.T) {
+	f := func(seed int64, faultRaw, nRaw, winRaw uint8) bool {
+		n := int64(nRaw%25) + 5
+		eng := sim.NewEngine(seed)
+		ccfg := cluster.Franklin()
+		ccfg.Nodes = 4
+		mach := cluster.New(eng, ccfg)
+		// Build a random fault plan. Node 0 (the writer) never crashes;
+		// partition windows are transient and end before the horizon.
+		fcfg := fault.Config{Seed: seed}
+		winStart := sim.Time(winRaw%40) * sim.Second
+		winEnd := winStart + sim.Time(faultRaw%20+2)*sim.Second
+		if faultRaw&1 != 0 {
+			fcfg.Links = append(fcfg.Links, fault.LinkFault{
+				From: winStart, Until: winEnd,
+				LatencyFactor: float64(faultRaw%7) + 1, SlowdownFactor: 2,
+			})
+		}
+		if faultRaw&2 != 0 {
+			fcfg.Partitions = append(fcfg.Partitions, fault.Partition{
+				From: winStart, Until: winEnd, Nodes: []int{1},
+			})
+		}
+		if faultRaw&4 != 0 {
+			fcfg.Drops = append(fcfg.Drops, fault.DropWindow{
+				From: winStart, Until: winEnd, Prob: 0.5,
+			})
+		}
+		if faultRaw&8 != 0 {
+			fcfg.Crashes = append(fcfg.Crashes, fault.Crash{Node: 3, At: winStart})
+		}
+		sched, err := fault.NewSchedule(eng, fcfg)
+		if err != nil {
+			return false
+		}
+		mach.SetFaults(sched)
+		ch := NewChannel(eng, mach, "faultprop", Config{
+			QueueCap:       int(faultRaw % 5),
+			WriterBufBytes: 8 << 20,
+			HomeNode:       1,
+		})
+		w := ch.NewWriter(0)
+		r := ch.NewReader(1)
+		seen := map[int64]bool{}
+		dup := false
+		eng.Go("writer", func(p *sim.Proc) {
+			for i := int64(0); i < n; i++ {
+				p.Sleep(eng.Rand().Uniform(0, 2*sim.Second))
+				w.Write(p, i, 1<<20, nil)
+			}
+			ch.Close()
+		})
+		eng.Go("reader", func(p *sim.Proc) {
+			for {
+				p.Sleep(eng.Rand().Uniform(0, 2*sim.Second))
+				m, ok := r.Fetch(p)
+				if !ok {
+					return
+				}
+				if seen[m.Step] {
+					dup = true
+				}
+				seen[m.Step] = true
+			}
+		})
+		eng.Run()
+		if dup {
+			return false
+		}
+		st := ch.Stats()
+		// Conservation: published == pulled + invalidated (the reader
+		// drained the closed queue, so nothing is left parked).
+		if st.StepsPulled+st.Invalidated != st.StepsWritten {
+			return false
+		}
+		if int64(len(seen)) != st.StepsPulled {
+			return false
+		}
+		// Every buffer reservation was returned, pulled or invalidated.
+		return w.BufferedBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

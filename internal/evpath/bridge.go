@@ -55,7 +55,17 @@ func (b *bridge) run(p *sim.Proc) {
 		}
 		size := ev.Size + descriptorBytes
 		if b.owner.machine != nil {
-			b.owner.machine.Send(p, b.owner.node, b.target.mgr.node, size)
+			// The fault schedule may lose the message outright (lossy
+			// control overlay) or the wire may fail it (dead/partitioned
+			// endpoint); either way the event never reaches the target.
+			if b.owner.machine.Faults().DropCtl() {
+				b.stats.Dropped++
+				continue
+			}
+			if !b.owner.machine.Send(p, b.owner.node, b.target.mgr.node, size) {
+				b.stats.Dropped++
+				continue
+			}
 		}
 		b.stats.Sent++
 		b.stats.Bytes += size

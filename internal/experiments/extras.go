@@ -17,6 +17,7 @@ func Extras() []Experiment {
 		{"extra-monitoring", "Monitoring perturbation vs. fidelity (§III-E)", ExtraMonitoring},
 		{"extra-branch", "Dynamic pipeline branch timeline (§III-B1)", ExtraBranch},
 		{"extra-failover", "Global-manager failover (§III-B)", ExtraFailover},
+		{"extra-faults", "Crash injection and container self-healing (§III-B)", ExtraFaults},
 	}
 }
 

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Acceptance for the fault-injection work: across three distinct seeds
+// the crash scenario behaves deterministically — the local manager
+// detects the crash within the watch grace, the restart completes from
+// the spare pool, no staging node leaks, and end-to-end latency ends
+// below the SLA; the same schedule with self-healing disabled
+// demonstrably violates it.
+func TestExtraFaultsDeterministicAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{42, 7, 1} {
+		baseline, err := runFaultArm(seed, armBaseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		healed, err := runFaultArm(seed, armHealing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := runFaultArm(seed, armGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sla := faultSLA(baseline)
+
+		// The baseline is genuinely flat: no latency climb to hide in.
+		if baseline.worst > baseline.tail*1.01 {
+			t.Fatalf("seed %d: baseline not steady: worst %.2f tail %.2f",
+				seed, baseline.worst, baseline.tail)
+		}
+
+		// Healing arm: detected within the watch grace plus the restart
+		// budget (one watch interval + launch + metadata exchange), the
+		// spare consumed, size restored, nothing leaked, SLA met.
+		if healed.recovery != "heal" {
+			t.Fatalf("seed %d: recovery %q, want heal", seed, healed.recovery)
+		}
+		grace := extraFaultsCrashAt + 60*sim.Second
+		if healed.recoveryAt <= extraFaultsCrashAt || healed.recoveryAt > grace {
+			t.Fatalf("seed %d: heal at %v, outside (%v, %v]",
+				seed, healed.recoveryAt, extraFaultsCrashAt, grace)
+		}
+		if healed.res.FinalSizes["bonds"] != 4 || healed.res.Spare != 0 {
+			t.Fatalf("seed %d: bonds %d spare %d after heal",
+				seed, healed.res.FinalSizes["bonds"], healed.res.Spare)
+		}
+		if healed.leaked() {
+			t.Fatalf("seed %d: staging node leaked after heal", seed)
+		}
+		if healed.tail > sla {
+			t.Fatalf("seed %d: healed tail %.2f above SLA %.2f", seed, healed.tail, sla)
+		}
+
+		// Gap arm: no restart protocol ran, the spare is untouched, and
+		// the latency climb violates the SLA at run end.
+		if gap.recovery != "none" {
+			t.Fatalf("seed %d: healing disabled but %q ran", seed, gap.recovery)
+		}
+		if gap.res.Spare != 1 {
+			t.Fatalf("seed %d: gap arm spare %d, want 1", seed, gap.res.Spare)
+		}
+		if gap.tail <= sla {
+			t.Fatalf("seed %d: gap tail %.2f does not violate SLA %.2f",
+				seed, gap.tail, sla)
+		}
+
+		// Determinism: the full experiment renders identically twice.
+		o1, err := ExtraFaults(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := ExtraFaults(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o1.String() != o2.String() {
+			t.Fatalf("seed %d: experiment not deterministic:\n%s\nvs\n%s",
+				seed, o1.String(), o2.String())
+		}
+	}
+}

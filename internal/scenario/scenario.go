@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lammps"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
@@ -55,6 +56,105 @@ type File struct {
 	// Stages describes the pipeline (empty = the paper's default
 	// four-stage SmartPointer pipeline with DefaultSizes).
 	Stages []Stage `json:"stages"`
+	// Faults schedules deterministic fault injection (nil = none).
+	Faults *Faults `json:"faults"`
+}
+
+// Faults is the JSON fault schedule. Node references are either absolute
+// machine IDs ("node") or staging-area indexes ("stagingIndex", resolved
+// to simNodes+index so scenarios stay valid when the machine split
+// changes).
+type Faults struct {
+	// Seed drives the drop-window randomness (0 = the scenario seed).
+	Seed       int64            `json:"seed"`
+	Crashes    []CrashFault     `json:"crashes"`
+	Links      []LinkFault      `json:"links"`
+	Partitions []PartitionFault `json:"partitions"`
+	Drops      []DropFault      `json:"drops"`
+	Stalls     []StallFault     `json:"stalls"`
+}
+
+// NodeRef names one machine node, absolutely or staging-relative.
+type NodeRef struct {
+	Node         int  `json:"node"`
+	StagingIndex *int `json:"stagingIndex"`
+}
+
+// resolve returns the absolute machine node ID.
+func (r NodeRef) resolve(simNodes int) int {
+	if r.StagingIndex != nil {
+		return simNodes + *r.StagingIndex
+	}
+	return r.Node
+}
+
+// CrashFault fail-stops a node at a time.
+type CrashFault struct {
+	NodeRef
+	AtSec float64 `json:"atSec"`
+}
+
+// LinkFault degrades every link inside a window.
+type LinkFault struct {
+	FromSec        float64 `json:"fromSec"`
+	UntilSec       float64 `json:"untilSec"`
+	LatencyFactor  float64 `json:"latencyFactor"`
+	SlowdownFactor float64 `json:"slowdownFactor"`
+}
+
+// PartitionFault severs the named nodes from the rest inside a window.
+type PartitionFault struct {
+	FromSec  float64   `json:"fromSec"`
+	UntilSec float64   `json:"untilSec"`
+	Nodes    []NodeRef `json:"nodes"`
+}
+
+// DropFault drops control messages with a probability inside a window.
+type DropFault struct {
+	FromSec  float64 `json:"fromSec"`
+	UntilSec float64 `json:"untilSec"`
+	Prob     float64 `json:"prob"`
+}
+
+// StallFault freezes a node's replica inside a window.
+type StallFault struct {
+	NodeRef
+	FromSec  float64 `json:"fromSec"`
+	UntilSec float64 `json:"untilSec"`
+}
+
+// toConfig resolves the schedule to machine node IDs.
+func (f *Faults) toConfig(simNodes int) (*fault.Config, error) {
+	sec := func(s float64) sim.Time { return sim.Time(s * float64(sim.Second)) }
+	fc := &fault.Config{Seed: f.Seed}
+	for _, c := range f.Crashes {
+		fc.Crashes = append(fc.Crashes, fault.Crash{
+			Node: c.resolve(simNodes), At: sec(c.AtSec)})
+	}
+	for _, l := range f.Links {
+		fc.Links = append(fc.Links, fault.LinkFault{
+			From: sec(l.FromSec), Until: sec(l.UntilSec),
+			LatencyFactor: l.LatencyFactor, SlowdownFactor: l.SlowdownFactor})
+	}
+	for _, p := range f.Partitions {
+		part := fault.Partition{From: sec(p.FromSec), Until: sec(p.UntilSec)}
+		for _, n := range p.Nodes {
+			part.Nodes = append(part.Nodes, n.resolve(simNodes))
+		}
+		fc.Partitions = append(fc.Partitions, part)
+	}
+	for _, d := range f.Drops {
+		fc.Drops = append(fc.Drops, fault.DropWindow{
+			From: sec(d.FromSec), Until: sec(d.UntilSec), Prob: d.Prob})
+	}
+	for _, s := range f.Stalls {
+		fc.Stalls = append(fc.Stalls, fault.Stall{
+			Node: s.resolve(simNodes), From: sec(s.FromSec), Until: sec(s.UntilSec)})
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return fc, nil
 }
 
 // Policy mirrors core.PolicyConfig in JSON-friendly units.
@@ -67,6 +167,16 @@ type Policy struct {
 	DisableStealing     bool    `json:"disableStealing"`
 	TransactionalTrades bool    `json:"transactionalTrades"`
 	KillGMAtSec         float64 `json:"killGMAtSec"`
+	// DisableSelfHealing turns off the replica-restart protocol.
+	DisableSelfHealing bool `json:"disableSelfHealing"`
+	// CallTimeoutSec/CallRetries tune the control-round deadline and
+	// retry budget (0 = defaults).
+	CallTimeoutSec float64 `json:"callTimeoutSec"`
+	CallRetries    int     `json:"callRetries"`
+	// SilencePatience is how many policy intervals of monitoring silence
+	// a container is allowed before the GM probes it with a liveness
+	// query (0 = default 4, negative disables).
+	SilencePatience int `json:"silencePatience"`
 }
 
 // Stage describes one pipeline component.
@@ -160,7 +270,18 @@ func (f *File) ToConfig() (core.Config, error) {
 			DisableStealing:     f.Policy.DisableStealing,
 			TransactionalTrades: f.Policy.TransactionalTrades,
 			KillGMAt:            sim.Time(f.Policy.KillGMAtSec * float64(sim.Second)),
+			DisableSelfHealing:  f.Policy.DisableSelfHealing,
+			CallTimeout:         sim.Time(f.Policy.CallTimeoutSec * float64(sim.Second)),
+			CallRetries:         f.Policy.CallRetries,
+			SilencePatience:     f.Policy.SilencePatience,
 		},
+	}
+	if f.Faults != nil {
+		fc, err := f.Faults.toConfig(f.SimNodes)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Faults = fc
 	}
 	if f.ExplicitCrack || f.CrackStep > 0 {
 		cfg.CrackStep = f.CrackStep

@@ -204,8 +204,71 @@ func TestScenarioAdvancedKnobs(t *testing.T) {
 	}
 }
 
+func TestLoadFaultSchedule(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{
+		"simNodes": 64, "stagingNodes": 14, "steps": 4, "seed": 1,
+		"policy": {"disableSelfHealing": true, "callTimeoutSec": 5, "callRetries": 1, "silencePatience": -1},
+		"faults": {
+			"seed": 9,
+			"crashes": [{"stagingIndex": 3, "atSec": 30}, {"node": 2, "atSec": 40}],
+			"links": [{"fromSec": 10, "untilSec": 20, "latencyFactor": 4, "slowdownFactor": 2}],
+			"partitions": [{"fromSec": 5, "untilSec": 8, "nodes": [{"node": 1}, {"stagingIndex": 0}]}],
+			"drops": [{"fromSec": 0, "untilSec": 60, "prob": 0.25}],
+			"stalls": [{"stagingIndex": 1, "fromSec": 12, "untilSec": 18}]
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := cfg.Faults
+	if fc == nil {
+		t.Fatal("fault schedule lost")
+	}
+	if fc.Seed != 9 {
+		t.Fatalf("fault seed %d", fc.Seed)
+	}
+	// Staging indexes resolve to simNodes+index; absolute IDs pass through.
+	if len(fc.Crashes) != 2 || fc.Crashes[0].Node != 67 || fc.Crashes[1].Node != 2 {
+		t.Fatalf("crashes %+v", fc.Crashes)
+	}
+	if fc.Crashes[0].At != 30*sim.Second {
+		t.Fatalf("crash time %v", fc.Crashes[0].At)
+	}
+	if len(fc.Links) != 1 || fc.Links[0].LatencyFactor != 4 {
+		t.Fatalf("links %+v", fc.Links)
+	}
+	if len(fc.Partitions) != 1 || fc.Partitions[0].Nodes[1] != 64 {
+		t.Fatalf("partitions %+v", fc.Partitions)
+	}
+	if len(fc.Drops) != 1 || fc.Drops[0].Prob != 0.25 {
+		t.Fatalf("drops %+v", fc.Drops)
+	}
+	if len(fc.Stalls) != 1 || fc.Stalls[0].Node != 65 {
+		t.Fatalf("stalls %+v", fc.Stalls)
+	}
+	if !cfg.Policy.DisableSelfHealing || cfg.Policy.CallTimeout != 5*sim.Second ||
+		cfg.Policy.CallRetries != 1 || cfg.Policy.SilencePatience != -1 {
+		t.Fatalf("policy knobs lost: %+v", cfg.Policy)
+	}
+	// And the whole thing still runs.
+	rt, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid schedules are rejected at load time, not at build time.
+	if _, err := Load(strings.NewReader(`{
+		"simNodes": 64, "stagingNodes": 14,
+		"faults": {"drops": [{"untilSec": 1, "prob": 1.5}]}
+	}`)); err == nil {
+		t.Fatal("invalid fault schedule accepted")
+	}
+}
+
 func TestShippedScenarioFiles(t *testing.T) {
-	for _, name := range []string{"fig7", "fig9", "failover", "checkpointed"} {
+	for _, name := range []string{"fig7", "fig9", "failover", "checkpointed", "faults"} {
 		cfg, err := LoadFile("../../scenarios/" + name + ".json")
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

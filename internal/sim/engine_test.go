@@ -236,6 +236,31 @@ func TestEventWaitTimeout(t *testing.T) {
 	}
 }
 
+// A non-positive deadline on WaitTimeout is a poll: true iff the event has
+// already fired, never parking the caller or scheduling a timer.
+func TestEventWaitTimeoutNonPositive(t *testing.T) {
+	e := NewEngine(1)
+	unfired := NewEvent(e)
+	fired := NewEvent(e)
+	fired.Fire()
+	var a, b, c bool
+	e.Go("poller", func(p *Proc) {
+		a = unfired.WaitTimeout(p, 0)
+		b = unfired.WaitTimeout(p, -5*Second)
+		c = fired.WaitTimeout(p, 0)
+	})
+	e.Run()
+	if a || b {
+		t.Fatal("poll of unfired event reported fired")
+	}
+	if !c {
+		t.Fatal("poll of fired event reported unfired")
+	}
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("poll advanced time (%v) or left timers (%d)", e.Now(), e.Pending())
+	}
+}
+
 func TestResourceAcquireRelease(t *testing.T) {
 	e := NewEngine(1)
 	r := NewResource(e, 2)

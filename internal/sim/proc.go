@@ -163,10 +163,14 @@ func (ev *Event) Wait(p *Proc) {
 }
 
 // WaitTimeout blocks p until the event fires or d elapses; it reports
-// whether the event fired.
+// whether the event fired. A non-positive d polls the fired state without
+// scheduling a timer.
 func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
 	if ev.fired {
 		return true
+	}
+	if d <= 0 {
+		return false
 	}
 	w := &waiter{proc: p}
 	ev.waiters = append(ev.waiters, w)

@@ -137,12 +137,14 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 }
 
 // GetTimeout is Get with a deadline d from now; ok is false on timeout or
-// closed-and-drained.
+// closed-and-drained. A non-positive d polls: it returns an available item
+// or fails immediately without scheduling a timer (callers often compute
+// deadline-Now(), which can go to zero or below).
 func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
 	if len(q.items) > 0 {
 		return q.take(), true
 	}
-	if q.closed {
+	if q.closed || d <= 0 {
 		return v, false
 	}
 	deadline := q.eng.now + d
@@ -171,6 +173,27 @@ func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
 			return v, false
 		}
 	}
+}
+
+// RemoveWhere deletes buffered items matching pred, preserving order, and
+// returns the number removed. Freed capacity admits blocked putters.
+func (q *Queue[T]) RemoveWhere(pred func(T) bool) int {
+	kept := q.items[:0]
+	for _, v := range q.items {
+		if !pred(v) {
+			kept = append(kept, v)
+		}
+	}
+	removed := len(q.items) - len(kept)
+	var zero T
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = kept
+	if removed > 0 {
+		q.admitPutters()
+	}
+	return removed
 }
 
 // Peek returns the oldest item without removing it.

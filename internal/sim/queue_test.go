@@ -205,6 +205,85 @@ func TestQueueGetTimeoutImmediate(t *testing.T) {
 	}
 }
 
+// A non-positive deadline polls: GetTimeout must return an available item
+// or fail immediately, never park the caller or schedule a timer. Callers
+// routinely pass deadline-Now(), which goes to zero or below.
+func TestQueueGetTimeoutNonPositivePolls(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	q.TryPut(11)
+	var results []struct {
+		v  int
+		ok bool
+	}
+	e.Go("poller", func(p *Proc) {
+		for _, d := range []Time{0, -Second, 0} {
+			v, ok := q.GetTimeout(p, d)
+			results = append(results, struct {
+				v  int
+				ok bool
+			}{v, ok})
+		}
+	})
+	e.Run()
+	if len(results) != 3 {
+		t.Fatalf("poller ran %d polls, want 3", len(results))
+	}
+	if !results[0].ok || results[0].v != 11 {
+		t.Fatalf("poll with item buffered: %+v", results[0])
+	}
+	if results[1].ok || results[2].ok {
+		t.Fatalf("polls on empty queue succeeded: %+v", results[1:])
+	}
+	if e.Now() != 0 {
+		t.Fatalf("polling advanced time to %v", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("polling left %d timer events scheduled", e.Pending())
+	}
+}
+
+func TestQueueRemoveWhere(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 4)
+	for _, v := range []int{1, 2, 3, 4} {
+		q.TryPut(v)
+	}
+	var putOK bool
+	e.Go("blocked-putter", func(p *Proc) { putOK = q.Put(p, 9) })
+	e.Go("remover", func(p *Proc) {
+		p.Sleep(Second)
+		if n := q.RemoveWhere(func(v int) bool { return v%2 == 0 }); n != 2 {
+			t.Errorf("removed %d, want 2", n)
+		}
+		if n := q.RemoveWhere(func(int) bool { return false }); n != 0 {
+			t.Errorf("no-op removal reported %d", n)
+		}
+	})
+	e.Run()
+	if !putOK {
+		t.Fatal("freed capacity did not admit the blocked putter")
+	}
+	// Order of survivors preserved, admitted put appended after them.
+	var got []int
+	for {
+		v, ok := q.TryGet()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []int{1, 3, 9}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
 func TestQueuePeek(t *testing.T) {
 	e := NewEngine(1)
 	q := NewQueue[int](e, 0)

@@ -41,6 +41,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/lammps"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
@@ -175,6 +176,28 @@ func Table2() []Scale { return lammps.Table2() }
 
 // ScaleForNodes returns the workload scale for a node count.
 func ScaleForNodes(nodes int) Scale { return lammps.ScaleForNodes(nodes) }
+
+// Fault injection: deterministic, seeded schedules of node crashes, link
+// degradation, partitions, control-message drops, and replica stalls.
+// Attach one via Config.Faults; containers then self-heal crashed
+// replicas from the spare pool (disable with
+// PolicyConfig.DisableSelfHealing).
+type (
+	// FaultConfig schedules deterministic fault injection.
+	FaultConfig = fault.Config
+	// FaultCrash fail-stops one node at a virtual time.
+	FaultCrash = fault.Crash
+	// FaultLink degrades every link inside a time window.
+	FaultLink = fault.LinkFault
+	// FaultPartition severs a node set from the rest inside a window.
+	FaultPartition = fault.Partition
+	// FaultDrop drops control messages with a probability inside a window.
+	FaultDrop = fault.DropWindow
+	// FaultStall freezes a node's replica inside a window.
+	FaultStall = fault.Stall
+	// FaultStats summarizes injected-fault activity after a run.
+	FaultStats = fault.Stats
+)
 
 // Machine models.
 type (
