@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check experiments
+.PHONY: build test race vet fmt lint check experiments
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,14 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# lint runs the in-repo invariant analyzers (cmd/iocheck): determinism
+# (simtime, maprange), nil-safety (nilrecv), and protocol exhaustiveness
+# (ctlmsg). Zero-dependency; exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/iocheck ./...
+
 # check is what CI runs.
-check: fmt vet build race
+check: fmt vet lint build race
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,129 @@
+// Command iocheck runs the repository's invariant analyzers (see
+// internal/analysis) over the module and exits nonzero on any unsuppressed
+// diagnostic. It is wired into `make lint` and `make check`.
+//
+// Usage:
+//
+//	iocheck [-v] [-rules simtime,maprange,...] [pattern]
+//
+// The pattern is a directory tree suffixed with /... (default "./..."):
+// the module containing it is loaded and type-checked in full, and
+// analyzers run on every package rooted under the pattern directory. The
+// checker is built only on the standard library's go/ast, go/parser,
+// go/token, and go/types, so it needs no network and no third-party
+// modules.
+//
+// Diagnostics print as file:line:col: [rule] message. Audited exceptions
+// are suppressed with `//iocheck:allow <rule> <reason>` on the flagged
+// line or the line above; -v prints suppressed findings too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iocheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "also print suppressed diagnostics")
+	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pattern := "./..."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		pattern = fs.Arg(0)
+	default:
+		fmt.Fprintln(stderr, "iocheck: at most one package pattern is supported")
+		return 2
+	}
+	dir, ok := strings.CutSuffix(pattern, "/...")
+	if !ok {
+		fmt.Fprintf(stderr, "iocheck: pattern %q must end in /...\n", pattern)
+		return 2
+	}
+	if dir == "" {
+		dir = "."
+	}
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "iocheck: %v\n", err)
+		return 2
+	}
+	root, err := analysis.ModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "iocheck: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "iocheck: %v\n", err)
+		return 2
+	}
+	pkgs = underDir(pkgs, dir)
+	diags := analysis.Run(pkgs, analyzers)
+	failures := 0
+	for _, d := range diags {
+		switch {
+		case !d.Suppressed:
+			failures++
+			fmt.Fprintln(stdout, d.String())
+		case *verbose:
+			fmt.Fprintf(stdout, "%s (suppressed: %s)\n", d.String(), d.SuppressReason)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "iocheck: %d unsuppressed finding(s)\n", failures)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -rules filter against the full suite.
+func selectAnalyzers(filter string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if filter == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// underDir keeps the packages rooted under dir (the pattern's subtree).
+func underDir(pkgs []*analysis.Package, dir string) []*analysis.Package {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return pkgs
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		if pkg.Dir == abs || strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator)) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package analysis is an in-repo static-analysis framework built only on
+// the standard library's go/ast, go/parser, go/token, and go/types — no
+// golang.org/x/tools dependency, so the module stays zero-dep and the
+// checks run network-free. It exists to machine-check the invariants the
+// compiler cannot see and the simulator's correctness rests on:
+// bit-deterministic replay from a seed, nil-safe fault schedules, and the
+// crash-tolerance protocol's exhaustive dispatch.
+//
+// The four analyzers (see simtime.go, maprange.go, nilrecv.go, ctlmsg.go)
+// are run by cmd/iocheck over the whole module (`make lint`) and by the
+// repo-wide self-check test, so `go test ./...` enforces them too.
+//
+// Audited exceptions are suppressed — but stay visible — with a comment on
+// the flagged line or on the line directly above it:
+//
+//	//iocheck:allow <rule> <reason>
+//
+// The reason is mandatory; an allow comment without one is itself a
+// diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	// Suppressed is set when an //iocheck:allow comment covers the
+	// diagnostic; suppressed findings are reported only in verbose mode
+	// and never fail the run.
+	Suppressed bool
+	// SuppressReason is the audit trail from the allow comment.
+	SuppressReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies filters packages (nil = run everywhere). The golden tests
+	// bypass it and call Run directly.
+	Applies func(pkg *Package) bool
+	Run     func(pass *Pass)
+}
+
+// Pass carries one analyzer's execution over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg}
+}
+
+// Run executes the given analyzers over the packages and returns all
+// diagnostics, suppression already applied, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			out = append(out, applyAllows(pass.diags, allows)...)
+		}
+		out = append(out, allows.malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Unsuppressed filters diags down to the findings that fail a run.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// allowKey identifies one allow site: a rule allowed at a file line.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+type allowSet struct {
+	entries map[allowKey]string // -> reason
+	// malformed collects allow comments with no reason; they are
+	// diagnostics in their own right so audits cannot silently erode.
+	malformed []Diagnostic
+}
+
+const allowMarker = "iocheck:allow"
+
+// collectAllows scans every comment in the package for allow markers. An
+// allow comment covers diagnostics on its own line and on the line
+// immediately below it (the usual "comment above the flagged statement"
+// placement, including the last line of a doc comment).
+func collectAllows(pkg *Package) *allowSet {
+	as := &allowSet{entries: make(map[allowKey]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowMarker))
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					as.malformed = append(as.malformed, Diagnostic{
+						Pos:  pos,
+						Rule: "allow",
+						Message: "malformed //iocheck:allow comment: " +
+							"need a rule name and a reason",
+					})
+					continue
+				}
+				rule := fields[0]
+				reason := strings.TrimSpace(strings.TrimPrefix(rest, rule))
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					as.entries[allowKey{pos.Filename, line, rule}] = reason
+				}
+			}
+		}
+	}
+	return as
+}
+
+func applyAllows(diags []Diagnostic, as *allowSet) []Diagnostic {
+	for i := range diags {
+		d := &diags[i]
+		if reason, ok := as.entries[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}]; ok {
+			d.Suppressed = true
+			d.SuppressReason = reason
+		}
+	}
+	return diags
+}
+
+// enclosingFuncs returns every function declaration in the file, used by
+// analyzers that reason about whole function bodies.
+func enclosingFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// internalPkg reports whether the package is module-internal simulation
+// code (the scope of the determinism rules).
+func internalPkg(pkg *Package) bool {
+	return strings.Contains(pkg.PkgPath, "/internal/")
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CtlMsg enforces exhaustiveness of the control-protocol dispatch in
+// internal/core. A protocol round message is a struct whose name ends in
+// "Req" or "Resp" and that carries a `Seq int64` field (the dedupe key).
+// Every such request type must appear in three switches, or a new message
+// silently bypasses the crash-tolerance machinery PR 1 built:
+//
+//   - reqSeq — the container manager's dedupe cache key extractor; a
+//     missing case means a retried round RE-EXECUTES a mutating request;
+//   - msgTypeFor — the global manager's send path; a missing case submits
+//     the request as "ctl.unknown" and breaks the overlay routing split;
+//   - managerLoop — the serving switch; a missing case kills the container
+//     with an unknown-control failure at runtime instead of compile time.
+//
+// Every response type must appear in respSeq, or purgeStale cannot drop the
+// duplicate responses a retried round produces. Messages that deliberately
+// travel outside the synchronous round path (e.g. SpareReq, served from the
+// GM pump) carry an //iocheck:allow ctlmsg audit comment on their
+// declaration.
+var CtlMsg = &Analyzer{
+	Name: "ctlmsg",
+	Doc:  "protocol Req/Resp types must be dispatched in reqSeq/msgTypeFor/managerLoop/respSeq",
+	Applies: func(pkg *Package) bool {
+		// The rule binds wherever the dispatch functions live; packages
+		// without a reqSeq have no protocol to be exhaustive about.
+		return pkg.Types.Scope().Lookup("reqSeq") != nil
+	},
+	Run: runCtlMsg,
+}
+
+func runCtlMsg(pass *Pass) {
+	reqs, resps := protocolMessageTypes(pass)
+	if len(reqs) == 0 && len(resps) == 0 {
+		return
+	}
+	inReqSeq := switchCaseTypes(pass, "reqSeq")
+	inMsgTypeFor := switchCaseTypes(pass, "msgTypeFor")
+	inManagerLoop, haveManagerLoop := switchCaseTypesOpt(pass, "managerLoop")
+	inRespSeq := switchCaseTypes(pass, "respSeq")
+
+	for _, req := range reqs {
+		name := req.Name()
+		if !inReqSeq[req] {
+			pass.Reportf(req.Pos(),
+				"protocol request %s is missing from the reqSeq dedupe switch: a retried round would re-execute it",
+				name)
+		}
+		if !inMsgTypeFor[req] {
+			pass.Reportf(req.Pos(),
+				"protocol request %s is missing from the msgTypeFor switch: it would be submitted as \"ctl.unknown\"",
+				name)
+		}
+		if haveManagerLoop && !inManagerLoop[req] {
+			pass.Reportf(req.Pos(),
+				"protocol request %s is not served by the managerLoop switch: containers would die on an unknown control message",
+				name)
+		}
+	}
+	for _, resp := range resps {
+		if !inRespSeq[resp] {
+			pass.Reportf(resp.Pos(),
+				"protocol response %s is missing from the respSeq switch: stale duplicates of it can never be purged",
+				resp.Name())
+		}
+	}
+}
+
+// protocolMessageTypes returns the package's round-message types — named
+// structs ending in Req/Resp with a Seq int64 field — in declaration-name
+// order.
+func protocolMessageTypes(pass *Pass) (reqs, resps []*types.TypeName) {
+	scope := pass.Pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || !hasSeqField(st) {
+			continue
+		}
+		switch {
+		case hasSuffix(name, "Req"):
+			reqs = append(reqs, tn)
+		case hasSuffix(name, "Resp"):
+			resps = append(resps, tn)
+		}
+	}
+	return reqs, resps
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) > len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func hasSeqField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Seq" {
+			continue
+		}
+		if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.Int64 {
+			return true
+		}
+	}
+	return false
+}
+
+// switchCaseTypes collects the named types mentioned (possibly behind a
+// pointer) in the case clauses of every type switch inside the function or
+// method called name. Missing functions yield an empty set, so each absence
+// is reported per message type.
+func switchCaseTypes(pass *Pass, name string) map[*types.TypeName]bool {
+	set, _ := switchCaseTypesOpt(pass, name)
+	return set
+}
+
+func switchCaseTypesOpt(pass *Pass, name string) (map[*types.TypeName]bool, bool) {
+	out := make(map[*types.TypeName]bool)
+	found := false
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			if fd.Name.Name != name {
+				continue
+			}
+			found = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSwitchStmt)
+				if !ok {
+					return true
+				}
+				for _, stmt := range ts.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						if tn := namedTypeOf(pass, expr); tn != nil {
+							out[tn] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out, found
+}
+
+// namedTypeOf resolves a case-clause type expression to its named type,
+// unwrapping one pointer level (cases are written `case *IncreaseReq:`).
+func namedTypeOf(pass *Pass, expr ast.Expr) *types.TypeName {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package (non-test files only — the
+// determinism rules target production simulator code; tests are free to
+// use wall clocks and global randomness).
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// ModuleRoot ascends from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// pkgSource is a package's parsed-but-not-yet-checked state.
+type pkgSource struct {
+	pkgPath string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root. Standard-library imports are resolved by the
+// stdlib source importer (network-free, GOROOT source only); module
+// packages are checked in dependency order and served from memory, so the
+// loader has no dependency beyond the standard library.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	srcs := make(map[string]*pkgSource)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		src, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if src == nil {
+			return nil // no non-test Go files here
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		src.pkgPath = modPath
+		if rel != "." {
+			src.pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		for _, f := range src.files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					src.imports = append(src.imports, p)
+				}
+			}
+		}
+		srcs[src.pkgPath] = src
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(srcs)
+	if err != nil {
+		return nil, err
+	}
+	checked := make(map[string]*Package)
+	imp := &moduleImporter{
+		module: checked,
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*Package
+	for _, path := range order {
+		pkg, err := check(fset, srcs[path], imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[path] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (used by the
+// golden-file tests, whose fixture packages import only the stdlib).
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	src, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	src.pkgPath = filepath.Base(dir)
+	imp := &moduleImporter{
+		module: map[string]*Package{},
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	return check(fset, src, imp)
+}
+
+// parseDir parses the non-test Go files of dir (nil if there are none).
+func parseDir(fset *token.FileSet, dir string) (*pkgSource, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	src := &pkgSource{dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		src.files = append(src.files, f)
+	}
+	return src, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer.
+func topoSort(srcs map[string]*pkgSource) ([]string, error) {
+	paths := make([]string, 0, len(srcs))
+	for p := range srcs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int, len(srcs))
+	var order []string
+	var visit func(p string, chain []string) error
+	visit = func(p string, chain []string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle: %s", strings.Join(append(chain, p), " -> "))
+		}
+		state[p] = visiting
+		src := srcs[p]
+		deps := append([]string(nil), src.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := srcs[dep]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which is not in the module", p, dep)
+			}
+			if err := visit(dep, append(chain, p)); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module packages from memory and everything else
+// from the stdlib source importer.
+type moduleImporter struct {
+	module map[string]*Package
+	std    types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.module[path]; ok {
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// check type-checks one parsed package.
+func check(fset *token.FileSet, src *pkgSource, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(src.pkgPath, fset, src.files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %v", src.pkgPath, typeErrs[0])
+	}
+	return &Package{
+		PkgPath: src.pkgPath,
+		Dir:     src.dir,
+		Fset:    fset,
+		Files:   src.files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NilRecv enforces the "nil means disabled" contract: a type whose doc
+// comment carries the marker
+//
+//	// iocheck:nilsafe
+//
+// promises that every method is safe to call on a nil receiver (the fault
+// package's *Schedule is the canonical case — a nil schedule means "no
+// faults" and is consulted from every layer). Each method must therefore
+// either open with a nil-receiver guard, or touch the receiver only to
+// compare it with nil or to call other guarded methods on it. Value
+// receivers are rejected outright: calling one through a nil pointer
+// dereferences before the body runs.
+var NilRecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "methods of // iocheck:nilsafe types must guard the nil receiver",
+	Run:  runNilRecv,
+}
+
+const nilsafeMarker = "iocheck:nilsafe"
+
+func runNilRecv(pass *Pass) {
+	nilsafe := collectNilsafeTypes(pass)
+	if len(nilsafe) == 0 {
+		return
+	}
+	// First pass: classify which methods open with a nil guard, so the
+	// second pass can accept delegation to them.
+	guarded := make(map[string]bool) // "Type.Method"
+	var methods []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			typeName, recvName, ptr := receiverOf(fd)
+			if typeName == "" || !nilsafe[typeName] {
+				continue
+			}
+			methods = append(methods, fd)
+			if !ptr {
+				pass.Reportf(fd.Name.Pos(),
+					"method %s of nilsafe type %s has a value receiver; calling it through a nil *%s panics before the body runs",
+					fd.Name.Name, typeName, typeName)
+				continue
+			}
+			if recvName == "" || opensWithNilGuard(pass, fd, recvName) {
+				guarded[typeName+"."+fd.Name.Name] = true
+			}
+		}
+	}
+	for _, fd := range methods {
+		typeName, recvName, ptr := receiverOf(fd)
+		if !ptr || recvName == "" || guarded[typeName+"."+fd.Name.Name] {
+			continue
+		}
+		if delegatesSafely(pass, fd, typeName, recvName, guarded) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"method %s of nilsafe type %s does not guard its nil receiver; open with `if %s == nil` or delegate to guarded methods only",
+			fd.Name.Name, typeName, recvName)
+	}
+}
+
+// collectNilsafeTypes finds the package's marker-carrying type names.
+func collectNilsafeTypes(pass *Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc != nil && strings.Contains(doc.Text(), nilsafeMarker) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverOf returns the receiver's base type name, the receiver variable
+// name ("" when anonymous), and whether the receiver is a pointer.
+func receiverOf(fd *ast.FuncDecl) (typeName, recvName string, ptr bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	if len(field.Names) == 1 && field.Names[0].Name != "_" {
+		recvName = field.Names[0].Name
+	}
+	return id.Name, recvName, ptr
+}
+
+// opensWithNilGuard reports whether the method's first statement is an if
+// whose condition compares the receiver with nil.
+func opensWithNilGuard(pass *Pass, fd *ast.FuncDecl, recvName string) bool {
+	if len(fd.Body.List) == 0 {
+		return true // empty body cannot dereference anything
+	}
+	ifStmt, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	recvObj := recvObject(pass, fd)
+	found := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return !found
+		}
+		if isNilComparison(pass, be, recvObj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// delegatesSafely reports whether every receiver use is a nil comparison or
+// a call to an already-guarded method of the same type (e.g. Stalled
+// returning StallRemaining(node) > 0).
+func delegatesSafely(pass *Pass, fd *ast.FuncDecl, typeName, recvName string, guarded map[string]bool) bool {
+	recvObj := recvObject(pass, fd)
+	if recvObj == nil {
+		return false
+	}
+	safe := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) && isNilComparison(pass, n, recvObj) {
+				if id, ok := n.X.(*ast.Ident); ok {
+					safe[id] = true
+				}
+				if id, ok := n.Y.(*ast.Ident); ok {
+					safe[id] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok &&
+					pass.Pkg.Info.Uses[id] == recvObj && guarded[typeName+"."+sel.Sel.Name] {
+					safe[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, isID := n.(*ast.Ident); isID && pass.Pkg.Info.Uses[id] == recvObj && !safe[id] {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// recvObject resolves the receiver variable's object.
+func recvObject(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	obj := pass.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return nil
+	}
+	return obj
+}
+
+// isNilComparison reports whether be compares the receiver object against
+// the nil identifier.
+func isNilComparison(pass *Pass, be *ast.BinaryExpr, recvObj types.Object) bool {
+	if recvObj == nil {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.Pkg.Info.Uses[id] == recvObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimTime forbids wall-clock time and global randomness in module-internal
+// simulation code. The discrete-event engine is bit-deterministic across
+// runs of the same seed only if every observable quantity derives from
+// sim.Time (the virtual clock) and sim.Rand (the seeded stream); one
+// time.Now() or global rand.Intn() in a hot path silently breaks the
+// three-seed replay test.
+var SimTime = &Analyzer{
+	Name:    "simtime",
+	Doc:     "forbid wall-clock time and global math/rand in internal packages; sim code must use sim.Time/sim.Rand",
+	Applies: internalPkg,
+	Run:     runSimTime,
+}
+
+// wallClockFuncs are the time package entry points that observe or wait on
+// the wall clock. Pure data helpers (time.Duration arithmetic, ParseDuration)
+// stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// randConstructors are the math/rand names that build an explicitly seeded
+// private stream — the only sanctioned use (internal/sim wraps one).
+// Everything else on the package (Intn, Float64, Shuffle, …) draws from the
+// process-global source and is forbidden.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runSimTime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if _, isFunc := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true // type or variable reference (time.Time, rand.Rand, …)
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; sim code must use the virtual clock (sim.Time, Proc.Now, Proc.Sleep)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-global stream; sim code must use a seeded sim.Rand",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

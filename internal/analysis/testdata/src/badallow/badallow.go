@@ -1,0 +1,7 @@
+// Package badallow is a fixture for the malformed-allow diagnostic: an
+// //iocheck:allow comment with no reason is itself a finding, so audits
+// cannot silently erode.
+package badallow
+
+//iocheck:allow simtime
+func noReason() {}

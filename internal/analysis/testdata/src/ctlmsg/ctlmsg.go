@@ -1,0 +1,57 @@
+// Package ctlmsg is a golden-file fixture for the ctlmsg analyzer: a
+// miniature of internal/core's protocol dispatch.
+package ctlmsg
+
+// PingReq is fully dispatched.
+type PingReq struct{ Seq int64 }
+
+// PingResp is fully dispatched.
+type PingResp struct{ Seq int64 }
+
+type LostReq struct{ Seq int64 } // want "missing from the reqSeq" "missing from the msgTypeFor" "not served by the managerLoop"
+
+type LostResp struct{ Seq int64 } // want "missing from the respSeq"
+
+// NoSeqReq carries no sequence number, so it is not a round message.
+type NoSeqReq struct{ N int }
+
+// PumpReq deliberately bypasses the round path.
+//
+//iocheck:allow ctlmsg fixture: served from a pump, audited
+type PumpReq struct{ Seq int64 }
+
+func reqSeq(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *PingReq:
+		return r.Seq, true
+	}
+	return 0, false
+}
+
+func respSeq(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *PingResp:
+		return r.Seq, true
+	}
+	return 0, false
+}
+
+func msgTypeFor(req any) string {
+	switch req.(type) {
+	case *PingReq:
+		return "ctl.ping"
+	}
+	return "ctl.unknown"
+}
+
+type server struct{ served map[int64]any }
+
+func (s *server) managerLoop(v any) any {
+	switch req := v.(type) {
+	case *PingReq:
+		resp := &PingResp{Seq: req.Seq}
+		s.served[req.Seq] = resp
+		return resp
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package maprange is a golden-file fixture for the maprange analyzer.
+package maprange
+
+import "sort"
+
+type overlay struct{}
+
+func (overlay) Submit(v int)  {}
+func (overlay) Observe(v int) {}
+
+type machine struct{}
+
+func (machine) Send(from, to int) {}
+
+func bad(m map[string]int, ov overlay, mach machine) []string {
+	for _, v := range m { // want "loop body calls ov.Submit"
+		ov.Submit(v)
+	}
+	for k := range m { // want "loop body calls mach.Send"
+		if len(k) > 2 {
+			mach.Send(0, 1)
+		}
+	}
+	var order []string
+	for k := range m { // want "appends to"
+		order = append(order, k)
+	}
+	return order
+}
+
+func good(m map[string]int, ov overlay) int {
+	// Pure reads and map-to-map copies carry no order.
+	total := 0
+	other := make(map[string]int, len(m))
+	for k, v := range m {
+		total += v
+		other[k] = v
+	}
+	// The sanctioned idiom: collect keys, sort, then act in key order.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ov.Submit(m[k])
+	}
+	// Loop-local accumulators die with the iteration; no order escapes.
+	for range m {
+		var scratch []int
+		scratch = append(scratch, total)
+		_ = scratch
+	}
+	return total
+}
+
+func audited(m map[string]int, ov overlay) {
+	//iocheck:allow maprange fixture demonstrating an audited exception
+	for _, v := range m {
+		ov.Submit(v)
+	}
+}

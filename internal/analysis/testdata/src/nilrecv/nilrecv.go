@@ -1,0 +1,62 @@
+// Package nilrecv is a golden-file fixture for the nilrecv analyzer.
+package nilrecv
+
+// Sched is the fixture's stand-in for fault.Schedule: nil means disabled.
+//
+// iocheck:nilsafe
+type Sched struct {
+	n    int
+	down map[int]bool
+}
+
+// Guarded opens with the canonical guard.
+func (s *Sched) Guarded() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// ShortCircuit guards inside a compound condition; the short-circuit makes
+// the map read safe.
+func (s *Sched) ShortCircuit(k int) bool {
+	if s == nil || s.down[k] {
+		return false
+	}
+	return true
+}
+
+// Delegates touches the receiver only through a guarded method.
+func (s *Sched) Delegates() bool { return s.Guarded() > 0 }
+
+// Anonymous cannot dereference a receiver it never names.
+func (*Sched) Anonymous() int { return 7 }
+
+func (s *Sched) Unguarded() int { // want "does not guard its nil receiver"
+	return s.n
+}
+
+func (s *Sched) LateGuard(k int) bool { // want "does not guard its nil receiver"
+	v := s.down[k] // dereference happens before the check below
+	if s == nil {
+		return false
+	}
+	return v
+}
+
+func (s Sched) ByValue() int { // want "value receiver"
+	return s.n
+}
+
+// Plain is unmarked: nothing here is checked.
+type Plain struct{ n int }
+
+func (p *Plain) Whatever() int { return p.n }
+
+// Audit demonstrates suppression of an audited violation.
+//
+// iocheck:nilsafe
+type Audit struct{ n int }
+
+//iocheck:allow nilrecv fixture demonstrating an audited exception
+func (a *Audit) Known() int { return a.n }

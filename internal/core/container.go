@@ -431,8 +431,14 @@ func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi 
 	outSize := int64(float64(m.Size) * c.spec.OutputFactor)
 	// Observers get a duplicate of every step regardless of where the
 	// primary output goes; a saturated tap drops rather than stalls the
-	// pipeline (TryPut semantics via a bounded tap queue).
-	for tap, w := range r.tapWriters {
+	// pipeline (TryPut semantics via a bounded tap queue). Iterate the
+	// attachment-ordered tap list, not the writer map: tap writes transfer
+	// simulated bytes, so their order must be deterministic.
+	for _, tap := range c.taps {
+		w, ok := r.tapWriters[tap]
+		if !ok {
+			continue
+		}
 		out := pg
 		if pg != nil {
 			clone := *pg

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/cluster"
@@ -197,11 +198,7 @@ func (gm *GlobalManager) Suspects() []string {
 	for name := range gm.suspect {
 		out = append(out, name)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 
@@ -254,10 +251,16 @@ func (gm *GlobalManager) connect(c *Container) {
 // inbox returns the stone containers bridge their upward traffic to.
 func (gm *GlobalManager) inbox() *evpath.Stone { return gm.root }
 
-// closeBridges drains and stops the manager's courier processes.
+// closeBridges drains and stops the manager's courier processes, in
+// sorted container order so shutdown releases couriers deterministically.
 func (gm *GlobalManager) closeBridges() {
-	for _, s := range gm.toContainer {
-		s.CloseBridge()
+	names := make([]string, 0, len(gm.toContainer))
+	for name := range gm.toContainer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gm.toContainer[name].CloseBridge()
 	}
 	if gm.toStandby != nil {
 		gm.toStandby.CloseBridge()

@@ -461,8 +461,12 @@ func (rt *Runtime) onNodeCrash(id int) {
 			if r.writer != nil && c.output != nil {
 				c.output.RemoveWriter(r.writer)
 			}
-			for tap, w := range r.tapWriters {
-				tap.RemoveWriter(w)
+			// Attachment order, not map order: RemoveWriter can release a
+			// parked process into the event schedule.
+			for _, tap := range c.taps {
+				if w, ok := r.tapWriters[tap]; ok {
+					tap.RemoveWriter(w)
+				}
 			}
 		}
 		if c.mgrEV.Node() == id && c.state != StateOffline {

@@ -126,7 +126,11 @@ type CrackNotice struct {
 // SpareReq is the replica-restart protocol's first leg: a local manager
 // that detected crashed replicas asks the global manager for replacement
 // nodes. It travels upward on the container's control bridge and is served
-// from the global manager's pump (not the synchronous call path).
+// from the global manager's pump (not the synchronous call path), so it is
+// exempt from the round-dispatch exhaustiveness rule: its Seq matches the
+// grant to a heal round, it is never retried by the GM's call machinery.
+//
+//iocheck:allow ctlmsg served from the GM pump, not the synchronous round path
 type SpareReq struct {
 	Seq  int64
 	From string
@@ -459,8 +463,12 @@ func (c *Container) doHeal(p *sim.Proc) {
 		if r.writer != nil && c.output != nil {
 			c.output.RemoveWriter(r.writer)
 		}
-		for tap, w := range r.tapWriters {
-			tap.RemoveWriter(w)
+		// Detach in attachment order: RemoveWriter can release a parked
+		// process, so map order here would leak into the event schedule.
+		for _, tap := range c.taps {
+			if w, ok := r.tapWriters[tap]; ok {
+				tap.RemoveWriter(w)
+			}
 		}
 	}
 	for _, r := range dead {

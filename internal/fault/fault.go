@@ -24,12 +24,16 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
 
 // Config describes a fault schedule. It is JSON-friendly so scenario files
-// can embed one; all times are virtual.
+// can embed one; all times are virtual. A nil *Config means "no faults";
+// every method tolerates a nil receiver.
+//
+// iocheck:nilsafe
 type Config struct {
 	// Seed feeds the schedule's private random stream (message drops).
 	// Zero derives a default; the stream is separate from the engine's so
@@ -86,6 +90,9 @@ type Stall struct {
 
 // Validate rejects obviously malformed configurations.
 func (c *Config) Validate() error {
+	if c == nil {
+		return nil // no faults, nothing to be malformed
+	}
 	for _, cr := range c.Crashes {
 		if cr.Node < 0 {
 			return fmt.Errorf("fault: crash node %d negative", cr.Node)
@@ -121,7 +128,10 @@ type Stats struct {
 }
 
 // Schedule is an armed fault plan bound to an engine. The zero of the type
-// is not used; a nil *Schedule is valid everywhere and means "no faults".
+// is not used; a nil *Schedule is valid everywhere and means "no faults",
+// so every method must guard its nil receiver.
+//
+// iocheck:nilsafe
 type Schedule struct {
 	eng     *sim.Engine
 	cfg     Config
@@ -196,11 +206,7 @@ func (s *Schedule) DownNodes() []int {
 	for id := range s.down {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }
 

@@ -15,6 +15,8 @@
 //     engine loop) runs at any instant, so process code needs no locking.
 package sim
 
+import "sort"
+
 // Engine is the discrete-event scheduler: a virtual clock plus an ordered
 // queue of future events. It is not safe for concurrent use; all
 // interaction must happen from the driving goroutine or from within
@@ -255,14 +257,6 @@ func (e *Engine) Blocked() []string {
 			out = append(out, p.name)
 		}
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
