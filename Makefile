@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check experiments
+.PHONY: build test race vet fmt lint check experiments bench bench-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,27 @@ check: fmt vet lint build race
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# bench regenerates BENCH_baseline.json: each root benchmark runs once
+# with its fixed seed and cmd/benchjson folds the output into a sorted
+# name -> {ns/op, B/op, allocs/op} map. ns/op is a wall-clock snapshot of
+# the machine that ran it; allocs/op is stable and is the number to diff.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	cat bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_baseline.json
+	rm -f bench.out
+
+# bench-smoke proves every benchmark still runs and parses, without
+# touching the checked-in baseline (CI runs this).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) run ./cmd/benchjson < bench.out > /dev/null
+	rm -f bench.out
+
+# trace-smoke runs one traced fig7 scenario and fails unless the exported
+# Chrome trace_event JSON parses (iotrace validates its own export).
+trace-smoke:
+	out=$$(mktemp); \
+	$(GO) run ./cmd/iotrace -config scenarios/fig7.json -chrome $$out -critical || { rm -f $$out; exit 1; }; \
+	rm -f $$out

@@ -1,0 +1,82 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON baseline: benchmark name → ns/op, B/op, allocs/op. The
+// Makefile's bench target pipes through it to regenerate
+// BENCH_baseline.json; keys are sorted so diffs stay reviewable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measured cost per operation.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFig7Events256-8   1   45123456 ns/op   123456 B/op   1234 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so baselines compare across hosts.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out, failed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contains a FAIL line")
+		os.Exit(1)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(enc))
+}
+
+func parse(r *os.File) (map[string]Entry, bool, error) {
+	out := map[string]Entry{}
+	failed := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			failed = true
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, failed, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		e := Entry{NsPerOp: ns}
+		if m[3] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		out[m[1]] = e
+	}
+	return out, failed, sc.Err()
+}

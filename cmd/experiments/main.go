@@ -21,7 +21,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	traceDir := flag.String("trace-dir", "", "record causal traces; write one Chrome trace JSON per run into this directory")
 	flag.Parse()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiments.EnableTracing(*traceDir)
+	}
 
 	if *list {
 		for _, e := range experiments.AllWithExtras() {

@@ -8,6 +8,7 @@
 //	               [-crack -1] [-seed 42] [-parallel-bonds]
 //	               [-no-management] [-no-offline] [-no-steal]
 //	               [-crash-node -1] [-crash-at 60] [-no-self-heal]
+//	               [-trace out.json] [-flight flight.txt]
 package main
 
 import (
@@ -21,10 +22,14 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
+	"repro/internal/trace"
 )
 
 // showCharts toggles ASCII chart output (-chart).
 var showCharts bool
+
+// tracePath / flightPath hold the -trace and -flight output files.
+var tracePath, flightPath string
 
 func main() {
 	simNodes := flag.Int("sim", 256, "simulation partition size (nodes)")
@@ -44,8 +49,12 @@ func main() {
 	crashNode := flag.Int("crash-node", -1, "machine node to fail-stop (-1 = none; staging IDs start at -sim)")
 	crashAt := flag.Float64("crash-at", 60, "virtual second at which -crash-node dies")
 	noHeal := flag.Bool("no-self-heal", false, "disable the replica-restart protocol")
+	traceFile := flag.String("trace", "", "export a Chrome trace_event JSON of the run to this file")
+	flightFile := flag.String("flight", "", "on SLA violation, queue overflow, or crash, dump the flight recorder to this file")
 	flag.Parse()
 	showCharts = *chart
+	tracePath = *traceFile
+	flightPath = *flightFile
 
 	if *configPath != "" {
 		cfg, err := scenario.LoadFile(*configPath)
@@ -89,15 +98,35 @@ func main() {
 }
 
 func runAndReport(cfg core.Config) {
+	if (tracePath != "" || flightPath != "") && cfg.Trace == nil {
+		cfg.Trace = &trace.Config{}
+	}
 	rt, err := core.Build(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iocontainersim:", err)
 		os.Exit(1)
 	}
+	if flightPath != "" {
+		rec := rt.Tracer()
+		rec.OnTrigger(func(reason string) {
+			if err := dumpFlight(flightPath, reason, rec.Records()); err != nil {
+				fmt.Fprintln(os.Stderr, "iocontainersim: flight dump:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "iocontainersim: flight recorder dumped to %s (trigger: %s)\n",
+				flightPath, reason)
+		})
+	}
 	res, err := rt.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iocontainersim:", err)
 		os.Exit(1)
+	}
+	if tracePath != "" {
+		if err := exportChrome(tracePath, rt.Tracer().Records()); err != nil {
+			fmt.Fprintln(os.Stderr, "iocontainersim: trace export:", err)
+			os.Exit(1)
+		}
 	}
 	eff := rt.Config()
 
@@ -152,6 +181,10 @@ func runAndReport(cfg core.Config) {
 		fmt.Printf("end-to-end latency: first=%.1fs last=%.1fs\n", e2e.Points[0].V, e2e.Last().V)
 	}
 
+	if trig, ok := rt.Tracer().Triggered(); ok && flightPath != "" {
+		fmt.Printf("flight recorder: triggered (%s), dump in %s\n", trig, flightPath)
+	}
+
 	if showCharts {
 		for _, name := range names {
 			s := res.Recorder.Series("latency." + name)
@@ -168,4 +201,32 @@ func runAndReport(cfg core.Config) {
 				YLabel: "end-to-end latency (s)", Markers: res.Recorder.Markers}))
 		}
 	}
+}
+
+// exportChrome writes the recorder contents as Chrome trace_event JSON.
+func exportChrome(path string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpFlight writes a flight-recorder snapshot: a header naming the trigger,
+// then the plain-text timeline of everything still in the ring.
+func dumpFlight(path, reason string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "# flight recorder dump  trigger=%s  records=%d\n", reason, len(recs))
+	if err := trace.WriteText(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

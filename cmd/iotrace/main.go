@@ -1,0 +1,133 @@
+// Command iotrace runs one scenario with causal tracing enabled and
+// analyzes the result: it can export a Chrome trace_event JSON
+// (chrome://tracing / Perfetto-loadable), a plain-text timeline, install
+// the flight recorder, and print a critical-path report naming the
+// container that dominates end-to-end latency.
+//
+// Usage:
+//
+//	iotrace -config scenarios/fig7.json [-seed 42] [-chrome out.json]
+//	        [-text out.txt] [-flight flight.txt] [-critical]
+//	        [-ring 65536] [-kernel]
+//
+// With no export flags, iotrace prints the critical-path report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+func main() {
+	configPath := flag.String("config", "", "JSON scenario file (required)")
+	seed := flag.Int64("seed", 0, "override the scenario's seed (0 = keep)")
+	chromePath := flag.String("chrome", "", "write Chrome trace_event JSON here")
+	textPath := flag.String("text", "", "write a plain-text timeline here")
+	flightPath := flag.String("flight", "", "dump the flight recorder here on SLA violation, overflow, or crash")
+	critical := flag.Bool("critical", false, "print the critical-path report (default when no export flag is given)")
+	ring := flag.Int("ring", 0, "flight-recorder ring capacity in records (0 = default)")
+	kernel := flag.Bool("kernel", false, "also record raw simulator-kernel events")
+	flag.Parse()
+
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "iotrace: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg, err := scenario.LoadFile(*configPath)
+	if err != nil {
+		fail(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Trace = &trace.Config{RingCap: *ring, Kernel: *kernel}
+
+	rt, err := core.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+	rec := rt.Tracer()
+	if *flightPath != "" {
+		rec.OnTrigger(func(reason string) {
+			if err := dumpFlight(*flightPath, reason, rec.Records()); err != nil {
+				fmt.Fprintln(os.Stderr, "iotrace: flight dump:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "iotrace: flight recorder dumped to %s (trigger: %s)\n",
+				*flightPath, reason)
+		})
+	}
+	if _, err := rt.Run(); err != nil {
+		fail(err)
+	}
+
+	recs := rec.Records()
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "iotrace: ring evicted %d records (oldest first); raise -ring for a full trace\n", dropped)
+	}
+	if *chromePath != "" {
+		if err := writeTo(*chromePath, recs, trace.WriteChrome); err != nil {
+			fail(err)
+		}
+		f, err := os.Open(*chromePath)
+		if err != nil {
+			fail(err)
+		}
+		n, err := trace.ValidateChrome(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("exported trace does not validate: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "iotrace: Chrome trace written to %s (%d events, validated)\n", *chromePath, n)
+	}
+	if *textPath != "" {
+		if err := writeTo(*textPath, recs, trace.WriteText); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "iotrace: text timeline written to %s\n", *textPath)
+	}
+	if *critical || (*chromePath == "" && *textPath == "") {
+		cp := trace.AnalyzeCriticalPath(recs)
+		if err := cp.WriteReport(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "iotrace:", err)
+	os.Exit(1)
+}
+
+func writeTo(path string, recs []trace.Record, export func(w io.Writer, recs []trace.Record) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func dumpFlight(path, reason string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "# flight recorder dump  trigger=%s  records=%d\n", reason, len(recs))
+	if err := trace.WriteText(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -11,6 +11,10 @@ func bad() {
 	time.Sleep(5)                      // want "time.Sleep reads the wall clock"
 	_ = time.Since                     // want "time.Since reads the wall clock"
 	_ = time.After(5)                  // want "time.After reads the wall clock"
+	_ = time.Tick(5)                   // want "time.Tick reads the wall clock"
+	_ = time.NewTimer(5)               // want "time.NewTimer reads the wall clock"
+	_ = time.NewTicker(5)              // want "time.NewTicker reads the wall clock"
+	_ = time.AfterFunc(5, func() {})   // want "time.AfterFunc reads the wall clock"
 	_ = rand.Intn(4)                   // want "rand.Intn draws from the process-global stream"
 	_ = rand.Float64()                 // want "rand.Float64 draws from the process-global stream"
 	rand.Shuffle(2, func(i, j int) {}) // want "rand.Shuffle draws from the process-global stream"

@@ -11,6 +11,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
+	"repro/internal/trace"
 )
 
 // State is a container's lifecycle state.
@@ -201,6 +202,7 @@ func (rt *Runtime) newContainer(spec ComponentSpec, nodes []*cluster.Node,
 		active:     !spec.ActivateOnCrack,
 	}
 	c.mgrEV = evpath.NewManager(rt.eng, rt.mach, nodes[0].ID)
+	c.mgrEV.SetTracer(rt.tracer)
 	c.mailbox = evpath.NewMailbox(c.mgrEV, 0)
 	c.nodes = append(c.nodes, nodes...)
 	return c, nil
@@ -374,9 +376,12 @@ func (r *replica) run(p *sim.Proc) {
 // rather than forwarded.
 func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 	c := r.c
+	sp := c.rt.tracer.Begin(m.Span, "core", "compute").
+		Container(c.spec.Name).Node(r.node.ID).Step(m.Step)
 	// A stalled node freezes mid-step: the process is alive but makes no
 	// progress until the stall window closes (nil-safe; 0 without faults).
 	if d := c.rt.mach.Faults().StallRemaining(r.node.ID); d > 0 {
+		sp.Attr("stalled", "1")
 		p.Sleep(d)
 	}
 	pg, _ := m.Data.(*bp.ProcessGroup)
@@ -402,16 +407,19 @@ func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 	if interrupted {
 		if c.state == StateOffline {
 			c.rt.dropped++
+			sp.Attr("interrupted", "offline").End()
 			return
 		}
 		if !c.input.Requeue(m) {
 			c.rt.dropped++
 		}
+		sp.Attr("interrupted", "teardown").End()
 		return
 	}
 	c.lastService = st
 	c.stepsProcessed++
 	latency := p.Now() - m.Created
+	sp.End()
 	c.report(p, monitor.Sample{
 		Container: c.spec.Name,
 		Step:      m.Step,
@@ -420,13 +428,14 @@ func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 		QueueLen:  c.input.QueueLen(),
 		At:        p.Now(),
 	})
-	r.forward(p, m, pg, fi)
+	r.forward(p, m, pg, fi, sp.ID())
 }
 
 // forward routes the processed step downstream: to the output channel
 // when the downstream container is online, else to disk with provenance,
-// else (terminal stage) records pipeline exit.
-func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi FrameInfo) {
+// else (terminal stage) records pipeline exit. parent is the compute
+// span's trace context; outgoing writes chain from it.
+func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi FrameInfo, parent trace.SpanID) {
 	c := r.c
 	outSize := int64(float64(m.Size) * c.spec.OutputFactor)
 	// Observers get a duplicate of every step regardless of where the
@@ -445,7 +454,7 @@ func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi 
 			out = &clone
 		}
 		if !tap.Full() {
-			w.Write(p, m.Step, outSize, out)
+			w.WriteTraced(p, m.Step, outSize, out, parent)
 		}
 	}
 	switch {
@@ -474,7 +483,7 @@ func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi 
 			clone := *pg
 			out = &clone
 		}
-		r.writer.Write(p, m.Step, outSize, out)
+		r.writer.WriteTraced(p, m.Step, outSize, out, parent)
 	default:
 		// Terminal stage: the step has left the pipeline.
 		c.rt.recordExit(p.Now(), fi)
@@ -486,6 +495,10 @@ func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi 
 func (c *Container) report(p *sim.Proc, s monitor.Sample) {
 	c.samples++
 	c.rt.recordSample(s)
+	if s.Step >= 0 && s.Latency > c.SLAPeriod() {
+		// The first SLA violation freezes the flight recorder's lead-up.
+		c.rt.tracer.Trigger("sla:" + c.spec.Name)
+	}
 	if c.probe != nil {
 		c.probe.Offer(p, s)
 		return

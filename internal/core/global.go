@@ -9,6 +9,7 @@ import (
 	"repro/internal/evpath"
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -229,6 +230,7 @@ func newGlobalManager(rt *Runtime, node int, policy PolicyConfig, spare []*clust
 		rt.eng.At(policy.KillGMAt, func() { gm.dead = true })
 	}
 	gm.ev = evpath.NewManager(rt.eng, rt.mach, node)
+	gm.ev.SetTracer(rt.tracer)
 	gm.ctl = evpath.NewMailbox(gm.ev, 0)
 	gm.rsp = evpath.NewMailbox(gm.ev, 0)
 	respRoute := gm.ev.NewStone(evpath.TypeFilter(msgResp))
@@ -403,39 +405,52 @@ func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64
 		return nil
 	}
 	req := mk(gm.seq)
+	kind := strings.TrimPrefix(msgTypeFor(req), "ctl.")
 	timeout := gm.policy.CallTimeout
 	for attempt := 0; attempt <= gm.policy.CallRetries; attempt++ {
 		if gm.dead {
 			return nil
 		}
-		stone.Submit(p, &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req})
+		// Each attempt is its own round span; the container-side serve
+		// chains from it through the stamped event context.
+		sp := gm.rt.tracer.Begin(0, "ctl", "round."+kind).
+			Container(target).Node(gm.node).
+			AttrInt("attempt", int64(attempt)).AttrInt("seq", gm.seq)
+		ev := &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req}
+		ev.Attrs = trace.Stamp(ev.Attrs, sp.ID())
+		stone.Submit(p, ev)
 		deadline := p.Now() + timeout
 		for {
 			if v := gm.takePending(match); v != nil {
+				sp.End()
 				return v
 			}
-			ev, ok := gm.rsp.RecvTimeout(p, deadline-p.Now())
+			rev, ok := gm.rsp.RecvTimeout(p, deadline-p.Now())
 			if !ok {
 				if gm.rsp.Closed() {
 					// Shutdown mid-round: keep whatever buffered responses
 					// remain for other callers before giving up.
 					gm.drainResponses()
+					sp.Attr("outcome", "shutdown").End()
 					if v := gm.takePending(match); v != nil {
 						return v
 					}
 					return nil
 				}
+				sp.Attr("outcome", "timeout").End()
 				break // round deadline; retry with backoff
 			}
 			if gm.dead {
-				gm.pending = append(gm.pending, ev.Data)
+				gm.pending = append(gm.pending, rev.Data)
+				sp.Attr("outcome", "dead").End()
 				return nil
 			}
-			if match(ev.Data) {
-				return ev.Data
+			if match(rev.Data) {
+				sp.End()
+				return rev.Data
 			}
 			// A response for a different caller; buffer it.
-			gm.pending = append(gm.pending, ev.Data)
+			gm.pending = append(gm.pending, rev.Data)
 		}
 		timeout *= 2
 	}
@@ -482,6 +497,7 @@ func (gm *GlobalManager) markSuspect(p *sim.Proc, target string) {
 		return
 	}
 	gm.suspect[target] = true
+	gm.rt.tracer.Instant(0, "ctl", "suspect").Container(target).Node(gm.node).End()
 	gm.record(p, Action{T: p.Now(), Kind: "suspect", Target: target,
 		Detail: "control rounds exhausted retries"})
 }
@@ -764,7 +780,8 @@ func (gm *GlobalManager) gather(p *sim.Proc, bneck *Container, want int, unattai
 // manager as the reader side) and reports whether it committed. Injected
 // failures make a participant go silent, forcing a consistent abort.
 func (gm *GlobalManager) tradeTxn(p *sim.Proc, victim, bneck *Container) bool {
-	cfg := txn.Config{Writers: 2, Readers: 1, VoteTimeout: sim.Second}
+	cfg := txn.Config{Writers: 2, Readers: 1, VoteTimeout: sim.Second,
+		Tracer: gm.rt.tracer}
 	if gm.policy.InjectTradeFailures > 0 {
 		gm.policy.InjectTradeFailures--
 		cfg.SilentRanks = map[int]bool{1: true} // the donor-side manager fails

@@ -12,6 +12,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
+	"repro/internal/trace"
 )
 
 // Config assembles a complete managed pipeline run: the machine split
@@ -83,6 +84,10 @@ type Config struct {
 	// degradation, partitions, control-message loss) into the run. Nil or
 	// empty means a fault-free machine; see the fault package.
 	Faults *fault.Config
+	// Trace enables the causal tracing subsystem: spans from every layer
+	// land in a flight-recorder ring that auto-dumps on SLA violation,
+	// queue overflow, or node crash. Nil disables tracing entirely.
+	Trace *trace.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +164,9 @@ type Runtime struct {
 
 	// faults is the armed fault schedule (nil on fault-free runs).
 	faults *fault.Schedule
+	// tracer is the causal trace recorder (nil when tracing is off; every
+	// instrumentation site is nil-safe).
+	tracer *trace.Recorder
 	// ctlSeq numbers control rounds across every global manager instance;
 	// a runtime-wide counter keeps a standby's rounds distinct from the
 	// primary's in the containers' deduplication caches.
@@ -173,6 +181,12 @@ func Build(cfg Config) (*Runtime, error) {
 		rt.stepTrace = make(map[int64]map[string]sim.Time)
 	}
 	rt.eng = sim.NewEngine(cfg.Seed)
+	if cfg.Trace != nil {
+		rt.tracer = trace.New(rt.eng, *cfg.Trace)
+		if k := trace.NewKernel(rt.tracer); k != nil {
+			rt.eng.SetTracer(k)
+		}
+	}
 	machCfg := cluster.Franklin()
 	if cfg.Machine != nil {
 		machCfg = *cfg.Machine
@@ -257,6 +271,7 @@ func Build(cfg Config) (*Runtime, error) {
 		rt.channels[i] = datatap.NewChannel(rt.eng, rt.mach,
 			fmt.Sprintf("ch.%d.%s", i, consumer),
 			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes, HomeNode: home})
+		rt.channels[i].SetTracer(rt.tracer)
 	}
 
 	for i, spec := range cfg.Specs {
@@ -308,6 +323,7 @@ func Build(cfg Config) (*Runtime, error) {
 		rt.ckptChannel = datatap.NewChannel(rt.eng, rt.mach, "ch.ckpt",
 			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes,
 				HomeNode: ckptNodes[0].ID})
+		rt.ckptChannel.SetTracer(rt.tracer)
 		c, err := rt.newContainer(spec, ckptNodes, rt.ckptChannel, nil, "")
 		if err != nil {
 			return nil, err
@@ -446,6 +462,8 @@ func (rt *Runtime) TakeSpare(n int) []*cluster.Node {
 // channels, queued descriptors whose payload died with the node are
 // invalidated, and a manager whose node died stops serving.
 func (rt *Runtime) onNodeCrash(id int) {
+	rt.tracer.Instant(0, "fault", "crash").Node(id).End()
+	rt.tracer.Trigger(fmt.Sprintf("crash:node%d", id))
 	for _, ch := range rt.channels {
 		ch.InvalidateNode(id)
 	}
@@ -687,6 +705,9 @@ func (rt *Runtime) Machine() *cluster.Machine { return rt.mach }
 
 // Recorder returns the metrics recorder.
 func (rt *Runtime) Recorder() *metrics.Recorder { return rt.rec }
+
+// Tracer returns the trace recorder (nil when Config.Trace is unset).
+func (rt *Runtime) Tracer() *trace.Recorder { return rt.tracer }
 
 // Config returns the effective (default-filled) configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }

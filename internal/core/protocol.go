@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/datatap"
 	"repro/internal/evpath"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
+	"repro/internal/trace"
 )
 
 // Control message event types on the management overlay.
@@ -193,6 +195,11 @@ func (c *Container) managerLoop(p *sim.Proc) {
 		seq, hasSeq := reqSeq(ev.Data)
 		if hasSeq {
 			if cached, dup := served[seq]; dup {
+				// A retried round answered from the cache: visible in the
+				// trace as an instant chained to the retry's round span.
+				c.rt.tracer.Instant(trace.Ctx(ev.Attrs), "ctl", "dedupe").
+					Container(c.spec.Name).Node(c.mgrEV.Node()).
+					AttrInt("seq", seq).End()
 				c.reply(p, cached)
 				if _, wasOffline := cached.(*OfflineResp); wasOffline {
 					return
@@ -200,6 +207,9 @@ func (c *Container) managerLoop(p *sim.Proc) {
 				continue
 			}
 		}
+		sp := c.rt.tracer.Begin(trace.Ctx(ev.Attrs), "ctl",
+			"serve."+strings.TrimPrefix(ev.Type, "ctl.")).
+			Container(c.spec.Name).Node(c.mgrEV.Node())
 		var resp any
 		exit := false
 		switch req := ev.Data.(type) {
@@ -238,12 +248,14 @@ func (c *Container) managerLoop(p *sim.Proc) {
 		default:
 			c.rt.fail(fmt.Errorf("core: container %s got unknown control %T",
 				c.spec.Name, ev.Data))
+			sp.Attr("outcome", "unknown").End()
 			return
 		}
 		if hasSeq {
 			served[seq] = resp
 		}
 		c.reply(p, resp)
+		sp.End()
 		if exit {
 			return
 		}
@@ -441,6 +453,8 @@ func (c *Container) doOffline(p *sim.Proc) (released []*cluster.Node, dropped in
 // Running inside the manager loop serializes healing with resizes and
 // offline transitions.
 func (c *Container) doHeal(p *sim.Proc) {
+	sp := c.rt.tracer.Begin(0, "ctl", "heal").
+		Container(c.spec.Name).Node(c.mgrEV.Node())
 	var survivors []*replica
 	var dead []*replica
 	for _, r := range c.replicas {
@@ -451,6 +465,7 @@ func (c *Container) doHeal(p *sim.Proc) {
 		}
 	}
 	if len(dead) == 0 {
+		sp.AttrInt("lost", 0).End()
 		return
 	}
 	for _, r := range dead {
@@ -492,10 +507,12 @@ func (c *Container) doHeal(p *sim.Proc) {
 	granted := c.awaitGrant(p)
 	if len(granted) == 0 {
 		c.notifyHeal(p, lost, true)
+		sp.AttrInt("lost", int64(lost)).Attr("outcome", "degraded").End()
 		return
 	}
 	c.integrateNodes(p, granted)
 	c.notifyHeal(p, lost, false)
+	sp.AttrInt("lost", int64(lost)).Attr("outcome", "healed").End()
 }
 
 // awaitGrant pumps the container mailbox until the current heal round's

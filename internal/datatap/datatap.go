@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Meta is the descriptor pushed from writer to reader; the payload itself
@@ -38,6 +39,10 @@ type Meta struct {
 	// Data is the payload (carried by reference; the simulated transfer
 	// cost is charged from Size).
 	Data any
+	// Span is the trace context riding the descriptor across the hop: the
+	// write span that produced it, replaced by the pull span once fetched,
+	// so downstream spans chain to their true upstream cause.
+	Span trace.SpanID
 	// release frees the writer-side buffer space once pulled.
 	release func()
 }
@@ -100,6 +105,7 @@ type Channel struct {
 	// pulls; lastPullAt enforces the configured spacing.
 	pullTokens *sim.Resource
 	lastPullAt sim.Time
+	tracer     *trace.Recorder
 }
 
 // NewChannel creates a channel. mach may be nil for cost-free tests.
@@ -119,6 +125,11 @@ func NewChannel(eng *sim.Engine, mach *cluster.Machine, name string, cfg Config)
 
 // Name returns the channel's name.
 func (c *Channel) Name() string { return c.name }
+
+// SetTracer attaches a trace recorder: writes, pulls, and pause rounds
+// become spans; requeues and invalidations become instants; a writer
+// blocking on a full metadata queue fires the flight-recorder trigger.
+func (c *Channel) SetTracer(r *trace.Recorder) { c.tracer = r }
 
 // QueueLen returns the current metadata backlog.
 func (c *Channel) QueueLen() int { return c.meta.Len() }
@@ -165,6 +176,8 @@ func (c *Channel) Requeue(m *Meta) bool {
 	m.release = func() {}
 	c.stats.StepsPulled--
 	c.stats.BytesPulled -= m.Size
+	c.tracer.Instant(m.Span, "datatap", "requeue").
+		Container(c.name).Step(m.Step).End()
 	return c.meta.TryPut(m)
 }
 
@@ -225,12 +238,23 @@ func (w *Writer) BufferedBytes() int64 { return int64(w.buf.InUse()) }
 // containers runtime manages against. It returns false if the channel was
 // closed.
 func (w *Writer) Write(p *sim.Proc, step int64, size int64, data any) bool {
+	return w.WriteTraced(p, step, size, data, 0)
+}
+
+// WriteTraced is Write with an explicit causal parent for the write span.
+// The parent must be passed in (not stamped on the Meta afterwards): a
+// blocked Put can hand the descriptor to a reader before the writer
+// resumes, so the Meta must be fully formed before it enters the queue.
+func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, parent trace.SpanID) bool {
 	if w.ch.closed {
 		return false
 	}
+	sp := w.ch.tracer.Begin(parent, "datatap", "write").
+		Container(w.ch.name).Node(w.node).Step(step).AttrInt("bytes", size)
 	start := w.ch.eng.Now()
 	for w.ch.paused {
 		w.pausedEvs++
+		sp.Attr("paused", "1")
 		w.ch.resume.Wait(p)
 	}
 	w.busy = true
@@ -246,6 +270,7 @@ func (w *Writer) Write(p *sim.Proc, step int64, size int64, data any) bool {
 		SrcNode: w.node,
 		Created: w.ch.eng.Now(),
 		Data:    data,
+		Span:    sp.ID(),
 	}
 	m.release = func() { w.buf.Release(int(size)) }
 	// Push the descriptor to the queue's home node. A push lost to a fault
@@ -255,13 +280,20 @@ func (w *Writer) Write(p *sim.Proc, step int64, size int64, data any) bool {
 		if !w.ch.mach.Send(p, w.node, w.ch.cfg.HomeNode, descriptorBytes) {
 			m.release()
 			w.finishWrite(start)
+			sp.Attr("fail", "push").End()
 			return false
 		}
+	}
+	if w.ch.Full() {
+		// The paper's Fig. 9 condition: a full metadata queue is about to
+		// block the application. Preserve the lead-up in the flight ring.
+		w.ch.tracer.Trigger("overflow:" + w.ch.name)
 	}
 	ok := w.ch.meta.Put(p, m)
 	if !ok {
 		m.release()
 		w.finishWrite(start)
+		sp.Attr("fail", "closed").End()
 		return false
 	}
 	w.ch.stats.StepsWritten++
@@ -269,6 +301,7 @@ func (w *Writer) Write(p *sim.Proc, step int64, size int64, data any) bool {
 		w.ch.stats.MaxQueue = l
 	}
 	w.finishWrite(start)
+	sp.End()
 	return true
 }
 
@@ -339,6 +372,13 @@ func (r *Reader) FetchTimeout(p *sim.Proc, d sim.Time) (*Meta, bool) {
 // dead or partitioned and the payload is unreachable (the descriptor is
 // counted invalidated and its buffer reservation dropped).
 func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
+	sp := r.ch.tracer.Begin(m.Span, "datatap", "pull").
+		Container(r.ch.name).Node(r.node).Step(m.Step).
+		AttrInt("bytes", m.Size).AttrInt("src", int64(m.SrcNode))
+	// Downstream work chains from the pull, not the original write.
+	if sp != nil {
+		m.Span = sp.ID()
+	}
 	if r.ch.pullTokens != nil {
 		r.ch.pullTokens.Acquire(p, 1)
 		if gap := r.ch.cfg.PullSpacing; gap > 0 {
@@ -358,10 +398,12 @@ func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
 	m.release()
 	if !ok {
 		r.ch.stats.Invalidated++
+		sp.Attr("fail", "invalidated").End()
 		return false
 	}
 	r.ch.stats.StepsPulled++
 	r.ch.stats.BytesPulled += m.Size
+	sp.End()
 	return true
 }
 
@@ -377,6 +419,10 @@ func (c *Channel) InvalidateNode(node int) int {
 		return true
 	})
 	c.stats.Invalidated += int64(n)
+	if n > 0 {
+		c.tracer.Instant(0, "datatap", "invalidate").
+			Container(c.name).Node(node).AttrInt("descriptors", int64(n)).End()
+	}
 	return n
 }
 
@@ -402,6 +448,8 @@ func (c *Channel) RemoveWriter(w *Writer) {
 // no timestep is lost while downstream replicas are removed. It returns
 // the time spent waiting.
 func (c *Channel) Pause(p *sim.Proc) sim.Time {
+	sp := c.tracer.Begin(0, "datatap", "pause").
+		Container(c.name).Node(c.cfg.HomeNode).AttrInt("writers", int64(len(c.writers)))
 	start := c.eng.Now()
 	if !c.paused {
 		c.paused = true
@@ -421,6 +469,7 @@ func (c *Channel) Pause(p *sim.Proc) sim.Time {
 	}
 	wait := c.eng.Now() - start
 	c.stats.PauseWait += wait
+	sp.End()
 	return wait
 }
 

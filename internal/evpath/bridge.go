@@ -1,6 +1,9 @@
 package evpath
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // bridge carries events from one manager's node to a stone on another
 // manager, through the simulated interconnect. Each bridge runs a courier
@@ -44,6 +47,7 @@ func (m *Manager) NewBridge(target *Stone, queueCap int) *Stone {
 func (b *bridge) forward(ev *Event) {
 	if !b.q.TryPut(ev) {
 		b.stats.Dropped++
+		b.dropInstant(ev, "queue-full")
 	}
 }
 
@@ -54,23 +58,41 @@ func (b *bridge) run(p *sim.Proc) {
 			return
 		}
 		size := ev.Size + descriptorBytes
+		sp := b.owner.tracer.Begin(trace.Ctx(ev.Attrs), "evpath", "send").
+			Node(b.owner.node).Attr("type", ev.Type).
+			AttrInt("bytes", size).AttrInt("dst", int64(b.target.mgr.node))
 		if b.owner.machine != nil {
 			// The fault schedule may lose the message outright (lossy
 			// control overlay) or the wire may fail it (dead/partitioned
 			// endpoint); either way the event never reaches the target.
 			if b.owner.machine.Faults().DropCtl() {
 				b.stats.Dropped++
+				sp.Attr("drop", "ctl-fault").End()
 				continue
 			}
 			if !b.owner.machine.Send(p, b.owner.node, b.target.mgr.node, size) {
 				b.stats.Dropped++
+				sp.Attr("drop", "wire").End()
 				continue
 			}
 		}
 		b.stats.Sent++
 		b.stats.Bytes += size
+		// Restamp so the receive side chains from the transfer, not the
+		// original submitter: hop-by-hop causality survives multi-bridge
+		// overlays.
+		if sp != nil {
+			ev.Attrs = trace.Stamp(ev.Attrs, sp.ID())
+		}
+		sp.End()
 		b.target.handle(p, ev)
 	}
+}
+
+// dropInstant records an enqueue-side drop (no courier involved).
+func (b *bridge) dropInstant(ev *Event, why string) {
+	b.owner.tracer.Instant(trace.Ctx(ev.Attrs), "evpath", "drop").
+		Node(b.owner.node).Attr("type", ev.Type).Attr("why", why).End()
 }
 
 // CloseBridge shuts down a bridge stone's courier after the backlog

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Event is one unit of data flowing through an overlay.
@@ -63,6 +64,7 @@ type Manager struct {
 	// terminal or transform stone, modeling handler execution.
 	HandlerCost sim.Time
 	delivered   int64
+	tracer      *trace.Recorder
 }
 
 // NewManager returns a Manager on the given machine node. machine may be
@@ -81,6 +83,11 @@ func (m *Manager) Engine() *sim.Engine { return m.eng }
 
 // Node returns the machine node this manager runs on.
 func (m *Manager) Node() int { return m.node }
+
+// SetTracer attaches a trace recorder: bridge transfers become spans
+// (chained to the submitter's context via Event.Attrs) and drops become
+// instants. A nil recorder disables tracing at no cost.
+func (m *Manager) SetTracer(r *trace.Recorder) { m.tracer = r }
 
 // Delivered returns the count of events that reached terminal stones.
 func (m *Manager) Delivered() int64 { return m.delivered }

@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/smartpointer"
+	"repro/internal/trace"
 )
 
 // Fig7Config returns the 256-simulation-node / 13-staging-node scenario.
@@ -48,12 +51,49 @@ func Fig9Config(seed int64) core.Config {
 	}
 }
 
+// traceDir, set via EnableTracing, makes every scenario run record a causal
+// trace: the Chrome trace_event export lands in that directory (numbered in
+// run order) and the per-span durations are folded into the run's metrics
+// recorder as trace.* series.
+var (
+	traceDir string
+	traceSeq int
+)
+
+// EnableTracing turns on causal tracing for all subsequent scenario runs,
+// exporting one Chrome trace JSON per run into dir.
+func EnableTracing(dir string) { traceDir = dir }
+
 func runScenario(cfg core.Config) (*core.Result, error) {
+	if traceDir != "" && cfg.Trace == nil {
+		cfg.Trace = &trace.Config{}
+	}
 	rt, err := core.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return rt.Run()
+	res, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+	if traceDir != "" {
+		traceSeq++
+		recs := rt.Tracer().Records()
+		trace.ExportSeries(res.Recorder, recs)
+		path := filepath.Join(traceDir, fmt.Sprintf("run%03d.trace.json", traceSeq))
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if werr := trace.WriteChrome(f, recs); werr != nil {
+			f.Close()
+			return nil, werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, nil
 }
 
 // scenarioOutput renders a scenario run the way the paper's event plots

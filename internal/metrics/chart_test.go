@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// gridAt returns the plot-area character at (row, col). Each chart line is
+// "%10.1f |<grid>", so the grid starts at byte 12.
+func gridAt(t *testing.T, out string, row, col int) byte {
+	t.Helper()
+	lines := strings.Split(out, "\n")
+	if row >= len(lines) || 12+col >= len(lines[row]) {
+		t.Fatalf("no cell (%d,%d) in:\n%s", row, col, out)
+	}
+	return lines[row][12+col]
+}
+
+func TestChartMarkerPlacement(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(10*sim.Second, 2)
+	const w, h = 21, 5
+	out := Chart(&s, ChartOptions{Width: w, Height: h, Markers: []Marker{
+		{T: 0, Label: "start"},
+		{T: 5 * sim.Second, Label: "mid"},
+		{T: 10 * sim.Second, Label: "end"},
+		{T: 99 * sim.Second, Label: "out of range"},
+	}})
+	// Columns are linear in time: t=0 -> 0, t=5s -> (w-1)/2, t=10s -> w-1.
+	for _, c := range []int{0, (w - 1) / 2, w - 1} {
+		for r := 0; r < h; r++ {
+			got := gridAt(t, out, r, c)
+			if got != '|' && got != '*' {
+				t.Fatalf("col %d row %d = %q, want marker column:\n%s", c, r, got, out)
+			}
+		}
+	}
+	for _, label := range []string{"start", "mid", "end"} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("marker legend %q missing:\n%s", label, out)
+		}
+	}
+	if strings.Contains(out, "out of range") {
+		t.Fatalf("marker outside the time range must be skipped:\n%s", out)
+	}
+}
+
+func TestChartSinglePointSeries(t *testing.T) {
+	var s Series
+	s.Add(3*sim.Second, 7)
+	out := Chart(&s, ChartOptions{Width: 8, Height: 4})
+	// One sample, one star; the degenerate time/value ranges must not
+	// divide by zero or push the point off-grid.
+	if n := strings.Count(out, "*"); n != 1 {
+		t.Fatalf("single-point series drew %d stars:\n%s", n, out)
+	}
+	if gridAt(t, out, 0, 0) != '*' {
+		t.Fatalf("single point should land at the top-left of the plot:\n%s", out)
+	}
+}
+
+func TestChartZeroSizeFallsBackToDefaults(t *testing.T) {
+	var s Series
+	s.Add(0, 0)
+	s.Add(sim.Second, 1)
+	for _, opt := range []ChartOptions{{}, {Width: -3, Height: -1}} {
+		out := Chart(&s, opt)
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		// 12 default plot rows, then the axis line and the time-label line.
+		if len(lines) != 14 {
+			t.Fatalf("%d lines with default geometry, want 14:\n%s", len(lines), out)
+		}
+		// Default width 64: plot rows are 12 prefix chars + 64 grid chars.
+		if len(lines[0]) != 12+64 {
+			t.Fatalf("top row %d chars, want %d:\n%s", len(lines[0]), 12+64, out)
+		}
+	}
+}
+
+func TestChartValueAxisAnchorsAtZero(t *testing.T) {
+	var s Series
+	s.Add(0, 50)
+	s.Add(sim.Second, 100)
+	out := Chart(&s, ChartOptions{Width: 10, Height: 3})
+	// All-positive series: the axis floor must read 0.0, not the series
+	// minimum, so magnitudes compare honestly across charts.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[2], "       0.0 ") {
+		t.Fatalf("bottom row should be anchored at 0.0:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "     100.0 ") {
+		t.Fatalf("top row should read the max:\n%s", out)
+	}
+}

@@ -8,6 +8,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -123,36 +124,57 @@ type StallFault struct {
 	UntilSec float64 `json:"untilSec"`
 }
 
-// toConfig resolves the schedule to machine node IDs.
+// toConfig resolves the schedule to machine node IDs. Each entry is
+// validated with its JSON field path, so a bad faults entry names itself.
 func (f *Faults) toConfig(simNodes int) (*fault.Config, error) {
 	sec := func(s float64) sim.Time { return sim.Time(s * float64(sim.Second)) }
 	fc := &fault.Config{Seed: f.Seed}
-	for _, c := range f.Crashes {
-		fc.Crashes = append(fc.Crashes, fault.Crash{
-			Node: c.resolve(simNodes), At: sec(c.AtSec)})
+	for i, c := range f.Crashes {
+		node := c.resolve(simNodes)
+		if node < 0 {
+			return nil, fmt.Errorf("scenario: field %q: resolved node %d is negative",
+				fmt.Sprintf("faults.crashes[%d]", i), node)
+		}
+		fc.Crashes = append(fc.Crashes, fault.Crash{Node: node, At: sec(c.AtSec)})
 	}
-	for _, l := range f.Links {
+	for i, l := range f.Links {
+		if l.UntilSec <= l.FromSec {
+			return nil, fmt.Errorf("scenario: field %q: window [%gs,%gs) is empty",
+				fmt.Sprintf("faults.links[%d]", i), l.FromSec, l.UntilSec)
+		}
 		fc.Links = append(fc.Links, fault.LinkFault{
 			From: sec(l.FromSec), Until: sec(l.UntilSec),
 			LatencyFactor: l.LatencyFactor, SlowdownFactor: l.SlowdownFactor})
 	}
-	for _, p := range f.Partitions {
+	for i, p := range f.Partitions {
+		if p.UntilSec <= p.FromSec {
+			return nil, fmt.Errorf("scenario: field %q: window [%gs,%gs) is empty",
+				fmt.Sprintf("faults.partitions[%d]", i), p.FromSec, p.UntilSec)
+		}
 		part := fault.Partition{From: sec(p.FromSec), Until: sec(p.UntilSec)}
 		for _, n := range p.Nodes {
 			part.Nodes = append(part.Nodes, n.resolve(simNodes))
 		}
 		fc.Partitions = append(fc.Partitions, part)
 	}
-	for _, d := range f.Drops {
+	for i, d := range f.Drops {
+		if d.Prob < 0 || d.Prob > 1 {
+			return nil, fmt.Errorf("scenario: field %q: probability %g outside [0,1]",
+				fmt.Sprintf("faults.drops[%d].prob", i), d.Prob)
+		}
 		fc.Drops = append(fc.Drops, fault.DropWindow{
 			From: sec(d.FromSec), Until: sec(d.UntilSec), Prob: d.Prob})
 	}
-	for _, s := range f.Stalls {
+	for i, s := range f.Stalls {
+		if s.UntilSec <= s.FromSec {
+			return nil, fmt.Errorf("scenario: field %q: window [%gs,%gs) is empty",
+				fmt.Sprintf("faults.stalls[%d]", i), s.FromSec, s.UntilSec)
+		}
 		fc.Stalls = append(fc.Stalls, fault.Stall{
 			Node: s.resolve(simNodes), From: sec(s.FromSec), Until: sec(s.UntilSec)})
 	}
 	if err := fc.Validate(); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, fmt.Errorf("scenario: field \"faults\": %w", err)
 	}
 	return fc, nil
 }
@@ -299,14 +321,16 @@ func (f *File) ToConfig() (core.Config, error) {
 	}
 	defaults := smartpointer.DefaultCostModels()
 	cfg.Sizes = map[string]int{}
-	for _, st := range f.Stages {
+	for i, st := range f.Stages {
 		kind, err := ParseKind(st.Kind)
 		if err != nil {
-			return cfg, err
+			return cfg, fmt.Errorf("scenario: field %q: unknown kind %q",
+				fmt.Sprintf("stages[%d].kind", i), st.Kind)
 		}
 		model, err := ParseModel(st.Model)
 		if err != nil {
-			return cfg, err
+			return cfg, fmt.Errorf("scenario: field %q: unknown compute model %q",
+				fmt.Sprintf("stages[%d].model", i), st.Model)
 		}
 		spec := core.ComponentSpec{
 			Name:              st.Name,
@@ -335,13 +359,14 @@ func (f *File) ToConfig() (core.Config, error) {
 		} else {
 			cm, ok := defaults[kind]
 			if !ok {
-				return cfg, fmt.Errorf("scenario: stage %q (kind %s) needs an explicit cost model",
-					st.Name, st.Kind)
+				return cfg, fmt.Errorf("scenario: field %q: stage %q (kind %s) needs an explicit cost model",
+					fmt.Sprintf("stages[%d].cost", i), st.Name, st.Kind)
 			}
 			spec.Cost = cm
 		}
 		if err := spec.Validate(); err != nil {
-			return cfg, err
+			return cfg, fmt.Errorf("scenario: field %q: %w",
+				fmt.Sprintf("stages[%d]", i), err)
 		}
 		cfg.Specs = append(cfg.Specs, spec)
 		n := st.Nodes
@@ -353,23 +378,48 @@ func (f *File) ToConfig() (core.Config, error) {
 	return cfg, nil
 }
 
+// describeDecodeError turns an encoding/json error into a message that names
+// the offending field path (for type mismatches) or byte offset (for syntax
+// errors), so a broken scenario file points at itself.
+func describeDecodeError(err error) error {
+	var te *json.UnmarshalTypeError
+	if errors.As(err, &te) {
+		field := te.Field
+		if field == "" {
+			field = "(document root)"
+		}
+		return fmt.Errorf("scenario: field %q: cannot decode JSON %s into %s (byte %d)",
+			field, te.Value, te.Type, te.Offset)
+	}
+	var se *json.SyntaxError
+	if errors.As(err, &se) {
+		return fmt.Errorf("scenario: invalid JSON at byte %d: %w", se.Offset, se)
+	}
+	return fmt.Errorf("scenario: %w", err)
+}
+
 // Load parses a scenario from r.
 func Load(r io.Reader) (core.Config, error) {
 	var f File
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return core.Config{}, fmt.Errorf("scenario: %w", err)
+		return core.Config{}, describeDecodeError(err)
 	}
 	return f.ToConfig()
 }
 
-// LoadFile parses a scenario from a JSON file.
+// LoadFile parses a scenario from a JSON file. Errors are prefixed with the
+// file path so multi-scenario harnesses report which file is broken.
 func LoadFile(path string) (core.Config, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return core.Config{}, err
 	}
 	defer f.Close()
-	return Load(f)
+	cfg, err := Load(f)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
 }

@@ -280,3 +280,57 @@ func TestShippedScenarioFiles(t *testing.T) {
 		rt.Shutdown() // build-only smoke: the figures test full runs
 	}
 }
+
+// Satellite: load errors must name the offending file and JSON field path.
+func TestLoadErrorsNameFieldPath(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"type mismatch", `{"simNodes": "many"}`, `field "simNodes"`},
+		{"syntax", `{"simNodes": 4,,}`, "invalid JSON at byte"},
+		{"bad kind", `{"stages": [{"name": "x", "kind": "Nope", "model": "RR"}]}`,
+			`field "stages[0].kind"`},
+		{"bad model", `{"stages": [{"name": "a", "kind": "Bonds", "model": "RR"},
+			{"name": "b", "kind": "Bonds", "model": "Warp"}]}`,
+			`field "stages[1].model"`},
+		{"missing cost", `{"stages": [{"name": "x", "kind": "Custom", "model": "RR"}]}`,
+			`field "stages[0].cost"`},
+		{"bad drop prob", `{"simNodes": 4, "stagingNodes": 1, "steps": 1,
+			"faults": {"drops": [{"fromSec": 0, "untilSec": 1, "prob": 0.5},
+			                     {"fromSec": 1, "untilSec": 2, "prob": 2}]}}`,
+			`field "faults.drops[1].prob"`},
+		{"empty link window", `{"simNodes": 4, "stagingNodes": 1, "steps": 1,
+			"faults": {"links": [{"fromSec": 5, "untilSec": 5}]}}`,
+			`field "faults.links[0]"`},
+		{"empty stall window", `{"simNodes": 4, "stagingNodes": 1, "steps": 1,
+			"faults": {"stalls": [{"node": 0, "fromSec": 3, "untilSec": 1}]}}`,
+			`field "faults.stalls[0]"`},
+	}
+	for _, c := range cases {
+		_, err := Load(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadFileErrorNamesFile(t *testing.T) {
+	path := t.TempDir() + "/broken.json"
+	if err := writeFile(path, `{"simNodes": "many"}`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name file %q", err, path)
+	}
+	if !strings.Contains(err.Error(), `field "simNodes"`) {
+		t.Fatalf("error %q does not name the field", err)
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// buildStepChain records one timestep's write→pull→compute chain with the
+// compute span dominating, across two containers.
+func buildStepChain(t *testing.T) []Record {
+	t.Helper()
+	eng := newEngine(t)
+	r := New(eng, Config{})
+	eng.Go("w", func(p *sim.Proc) {
+		for step := int64(0); step < 3; step++ {
+			w := r.Begin(0, "core", "write").Container("lammps").Step(step)
+			p.Sleep(sim.Millisecond)
+			w.End()
+			pull := r.Begin(w.ID(), "datatap", "pull").Container("bonds").Step(step)
+			p.Sleep(2 * sim.Millisecond)
+			pull.End()
+			comp := r.Begin(pull.ID(), "core", "compute").Container("bonds").Step(step)
+			p.Sleep(10 * sim.Millisecond)
+			comp.End()
+		}
+	})
+	eng.Run()
+	return r.Records()
+}
+
+func TestCriticalPathDominantContainer(t *testing.T) {
+	cp := AnalyzeCriticalPath(buildStepChain(t))
+	if len(cp.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(cp.Steps))
+	}
+	if cp.Dominant != "bonds" {
+		t.Fatalf("Dominant = %q, want bonds (compute+pull dwarf the write)", cp.Dominant)
+	}
+	// Each step's chain is write → pull → compute, oldest first.
+	for _, sp := range cp.Steps {
+		if len(sp.Segs) != 3 {
+			t.Fatalf("step %d segments = %d, want 3", sp.Step, len(sp.Segs))
+		}
+		names := []string{sp.Segs[0].Rec.Name, sp.Segs[1].Rec.Name, sp.Segs[2].Rec.Name}
+		if names[0] != "write" || names[1] != "pull" || names[2] != "compute" {
+			t.Fatalf("step %d chain = %v", sp.Step, names)
+		}
+		if sp.Total != 13*sim.Millisecond {
+			t.Fatalf("step %d total = %v, want 13ms", sp.Step, sp.Total)
+		}
+		// Waterfall attribution: each link owns End_i − End_{i−1}.
+		if sp.Segs[0].Contribution != sim.Millisecond ||
+			sp.Segs[1].Contribution != 2*sim.Millisecond ||
+			sp.Segs[2].Contribution != 10*sim.Millisecond {
+			t.Fatalf("step %d contributions = %v,%v,%v", sp.Step,
+				sp.Segs[0].Contribution, sp.Segs[1].Contribution, sp.Segs[2].Contribution)
+		}
+	}
+	// Costs sorted descending; bonds = 3×12ms, lammps = 3×1ms.
+	if len(cp.Costs) != 2 {
+		t.Fatalf("costs = %+v", cp.Costs)
+	}
+	if cp.Costs[0].Container != "bonds" || cp.Costs[0].Total != 36*sim.Millisecond {
+		t.Fatalf("top cost = %+v", cp.Costs[0])
+	}
+	if cp.Costs[1].Container != "lammps" || cp.Costs[1].Total != 3*sim.Millisecond {
+		t.Fatalf("second cost = %+v", cp.Costs[1])
+	}
+}
+
+func TestCriticalPathEmptyAndOrphans(t *testing.T) {
+	cp := AnalyzeCriticalPath(nil)
+	if cp.Dominant != "" || len(cp.Steps) != 0 {
+		t.Fatalf("empty analysis = %+v", cp)
+	}
+	var buf bytes.Buffer
+	if err := cp.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no step-scoped spans") {
+		t.Fatalf("empty report = %q", buf.String())
+	}
+
+	// A parent evicted from the ring truncates the chain without looping.
+	recs := []Record{
+		{ID: 5, Parent: 99, Cat: "core", Name: "compute", Container: "cna", Step: 1,
+			Start: 10 * sim.Millisecond, End: 20 * sim.Millisecond},
+	}
+	cp = AnalyzeCriticalPath(recs)
+	if cp.Dominant != "cna" {
+		t.Fatalf("Dominant = %q, want cna", cp.Dominant)
+	}
+	if len(cp.Steps) != 1 || len(cp.Steps[0].Segs) != 1 {
+		t.Fatalf("orphan chain = %+v", cp.Steps)
+	}
+	if cp.Steps[0].Segs[0].Contribution != 10*sim.Millisecond {
+		t.Fatalf("orphan contribution = %v", cp.Steps[0].Segs[0].Contribution)
+	}
+}
+
+func TestCriticalPathReport(t *testing.T) {
+	cp := AnalyzeCriticalPath(buildStepChain(t))
+	var buf bytes.Buffer
+	if err := cp.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dominant container: bonds", "per-container contribution", "slowest step", "core/compute"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

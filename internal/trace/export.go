@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// The exporters are hand-written JSON/text emitters: no maps are iterated
+// and every field is written in a fixed order, so two identical-seed runs
+// produce byte-identical files.
+
+// WriteChrome emits records in the Chrome trace_event JSON format
+// (loadable in chrome://tracing and Perfetto). Spans become complete
+// ("ph":"X") events, instants become "ph":"i"; pid groups by container
+// (with process_name metadata) and tid is the machine node. Timestamps
+// are virtual microseconds.
+func WriteChrome(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	// pid assignment in first-appearance order keeps the file stable.
+	pids := map[string]int{}
+	pidOf := func(container string) int {
+		if container == "" {
+			container = "(runtime)"
+		}
+		id, ok := pids[container]
+		if !ok {
+			id = len(pids) + 1
+			pids[container] = id
+			emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+				id, strconv.Quote(container)))
+		}
+		return id
+	}
+	for _, r := range recs {
+		pid := pidOf(r.Container)
+		tid := r.Node
+		if tid < 0 {
+			tid = 0
+		}
+		var b []byte
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, r.Name)
+		b = append(b, `,"cat":`...)
+		b = strconv.AppendQuote(b, r.Cat)
+		if r.Instant {
+			b = append(b, `,"ph":"i","s":"t"`...)
+		} else {
+			b = append(b, `,"ph":"X"`...)
+		}
+		b = append(b, `,"ts":`...)
+		b = strconv.AppendInt(b, micros(r.Start), 10)
+		if !r.Instant {
+			b = append(b, `,"dur":`...)
+			b = strconv.AppendInt(b, micros(r.End-r.Start), 10)
+		}
+		b = append(b, `,"pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, `,"args":{"id":`...)
+		b = strconv.AppendInt(b, int64(r.ID), 10)
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendInt(b, int64(r.Parent), 10)
+		if r.Step >= 0 {
+			b = append(b, `,"step":`...)
+			b = strconv.AppendInt(b, r.Step, 10)
+		}
+		for _, a := range r.Attrs {
+			b = append(b, ',')
+			b = strconv.AppendQuote(b, a.Key)
+			b = append(b, ':')
+			b = strconv.AppendQuote(b, a.Val)
+		}
+		b = append(b, `}}`...)
+		emit(string(b))
+	}
+	bw.WriteString("]}")
+	return bw.Flush()
+}
+
+func micros(t sim.Time) int64 { return int64(t) / int64(sim.Microsecond) }
+
+// ValidateChrome parses a Chrome trace_event export and returns the event
+// count, verifying the JSON is well-formed and every event carries the
+// required fields (the CI gate for exported traces).
+func ValidateChrome(r io.Reader) (events int, err error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name *string `json:"name"`
+			Ph   *string `json:"ph"`
+			TS   *int64  `json:"ts"`
+			PID  *int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("trace: invalid chrome JSON: %w", err)
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == nil || ev.Ph == nil || ev.PID == nil {
+			return 0, fmt.Errorf("trace: event %d is missing name/ph/pid", i)
+		}
+		if *ev.Ph != "M" && ev.TS == nil {
+			return 0, fmt.Errorf("trace: event %d (%s) has no timestamp", i, *ev.Name)
+		}
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace: export contains no events")
+	}
+	return len(doc.TraceEvents), nil
+}
+
+// WriteText emits a plain-text timeline, one record per line, ordered by
+// start time (commit order breaks ties): the quick look a terminal wants.
+func WriteText(w io.Writer, recs []Record) error {
+	sorted := append([]Record(nil), recs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	bw := bufio.NewWriter(w)
+	for _, r := range sorted {
+		fmt.Fprintf(bw, "%12s", r.Start)
+		if r.Instant {
+			bw.WriteString("          !")
+		} else {
+			fmt.Fprintf(bw, " %9s ", "+"+r.Dur().String())
+		}
+		fmt.Fprintf(bw, " %s/%s", r.Cat, r.Name)
+		if r.Container != "" {
+			fmt.Fprintf(bw, " container=%s", r.Container)
+		}
+		if r.Node >= 0 {
+			fmt.Fprintf(bw, " node=%d", r.Node)
+		}
+		if r.Step >= 0 {
+			fmt.Fprintf(bw, " step=%d", r.Step)
+		}
+		for _, a := range r.Attrs {
+			fmt.Fprintf(bw, " %s=%s", a.Key, a.Val)
+		}
+		fmt.Fprintf(bw, " [id=%d parent=%d]\n", r.ID, r.Parent)
+	}
+	return bw.Flush()
+}
+
+// ExportSeries hands span durations to a metrics recorder as per-kind
+// series named "trace.<cat>.<name>" (seconds, at the span's end time), so
+// the existing chart/summary machinery can plot trace-derived data next
+// to the monitoring series.
+func ExportSeries(m *metrics.Recorder, recs []Record) {
+	for _, r := range recs {
+		if r.Instant {
+			continue
+		}
+		m.Series("trace."+r.Cat+"."+r.Name).Add(r.End, r.Dur().Seconds())
+	}
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func sampleRecords(t *testing.T) []Record {
+	t.Helper()
+	eng := newEngine(t)
+	r := New(eng, Config{})
+	eng.Go("w", func(p *sim.Proc) {
+		root := r.Begin(0, "core", "write").Container("lammps").Node(0).Step(0)
+		p.Sleep(2 * sim.Millisecond)
+		root.End()
+		pull := r.Begin(root.ID(), "datatap", "pull").Container("bonds").Node(1).Step(0).AttrInt("bytes", 4096)
+		p.Sleep(3 * sim.Millisecond)
+		pull.End()
+		r.Instant(pull.ID(), "fault", "drop").Container("bonds").Node(1).End()
+	})
+	eng.Run()
+	return r.Records()
+}
+
+func TestWriteChromeValidatesAndIsDeterministic(t *testing.T) {
+	recs := sampleRecords(t)
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same records differ")
+	}
+	n, err := ValidateChrome(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+	// 3 records + 2 process_name metadata events (lammps, bonds).
+	if n != 5 {
+		t.Fatalf("events = %d, want 5", n)
+	}
+	// Structural spot checks against a real JSON parse.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var sawInstant, sawComplete bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "i":
+			sawInstant = true
+		case "X":
+			sawComplete = true
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		}
+	}
+	if !sawInstant || !sawComplete {
+		t.Fatalf("export missing phases: instant=%v complete=%v", sawInstant, sawComplete)
+	}
+}
+
+func TestValidateChromeRejectsGarbage(t *testing.T) {
+	if _, err := ValidateChrome(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ValidateChrome(strings.NewReader(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := ValidateChrome(strings.NewReader(`{"traceEvents":[{"ph":"X"}]}`)); err == nil {
+		t.Fatal("event without name/pid accepted")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	recs := sampleRecords(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"core/write", "datatap/pull", "fault/drop", "container=lammps", "container=bonds", "bytes=4096", "step=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Ordered by start time: write begins before pull.
+	if strings.Index(out, "core/write") > strings.Index(out, "datatap/pull") {
+		t.Fatalf("timeline not start-ordered:\n%s", out)
+	}
+}
+
+func TestExportSeries(t *testing.T) {
+	recs := sampleRecords(t)
+	m := metrics.NewRecorder()
+	ExportSeries(m, recs)
+	s := m.Series("trace.datatap.pull")
+	if s.Len() != 1 {
+		t.Fatalf("pull series length = %d, want 1", s.Len())
+	}
+	if got := s.Last().V; got != (3 * sim.Millisecond).Seconds() {
+		t.Fatalf("pull duration = %v, want 0.003", got)
+	}
+	// Instants are skipped.
+	if m.Series("trace.fault.drop").Len() != 0 {
+		t.Fatal("instant exported as a series point")
+	}
+}

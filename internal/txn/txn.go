@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Outcome is a transaction's decision.
@@ -61,6 +62,10 @@ type Config struct {
 	// injection). Ranks are global: writers first, then readers.
 	AbortVoters map[int]bool
 	SilentRanks map[int]bool
+	// Tracer, when set, wraps the run in a "txn" span chained to
+	// TraceParent (0 = root).
+	Tracer      *trace.Recorder
+	TraceParent trace.SpanID
 }
 
 func (c Config) withDefaults() Config {
@@ -204,6 +209,8 @@ func (t *Transaction) send(p *sim.Proc, from, to *participant, m message) {
 // Run executes the transaction to completion and returns its stats. It
 // must be called from a simulated process.
 func (t *Transaction) Run(p *sim.Proc) Stats {
+	sp := t.cfg.Tracer.Begin(t.cfg.TraceParent, "txn", "run").
+		AttrInt("writers", int64(t.cfg.Writers)).AttrInt("readers", int64(t.cfg.Readers))
 	start := t.eng.Now()
 	for _, part := range t.parts {
 		part := part
@@ -225,6 +232,8 @@ func (t *Transaction) Run(p *sim.Proc) Stats {
 	} else {
 		t.stats.Depth = dw
 	}
+	sp.Attr("outcome", t.stats.Outcome.String()).
+		AttrInt("messages", t.stats.Messages).End()
 	return t.stats
 }
 
