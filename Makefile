@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check experiments bench bench-smoke trace-smoke
+.PHONY: build test race vet fmt lint check chaos experiments bench bench-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,17 @@ fmt:
 lint:
 	$(GO) run ./cmd/iocheck ./...
 
+# chaos searches randomized fault schedules for invariant violations
+# (cmd/iochaos: 64 seeds over the failover scenario and the hand-written
+# fault schedule), then replays the checked-in shrunk reproducers in
+# scenarios/regressions/.
+chaos:
+	$(GO) run ./cmd/iochaos -scenario scenarios/chaos-failover.json -seeds 64
+	$(GO) run ./cmd/iochaos -scenario scenarios/faults.json -seeds 64
+	$(GO) test ./internal/chaos/ -run TestRegressionsReplay
+
 # check is what CI runs.
-check: fmt vet lint build race
+check: fmt vet lint build race chaos
 
 experiments:
 	$(GO) run ./cmd/experiments

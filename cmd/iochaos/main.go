@@ -1,0 +1,112 @@
+// Command iochaos explores randomized fault schedules against a base
+// scenario and audits every run with the chaos invariant oracles (chunk
+// conservation, single-writer epochs, D2T same-decision, convergence,
+// heal completeness, trace-DAG connectivity). Failing schedules are
+// delta-debugged to a minimal fault set and, with -emit, written out as
+// runnable regression scenarios.
+//
+// Usage:
+//
+//	iochaos -scenario scenarios/chaos-failover.json [-seeds 64]
+//	        [-seed-start 1] [-max-faults 4] [-workers 4]
+//	        [-shrink] [-emit scenarios/regressions] [-v]
+//
+// Exit status is 0 when every seed passed every oracle, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chaos"
+	"repro/internal/scenario"
+)
+
+func main() {
+	scenarioPath := flag.String("scenario", "", "base scenario JSON file (required)")
+	seeds := flag.Int("seeds", 64, "number of consecutive seeds to explore")
+	seedStart := flag.Int64("seed-start", 1, "first seed")
+	maxFaults := flag.Int("max-faults", 4, "maximum faults per generated schedule")
+	workers := flag.Int("workers", 4, "concurrent runs (each owns a private engine)")
+	shrink := flag.Bool("shrink", true, "delta-debug failing schedules to minimal fault sets")
+	emitDir := flag.String("emit", "", "write shrunk failing schedules as regression scenarios into this directory")
+	verbose := flag.Bool("v", false, "print every seed, not just failures")
+	flag.Parse()
+
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "iochaos: -scenario is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := scenario.ReadFile(*scenarioPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iochaos: %v\n", err)
+		os.Exit(2)
+	}
+
+	oracles := chaos.DefaultOracles()
+	results := chaos.Search(chaos.SearchConfig{
+		Base:      base,
+		SeedStart: *seedStart,
+		Seeds:     *seeds,
+		Gen:       chaos.GenConfig{MaxFaults: *maxFaults},
+		Oracles:   oracles,
+		Workers:   *workers,
+	})
+
+	failures := 0
+	emitted := map[string]bool{} // one regression per oracle keeps the corpus small
+	for _, r := range results {
+		if len(r.Violations) == 0 {
+			if *verbose {
+				fmt.Printf("seed %4d  ok    (%s)\n", r.Seed, chaos.Summarize(r.Faults))
+			}
+			continue
+		}
+		failures++
+		fmt.Printf("seed %4d  FAIL  (%s)\n", r.Seed, chaos.Summarize(r.Faults))
+		for _, v := range r.Violations {
+			fmt.Printf("           %s\n", v)
+		}
+		if !*shrink {
+			continue
+		}
+		oracle := r.Violations[0].Oracle
+		minimal := chaos.Shrink(base, r.Faults, oracle, oracles)
+		fmt.Printf("           shrunk %d -> %d fault(s) still violating %q\n",
+			chaos.FaultCount(r.Faults), chaos.FaultCount(minimal), oracle)
+		if *emitDir == "" || emitted[oracle] {
+			continue
+		}
+		blob, err := chaos.Regression(base, minimal, scenario.ChaosMeta{
+			Seed:            r.Seed,
+			ExpectViolation: oracle,
+			Note: fmt.Sprintf("shrunk from %d faults found by seed %d over %s",
+				chaos.FaultCount(r.Faults), r.Seed, filepath.Base(*scenarioPath)),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iochaos: %v\n", err)
+			os.Exit(2)
+		}
+		name := fmt.Sprintf("%s-seed%d.json", oracle, r.Seed)
+		path := filepath.Join(*emitDir, name)
+		if err := os.MkdirAll(*emitDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "iochaos: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "iochaos: %v\n", err)
+			os.Exit(2)
+		}
+		emitted[oracle] = true
+		fmt.Printf("           regression written to %s\n", path)
+	}
+
+	fmt.Printf("chaos: %d/%d seeds passed all %d oracles\n",
+		len(results)-failures, len(results), len(oracles))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

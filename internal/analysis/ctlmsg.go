@@ -24,9 +24,16 @@ import (
 // travel outside the synchronous round path (e.g. SpareReq, served from the
 // GM pump) carry an //iocheck:allow ctlmsg audit comment on their
 // declaration.
+//
+// Additionally, every message that IS dispatched on the round path must
+// carry an `Epoch int64` field: the split-brain fence works by stamping
+// the issuing manager's epoch on each round and letting containers refuse
+// lower epochs, so an epoch-less round message is an unfenceable hole —
+// a deposed manager could keep mutating state through it. The rule is
+// scoped to switch members so pump-path messages stay exempt.
 var CtlMsg = &Analyzer{
 	Name: "ctlmsg",
-	Doc:  "protocol Req/Resp types must be dispatched in reqSeq/msgTypeFor/managerLoop/respSeq",
+	Doc:  "protocol Req/Resp types must be dispatched in reqSeq/msgTypeFor/managerLoop/respSeq and carry the fencing epoch",
 	Applies: func(pkg *Package) bool {
 		// The rule binds wherever the dispatch functions live; packages
 		// without a reqSeq have no protocol to be exhaustive about.
@@ -70,6 +77,29 @@ func runCtlMsg(pass *Pass) {
 				resp.Name())
 		}
 	}
+
+	// Epoch fencing: any message the round path dispatches must carry the
+	// issuing manager's epoch, or a deposed manager can slip rounds (and
+	// read replies) past the fence through that one type.
+	for _, req := range reqs {
+		if inReqSeq[req] && !hasEpochField(structOf(req)) {
+			pass.Reportf(req.Pos(),
+				"protocol request %s carries no Epoch int64 field: the fence cannot reject its stale rounds",
+				req.Name())
+		}
+	}
+	for _, resp := range resps {
+		if inRespSeq[resp] && !hasEpochField(structOf(resp)) {
+			pass.Reportf(resp.Pos(),
+				"protocol response %s carries no Epoch int64 field: a deposed manager could mistake it for a current-epoch reply",
+				resp.Name())
+		}
+	}
+}
+
+func structOf(tn *types.TypeName) *types.Struct {
+	st, _ := tn.Type().Underlying().(*types.Struct)
+	return st
 }
 
 // protocolMessageTypes returns the package's round-message types — named
@@ -102,10 +132,16 @@ func hasSuffix(s, suf string) bool {
 	return len(s) > len(suf) && s[len(s)-len(suf):] == suf
 }
 
-func hasSeqField(st *types.Struct) bool {
+func hasSeqField(st *types.Struct) bool   { return hasInt64Field(st, "Seq") }
+func hasEpochField(st *types.Struct) bool { return hasInt64Field(st, "Epoch") }
+
+func hasInt64Field(st *types.Struct, name string) bool {
+	if st == nil {
+		return false
+	}
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
-		if f.Name() != "Seq" {
+		if f.Name() != name {
 			continue
 		}
 		if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.Int64 {

@@ -2,15 +2,27 @@
 // miniature of internal/core's protocol dispatch.
 package ctlmsg
 
-// PingReq is fully dispatched.
-type PingReq struct{ Seq int64 }
+// PingReq is fully dispatched and fenced.
+type PingReq struct {
+	Seq   int64
+	Epoch int64
+}
 
-// PingResp is fully dispatched.
-type PingResp struct{ Seq int64 }
+// PingResp is fully dispatched and fenced.
+type PingResp struct {
+	Seq   int64
+	Epoch int64
+}
 
 type LostReq struct{ Seq int64 } // want "missing from the reqSeq" "missing from the msgTypeFor" "not served by the managerLoop"
 
 type LostResp struct{ Seq int64 } // want "missing from the respSeq"
+
+// EpochlessReq rides the round path but cannot be fenced.
+type EpochlessReq struct{ Seq int64 } // want "carries no Epoch int64 field"
+
+// EpochlessResp rides the round path but cannot be fenced.
+type EpochlessResp struct{ Seq int64 } // want "carries no Epoch int64 field"
 
 // NoSeqReq carries no sequence number, so it is not a round message.
 type NoSeqReq struct{ N int }
@@ -24,6 +36,8 @@ func reqSeq(v any) (int64, bool) {
 	switch r := v.(type) {
 	case *PingReq:
 		return r.Seq, true
+	case *EpochlessReq:
+		return r.Seq, true
 	}
 	return 0, false
 }
@@ -31,6 +45,8 @@ func reqSeq(v any) (int64, bool) {
 func respSeq(v any) (int64, bool) {
 	switch r := v.(type) {
 	case *PingResp:
+		return r.Seq, true
+	case *EpochlessResp:
 		return r.Seq, true
 	}
 	return 0, false
@@ -40,6 +56,8 @@ func msgTypeFor(req any) string {
 	switch req.(type) {
 	case *PingReq:
 		return "ctl.ping"
+	case *EpochlessReq:
+		return "ctl.epochless"
 	}
 	return "ctl.unknown"
 }
@@ -49,7 +67,11 @@ type server struct{ served map[int64]any }
 func (s *server) managerLoop(v any) any {
 	switch req := v.(type) {
 	case *PingReq:
-		resp := &PingResp{Seq: req.Seq}
+		resp := &PingResp{Seq: req.Seq, Epoch: req.Epoch}
+		s.served[req.Seq] = resp
+		return resp
+	case *EpochlessReq:
+		resp := &EpochlessResp{Seq: req.Seq}
 		s.served[req.Seq] = resp
 		return resp
 	}

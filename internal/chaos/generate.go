@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// GenConfig tunes the schedule generator.
+type GenConfig struct {
+	// MaxFaults bounds the faults per schedule (default 4; every
+	// schedule gets at least one).
+	MaxFaults int
+	// HorizonSec overrides the fault-time horizon (default: the base
+	// scenario's run length, steps x output period + drain).
+	HorizonSec int
+}
+
+// horizonSec derives the base scenario's virtual run length in whole
+// seconds, mirroring core.Config.withDefaults.
+func horizonSec(base *scenario.File) int {
+	period := base.OutputPeriodSec
+	if period <= 0 {
+		period = 15
+	}
+	steps := base.Steps
+	if steps <= 0 {
+		steps = 20
+	}
+	return int(period*float64(steps) + 4*period)
+}
+
+// Generate derives a fault schedule from the seed alone: same (seed,
+// base, config) in, same schedule out. Times land on whole seconds and
+// probabilities on 5% steps so emitted JSON round-trips exactly.
+//
+// Targets are drawn from the staging area by index — which deliberately
+// includes index 0 (the primary global manager's node) and index 1 (the
+// standby's) — plus an occasional simulation-partition node, so crashes
+// and partitions exercise the control plane's failover and fencing paths
+// as often as the data plane.
+func Generate(seed int64, base *scenario.File, gc GenConfig) *scenario.Faults {
+	r := sim.NewRand(seed)
+	maxFaults := gc.MaxFaults
+	if maxFaults <= 0 {
+		maxFaults = 4
+	}
+	horizon := gc.HorizonSec
+	if horizon <= 0 {
+		horizon = horizonSec(base)
+	}
+	if horizon < 10 {
+		horizon = 10
+	}
+	staging := base.StagingNodes
+	if staging <= 0 {
+		staging = 13
+	}
+	simNodes := base.SimNodes
+	if simNodes <= 0 {
+		simNodes = 256
+	}
+
+	// window picks an integer-second fault window inside the horizon.
+	window := func(maxWidth int) (from, until int) {
+		from = 1 + r.Intn(horizon-5)
+		width := 5 + r.Intn(maxWidth)
+		until = from + width
+		if until >= horizon {
+			until = horizon - 1
+		}
+		if until <= from {
+			until = from + 1
+		}
+		return from, until
+	}
+	stagingRef := func() scenario.NodeRef {
+		idx := r.Intn(staging)
+		return scenario.NodeRef{StagingIndex: &idx}
+	}
+
+	out := &scenario.Faults{Seed: seed}
+	crashed := map[int]bool{} // avoid double-crashing one node
+	n := 1 + r.Intn(maxFaults)
+	for i := 0; i < n; i++ {
+		switch pick := r.Intn(100); {
+		case pick < 25: // node crash
+			ref := stagingRef()
+			if r.Intn(100) < 20 {
+				ref = scenario.NodeRef{Node: r.Intn(simNodes)}
+			}
+			key := ref.Node
+			if ref.StagingIndex != nil {
+				key = simNodes + *ref.StagingIndex
+			}
+			if crashed[key] {
+				continue
+			}
+			crashed[key] = true
+			out.Crashes = append(out.Crashes, scenario.CrashFault{
+				NodeRef: ref, AtSec: float64(1 + r.Intn(horizon-2))})
+		case pick < 45: // link degradation window
+			from, until := window(horizon / 3)
+			out.Links = append(out.Links, scenario.LinkFault{
+				FromSec: float64(from), UntilSec: float64(until),
+				LatencyFactor:  float64(1 + r.Intn(8)),
+				SlowdownFactor: float64(1 + r.Intn(4))})
+		case pick < 65: // partition window over a small staging node set
+			from, until := window(horizon / 3)
+			pf := scenario.PartitionFault{
+				FromSec: float64(from), UntilSec: float64(until)}
+			members := 1 + r.Intn(3)
+			if members > staging {
+				members = staging
+			}
+			for _, idx := range r.Perm(staging)[:members] {
+				idx := idx
+				pf.Nodes = append(pf.Nodes, scenario.NodeRef{StagingIndex: &idx})
+			}
+			out.Partitions = append(out.Partitions, pf)
+		case pick < 85: // control-message drop window
+			from, until := window(horizon / 2)
+			out.Drops = append(out.Drops, scenario.DropFault{
+				FromSec: float64(from), UntilSec: float64(until),
+				Prob: float64(5+5*r.Intn(10)) / 100})
+		default: // replica stall window
+			from, until := window(horizon / 4)
+			out.Stalls = append(out.Stalls, scenario.StallFault{
+				NodeRef: stagingRef(),
+				FromSec: float64(from), UntilSec: float64(until)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+// DefaultOracles is the standard invariant suite: every run, faulted or
+// not, must satisfy all of these.
+func DefaultOracles() []Oracle {
+	return []Oracle{
+		{Name: "conservation", Check: checkConservation},
+		{Name: "single-writer", Check: checkSingleWriter},
+		{Name: "same-decision", Check: checkSameDecision},
+		{Name: "convergence", Check: checkConvergence},
+		{Name: "heal-completeness", Check: checkHeal},
+		{Name: "trace-dag", Check: checkTraceDAG},
+	}
+}
+
+// checkConservation audits each channel's byte ledger: every byte
+// written must be pulled, invalidated, or still queued — never silently
+// lost, no matter which nodes crashed mid-transfer.
+func checkConservation(info *RunInfo) []string {
+	var out []string
+	for _, ch := range info.RT.Channels() {
+		s := ch.Stats()
+		queued := ch.QueuedBytes()
+		if s.BytesWritten != s.BytesPulled+s.BytesInvalidated+queued {
+			out = append(out, fmt.Sprintf(
+				"channel %s: written %d != pulled %d + invalidated %d + queued %d",
+				ch.Name(), s.BytesWritten, s.BytesPulled, s.BytesInvalidated, queued))
+		}
+	}
+	return out
+}
+
+// checkSingleWriter audits the epoch-fencing guarantee: within any one
+// epoch, at most one manager node may issue control rounds. The legacy
+// (DisableFencing) failover violates this after a healed partition —
+// primary and promoted standby both round in epoch 1.
+func checkSingleWriter(info *RunInfo) []string {
+	issuers := map[int64]map[int]bool{}
+	for _, r := range info.Res.Rounds {
+		m := issuers[r.Epoch]
+		if m == nil {
+			m = map[int]bool{}
+			issuers[r.Epoch] = m
+		}
+		m[r.Node] = true
+	}
+	var epochs []int64
+	for e, nodes := range issuers {
+		if len(nodes) > 1 {
+			epochs = append(epochs, e)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	var out []string
+	for _, e := range epochs {
+		var nodes []int
+		for n := range issuers[e] {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		out = append(out, fmt.Sprintf(
+			"epoch %d has %d round issuers (nodes %v): split brain", e, len(nodes), nodes))
+	}
+	return out
+}
+
+// checkSameDecision audits D2T atomicity: every participant that decided
+// a trade transaction must have decided the same way, and a committed
+// transaction admits no aborted participant.
+func checkSameDecision(info *RunInfo) []string {
+	var out []string
+	for i, tr := range info.Res.Trades {
+		seen := map[txn.Outcome]bool{}
+		for _, o := range tr.Outcomes {
+			seen[o] = true
+		}
+		if len(seen) > 1 {
+			out = append(out, fmt.Sprintf(
+				"trade %d at %v: participants disagree (%s)", i, tr.T, outcomeSet(tr.Outcomes)))
+			continue
+		}
+		if tr.Outcome == txn.Committed {
+			var ranks []int
+			for r := range tr.Outcomes {
+				ranks = append(ranks, r)
+			}
+			sort.Ints(ranks)
+			for _, r := range ranks {
+				if o := tr.Outcomes[r]; o != txn.Committed {
+					out = append(out, fmt.Sprintf(
+						"trade %d at %v: committed globally but rank %d decided %v",
+						i, tr.T, r, o))
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func outcomeSet(m map[int]txn.Outcome) string {
+	var ranks []int
+	for r := range m {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	s := ""
+	for _, r := range ranks {
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("rank %d: %v", r, m[r])
+	}
+	return s
+}
+
+// checkConvergence audits quiescence: the engine must drain fully (no
+// event loop may spin forever), and a fault-free run must finish its
+// producer and push steps all the way through the pipeline.
+func checkConvergence(info *RunInfo) []string {
+	var out []string
+	if n := info.RT.Engine().Pending(); n != 0 {
+		out = append(out, fmt.Sprintf("engine still has %d pending events after shutdown", n))
+	}
+	f := info.File.Faults
+	faultFree := f == nil || (len(f.Crashes) == 0 && len(f.Links) == 0 &&
+		len(f.Partitions) == 0 && len(f.Drops) == 0 && len(f.Stalls) == 0)
+	if faultFree {
+		if !info.Res.ProducerFinished {
+			out = append(out, "fault-free run did not finish the producer")
+		}
+		if info.Res.Exits == 0 {
+			out = append(out, "fault-free run pushed no steps through the pipeline")
+		}
+	}
+	return out
+}
+
+// checkHeal audits self-healing completeness: a replica lost to a node
+// crash with enough run time remaining must be healed (or explicitly
+// degraded), unless something observable explains the silence — the
+// container's local manager died too, the container went offline or
+// suspect, or the run's network was lossy enough that heal rounds may
+// legitimately have been eaten (drops, partitions, degraded links all
+// surface as dropped/failed sends). Stall schedules are skipped
+// entirely: a frozen manager heals arbitrarily late without that being
+// a bug.
+func checkHeal(info *RunInfo) []string {
+	pol := info.Cfg.Policy
+	if pol.DisableSelfHealing {
+		return nil
+	}
+	if f := info.File.Faults; f != nil && len(f.Stalls) > 0 {
+		return nil
+	}
+	st := info.Res.FaultStats
+	if st.CtlDropped > 0 || st.SendsFailed > 0 {
+		return nil
+	}
+	horizon := sim.Time(info.Cfg.Steps)*info.Cfg.OutputPeriod + info.Cfg.DrainTime
+	margin := 2*pol.Interval + 90*sim.Second
+	down := map[int]bool{}
+	for _, n := range info.Res.DownNodes {
+		down[n] = true
+	}
+	actions := managerActions(info.RT)
+	suspects := map[string]bool{}
+	for _, s := range info.Res.Suspects {
+		suspects[s] = true
+	}
+	var out []string
+	for _, v := range info.Res.CrashVictims {
+		if v.Manager || v.T+margin > horizon {
+			continue
+		}
+		c := info.RT.Container(v.Container)
+		if c == nil || c.State() == core.StateOffline {
+			continue
+		}
+		if down[c.ManagerNode()] || suspects[v.Container] {
+			continue
+		}
+		healed := false
+		for _, a := range actions {
+			if (a.Kind == "heal" || a.Kind == "degrade") &&
+				a.Target == v.Container && a.T >= v.T {
+				healed = true
+				break
+			}
+		}
+		if !healed {
+			out = append(out, fmt.Sprintf(
+				"container %s lost a replica to node %d at %v and never healed or degraded",
+				v.Container, v.Node, v.T))
+		}
+	}
+	return out
+}
+
+// managerActions merges the action logs of every manager instance (the
+// primary's heal records stay relevant after a failover reassigns
+// rt.GM()).
+func managerActions(rt *core.Runtime) []core.Action {
+	actions := rt.Primary().Actions()
+	if s := rt.Standby(); s != nil && s != rt.Primary() {
+		actions = append(actions, s.Actions()...)
+	}
+	return actions
+}
+
+// checkTraceDAG audits causal-trace connectivity: every recorded span's
+// parent must itself be recorded, so a flight-recorder dump never
+// contains orphaned causality. Skipped when the ring overflowed (parents
+// may have been legitimately evicted).
+func checkTraceDAG(info *RunInfo) []string {
+	tr := info.RT.Tracer()
+	if tr == nil || tr.Dropped() > 0 {
+		return nil
+	}
+	recs := tr.Records()
+	ids := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		ids[uint64(r.ID)] = true
+	}
+	var out []string
+	for _, r := range recs {
+		if r.Parent != 0 && !ids[uint64(r.Parent)] {
+			out = append(out, fmt.Sprintf(
+				"span %d (%s/%s) references missing parent %d", r.ID, r.Cat, r.Name, r.Parent))
+			if len(out) >= 5 {
+				break // enough to localize; the ring can hold thousands
+			}
+		}
+	}
+	return out
+}

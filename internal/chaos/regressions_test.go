@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestRegressionsReplay replays every shrunk schedule iochaos has checked
+// in. Each file is a minimal reproducer: run as written it must still
+// violate the oracle it was filed under, and — because every reproducer
+// so far needs legacy mode — flipping fencing back on must clear it.
+func TestRegressionsReplay(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/regressions/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no checked-in regressions; the corpus must not be empty")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := scenario.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Chaos == nil || f.Chaos.ExpectViolation == "" {
+				t.Fatal("regression has no chaos.expectViolation stanza")
+			}
+			oracle := f.Chaos.ExpectViolation
+			if !Violates(f, f.Faults, oracle, DefaultOracles()) {
+				t.Fatalf("no longer violates %q: reproducer has rotted "+
+					"(or the bug it pins is back under a different shape)", oracle)
+			}
+			if !f.Policy.DisableFencing {
+				return // reproducer is not gated on legacy mode
+			}
+			fixed := *f
+			fixed.Policy.DisableFencing = false
+			if Violates(&fixed, fixed.Faults, oracle, DefaultOracles()) {
+				t.Fatalf("still violates %q with fencing enabled: the fix regressed", oracle)
+			}
+		})
+	}
+}

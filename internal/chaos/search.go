@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// SeedResult is one schedule's search outcome.
+type SeedResult struct {
+	Seed   int64
+	Faults *scenario.Faults
+	// Violations is empty when every oracle held.
+	Violations []Violation
+}
+
+// SearchConfig parameterizes a chaos search.
+type SearchConfig struct {
+	// Base is the scenario every schedule mutates.
+	Base *scenario.File
+	// SeedStart is the first seed (default 1); Seeds is how many
+	// consecutive seeds to explore.
+	SeedStart int64
+	Seeds     int
+	// Gen tunes the schedule generator.
+	Gen GenConfig
+	// Oracles is the invariant suite (default DefaultOracles).
+	Oracles []Oracle
+	// Workers bounds concurrent runs (default 1). Each run owns a
+	// private engine, so parallelism does not perturb determinism; the
+	// result slice is always in seed order.
+	Workers int
+}
+
+// Search generates and runs one schedule per seed, auditing each against
+// the oracle suite. Results are returned in seed order regardless of
+// completion order, so a search is reproducible byte-for-byte.
+func Search(sc SearchConfig) []SeedResult {
+	if sc.Oracles == nil {
+		sc.Oracles = DefaultOracles()
+	}
+	if sc.SeedStart == 0 {
+		sc.SeedStart = 1
+	}
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	results := make([]SeedResult, sc.Seeds)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < sc.Seeds; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := sc.SeedStart + int64(i)
+			faults := Generate(seed, sc.Base, sc.Gen)
+			info := RunSchedule(sc.Base, faults)
+			results[i] = SeedResult{Seed: seed, Faults: faults,
+				Violations: CheckOracles(info, sc.Oracles)}
+		}()
+	}
+	wg.Wait()
+	return results
+}

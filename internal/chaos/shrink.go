@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// cloneFaults deep-copies a fault schedule so surgery never aliases the
+// original's slices.
+func cloneFaults(f *scenario.Faults) *scenario.Faults {
+	if f == nil {
+		return nil
+	}
+	out := &scenario.Faults{Seed: f.Seed}
+	out.Crashes = append([]scenario.CrashFault(nil), f.Crashes...)
+	out.Links = append([]scenario.LinkFault(nil), f.Links...)
+	out.Partitions = append([]scenario.PartitionFault(nil), f.Partitions...)
+	out.Drops = append([]scenario.DropFault(nil), f.Drops...)
+	out.Stalls = append([]scenario.StallFault(nil), f.Stalls...)
+	return out
+}
+
+// FaultCount is the flattened number of fault entries in the schedule.
+func FaultCount(f *scenario.Faults) int {
+	if f == nil {
+		return 0
+	}
+	return len(f.Crashes) + len(f.Links) + len(f.Partitions) + len(f.Drops) + len(f.Stalls)
+}
+
+// removeFault returns a copy of the schedule with flattened entry i
+// deleted. Entries are indexed crashes, then links, partitions, drops,
+// stalls.
+func removeFault(f *scenario.Faults, i int) *scenario.Faults {
+	out := cloneFaults(f)
+	switch {
+	case i < len(out.Crashes):
+		out.Crashes = append(out.Crashes[:i:i], out.Crashes[i+1:]...)
+		return out
+	default:
+		i -= len(out.Crashes)
+	}
+	switch {
+	case i < len(out.Links):
+		out.Links = append(out.Links[:i:i], out.Links[i+1:]...)
+		return out
+	default:
+		i -= len(out.Links)
+	}
+	switch {
+	case i < len(out.Partitions):
+		out.Partitions = append(out.Partitions[:i:i], out.Partitions[i+1:]...)
+		return out
+	default:
+		i -= len(out.Partitions)
+	}
+	switch {
+	case i < len(out.Drops):
+		out.Drops = append(out.Drops[:i:i], out.Drops[i+1:]...)
+		return out
+	default:
+		i -= len(out.Drops)
+	}
+	out.Stalls = append(out.Stalls[:i:i], out.Stalls[i+1:]...)
+	return out
+}
+
+// Shrink delta-debugs a failing schedule down to a 1-minimal fault set:
+// greedy single-entry removal, repeated to fixpoint, keeping a removal
+// only when the reduced schedule still violates the named oracle. Every
+// candidate is a full deterministic rerun, so the result is guaranteed
+// to still reproduce the failure.
+func Shrink(base *scenario.File, faults *scenario.Faults, oracle string, oracles []Oracle) *scenario.Faults {
+	cur := cloneFaults(faults)
+	for {
+		removed := false
+		for i := 0; i < FaultCount(cur); {
+			cand := removeFault(cur, i)
+			if Violates(base, cand, oracle, oracles) {
+				cur = cand // keep the removal; same index now names the next entry
+				removed = true
+				continue
+			}
+			i++
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// Regression renders a shrunk schedule as a standalone runnable scenario
+// file: the base scenario with the minimal faults swapped in and a chaos
+// provenance block naming the oracle the schedule must violate. The
+// output is canonical JSON (stable field order, two-space indent) so
+// checked-in regressions diff cleanly.
+func Regression(base *scenario.File, faults *scenario.Faults, meta scenario.ChaosMeta) ([]byte, error) {
+	f := *base
+	f.Faults = cloneFaults(faults)
+	f.Chaos = &meta
+	b, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: marshal regression: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -78,6 +78,12 @@ type Container struct {
 	mgrEV   *evpath.Manager
 	mailbox *evpath.Mailbox
 	toGM    *evpath.Stone // bridge to the global manager's control mailbox
+	// staleGM keeps the pre-rehome upward bridge alive so FenceResp
+	// refusals can still reach a deposed manager's response mailbox.
+	staleGM *evpath.Stone
+	// fencedEpoch is the highest manager epoch that has contacted this
+	// container; lower-epoch rounds are refused (see fence.go).
+	fencedEpoch int64
 
 	// Self-healing state: healSeq numbers heal rounds so stale grants are
 	// recognized; deferred buffers mailbox events that arrived while an

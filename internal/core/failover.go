@@ -19,21 +19,30 @@ const msgGMHeartbeat = "ctl.gm_heartbeat"
 // msgRehome redirects a container's upward traffic to a new manager.
 const msgRehome = "ctl.rehome"
 
-// GMHeartbeat is the beacon payload.
+// GMHeartbeat is the beacon payload. Epoch lets the standby fence its
+// takeover above the primary's epoch, and lets an active manager detect
+// a stale peer still beating after a healed partition; Inbox gives the
+// active manager a path to send that peer a DemoteNotice.
 type GMHeartbeat struct {
-	At sim.Time
+	At    sim.Time
+	Epoch int64
+	Inbox *evpath.Stone
 }
 
 // RehomeReq points the container's monitoring/response bridge at a new
 // global manager inbox.
 type RehomeReq struct {
 	Seq   int64
+	Epoch int64
 	Inbox *evpath.Stone
 }
 
 // RehomeResp acknowledges the switch (sent via the NEW bridge — its
 // arrival proves the new path works).
-type RehomeResp struct{ Seq int64 }
+type RehomeResp struct {
+	Seq   int64
+	Epoch int64
+}
 
 // Rehome redirects a container to this manager via a control round.
 func (gm *GlobalManager) Rehome(p *sim.Proc, target string) bool {
@@ -48,6 +57,7 @@ func (gm *GlobalManager) Rehome(p *sim.Proc, target string) bool {
 // (recording primary heartbeats), and take over once the primary has
 // been silent for three intervals.
 func (gm *GlobalManager) standbyLoop(p *sim.Proc) {
+	gm.standbyMode = true
 	grace := 3 * gm.policy.Interval
 	for {
 		deadline := p.Now() + gm.policy.Interval
@@ -88,11 +98,42 @@ func (gm *GlobalManager) standbyLoop(p *sim.Proc) {
 func (gm *GlobalManager) takeOver(p *sim.Proc) {
 	rt := gm.rt
 	rt.gm = gm
+	gm.standbyMode = false
+	if rt.fencingOn() {
+		// Fence above everything this standby has seen: its own epoch and
+		// the highest the primary ever advertised. Containers will reject
+		// any round the old primary issues from now on.
+		e := gm.peerEpoch
+		if gm.epoch > e {
+			e = gm.epoch
+		}
+		gm.epoch = e + 1
+	} else {
+		// Legacy pre-fencing behavior (chaos regressions reproduce the
+		// split-brain under this): adopt the primary's epoch, so a healed
+		// primary and this standby issue rounds in the SAME epoch.
+		gm.epoch = gm.peerEpoch
+	}
+	var failed []string
 	for _, c := range rt.containers {
 		if c.State() != StateOnline {
 			continue
 		}
-		gm.Rehome(p, c.Name())
+		if !gm.Rehome(p, c.Name()) {
+			failed = append(failed, c.Name())
+		}
+	}
+	// A rehome can exhaust its retries on transient control-message loss
+	// even though the container is alive — and may even have switched
+	// bridges already (only the response was lost). Give each failure one
+	// fresh round before the suspect verdict sticks: rehome is idempotent
+	// (a duplicate switch to the same inbox is harmless, and a same-seq
+	// retry is answered from the dedupe cache), so retrying is always safe.
+	for _, name := range failed {
+		delete(gm.suspect, name)
+		if !gm.Rehome(p, name) {
+			gm.markSuspect(p, name)
+		}
 	}
 	gm.spare = rt.unownedStagingNodes()
 	gm.record(p, Action{T: p.Now(), Kind: "failover", Target: "global-manager",

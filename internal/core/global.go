@@ -72,6 +72,15 @@ type PolicyConfig struct {
 	// round deadline (exponential backoff), so a merely slow container
 	// gets progressively more room while a dead one is bounded.
 	CallRetries int
+	// TradeVoteTimeout bounds each D2T vote round inside a transactional
+	// trade (default CallTimeout/30, i.e. 1 s at the stock 30 s round
+	// deadline — it scales with the scenario's control-round tuning
+	// instead of being pinned to a wall-clock constant).
+	TradeVoteTimeout sim.Time
+	// DisableFencing turns off epoch fencing of control rounds (see
+	// fence.go), restoring the legacy failover behavior whose healed-
+	// partition split brain the chaos regressions reproduce.
+	DisableFencing bool
 	// SilencePatience is how many policy intervals of silence an online,
 	// active container is allowed before the GM probes it with a
 	// liveness Query (default 4; negative disables). Monitoring samples
@@ -126,6 +135,9 @@ func (pc PolicyConfig) withDefaults(outputPeriod sim.Time, queueCap int) PolicyC
 	}
 	if pc.CallRetries <= 0 {
 		pc.CallRetries = 2
+	}
+	if pc.TradeVoteTimeout <= 0 {
+		pc.TradeVoteTimeout = pc.CallTimeout / 30
 	}
 	if pc.SilencePatience == 0 {
 		pc.SilencePatience = 4
@@ -186,6 +198,20 @@ type GlobalManager struct {
 	toStandby *evpath.Stone
 	// lastPrimaryBeat is when the standby last heard the primary.
 	lastPrimaryBeat sim.Time
+
+	// Epoch fencing state (see fence.go). epoch is this manager's fencing
+	// epoch (primary starts at 1, a standby at 0 until takeover);
+	// peerEpoch is the highest epoch heard in a peer's heartbeat;
+	// standbyMode is true while the manager is a watching standby;
+	// deposed is set once a higher epoch fences this manager out;
+	// toDeposed bridges a DemoteNotice back to a stale peer; fencedPeer
+	// records that the demote action was already logged.
+	epoch       int64
+	peerEpoch   int64
+	standbyMode bool
+	deposed     bool
+	toDeposed   *evpath.Stone
+	fencedPeer  bool
 
 	actions []Action
 }
@@ -267,6 +293,9 @@ func (gm *GlobalManager) closeBridges() {
 	if gm.toStandby != nil {
 		gm.toStandby.CloseBridge()
 	}
+	if gm.toDeposed != nil {
+		gm.toDeposed.CloseBridge()
+	}
 }
 
 // run is the global manager process: pump monitoring/control traffic and
@@ -276,9 +305,15 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 		if gm.dead {
 			return // the primary died silently
 		}
+		if gm.deposed {
+			// Fenced out by a higher epoch: demote to a passive standby.
+			gm.runDeposed(p)
+			return
+		}
 		if gm.toStandby != nil {
 			gm.toStandby.Submit(p, &evpath.Event{Type: msgGMHeartbeat,
-				Size: ctlMsgBytes, Data: &GMHeartbeat{At: p.Now()}})
+				Size: ctlMsgBytes,
+				Data: &GMHeartbeat{At: p.Now(), Epoch: gm.epoch, Inbox: gm.root}})
 		}
 		deadline := p.Now() + gm.policy.Interval
 		for p.Now() < deadline {
@@ -296,6 +331,9 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 		}
 		if gm.ctl.Closed() || gm.dead {
 			return
+		}
+		if gm.deposed {
+			continue // the loop top demotes to the passive pump
 		}
 		if gm.policy.DisableManagement {
 			continue
@@ -323,6 +361,29 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 		gm.lastHeard[data.From] = p.Now()
 	case *GMHeartbeat:
 		gm.lastPrimaryBeat = data.At
+		if data.Epoch > gm.peerEpoch {
+			gm.peerEpoch = data.Epoch
+		}
+		if gm.rt.fencingOn() && !gm.standbyMode && !gm.deposed &&
+			data.Epoch < gm.epoch && data.Inbox != nil {
+			// A stale peer — a primary that outlived its own failover —
+			// is still beating. Tell it to stand down.
+			if gm.toDeposed == nil {
+				gm.toDeposed = gm.ev.NewBridge(data.Inbox, 0)
+			}
+			gm.toDeposed.Submit(p, &evpath.Event{Type: msgDemote,
+				Size: ctlMsgBytes, Data: &DemoteNotice{Epoch: gm.epoch}})
+			if !gm.fencedPeer {
+				gm.fencedPeer = true
+				gm.record(p, Action{T: p.Now(), Kind: "fence", Target: "global-manager",
+					Detail: fmt.Sprintf("demoting stale peer epoch %d (own epoch %d)",
+						data.Epoch, gm.epoch)})
+			}
+		}
+	case *DemoteNotice:
+		if gm.rt.fencingOn() && data.Epoch > gm.epoch {
+			gm.depose(p, data.Epoch, "demote notice")
+		}
 	case *SpareReq:
 		gm.grantSpare(p, data)
 		gm.lastHeard[data.From] = p.Now()
@@ -344,6 +405,9 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 // N nodes from the spare pool and send them down the container's control
 // bridge. An empty grant tells the requester to degrade.
 func (gm *GlobalManager) grantSpare(p *sim.Proc, req *SpareReq) {
+	if gm.deposed {
+		return // a fenced manager's pool is no longer authoritative
+	}
 	stone, ok := gm.toContainer[req.From]
 	if !ok {
 		return
@@ -393,6 +457,9 @@ func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64
 	// Sequence numbers come from a runtime-wide counter so the primary's
 	// and the standby's rounds never collide in a container's dedup cache
 	// across a failover.
+	if gm.deposed {
+		return nil // a fenced manager issues no rounds
+	}
 	gm.rt.ctlSeq++
 	gm.seq = gm.rt.ctlSeq
 	gm.purgeStale()
@@ -405,6 +472,7 @@ func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64
 		return nil
 	}
 	req := mk(gm.seq)
+	stampReqEpoch(req, gm.epoch)
 	kind := strings.TrimPrefix(msgTypeFor(req), "ctl.")
 	timeout := gm.policy.CallTimeout
 	for attempt := 0; attempt <= gm.policy.CallRetries; attempt++ {
@@ -418,6 +486,8 @@ func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64
 			AttrInt("attempt", int64(attempt)).AttrInt("seq", gm.seq)
 		ev := &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req}
 		ev.Attrs = trace.Stamp(ev.Attrs, sp.ID())
+		gm.rt.noteRound(RoundRecord{T: p.Now(), Epoch: gm.epoch, Seq: gm.seq,
+			Node: gm.node, Target: target, Kind: kind, Retry: attempt})
 		stone.Submit(p, ev)
 		deadline := p.Now() + timeout
 		for {
@@ -444,6 +514,16 @@ func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64
 				gm.pending = append(gm.pending, rev.Data)
 				sp.Attr("outcome", "dead").End()
 				return nil
+			}
+			if f, isFence := rev.Data.(*FenceResp); isFence {
+				if gm.rt.fencingOn() && f.Epoch > gm.epoch {
+					// The container refused this round: a higher epoch has
+					// taken over. Demote mid-call.
+					gm.depose(p, f.Epoch, "fence response from "+target)
+					sp.Attr("outcome", "fenced").End()
+					return nil
+				}
+				continue // stale fence response; never matches a caller
 			}
 			if match(rev.Data) {
 				sp.End()
@@ -543,6 +623,8 @@ func respSeq(v any) (int64, bool) {
 	case *AddTapResp:
 		return r.Seq, true
 	case *RehomeResp:
+		return r.Seq, true
+	case *FenceResp:
 		return r.Seq, true
 	}
 	return 0, false
@@ -780,8 +862,8 @@ func (gm *GlobalManager) gather(p *sim.Proc, bneck *Container, want int, unattai
 // manager as the reader side) and reports whether it committed. Injected
 // failures make a participant go silent, forcing a consistent abort.
 func (gm *GlobalManager) tradeTxn(p *sim.Proc, victim, bneck *Container) bool {
-	cfg := txn.Config{Writers: 2, Readers: 1, VoteTimeout: sim.Second,
-		Tracer: gm.rt.tracer}
+	cfg := txn.Config{Writers: 2, Readers: 1,
+		VoteTimeout: gm.policy.TradeVoteTimeout, Tracer: gm.rt.tracer}
 	if gm.policy.InjectTradeFailures > 0 {
 		gm.policy.InjectTradeFailures--
 		cfg.SilentRanks = map[int]bool{1: true} // the donor-side manager fails
@@ -792,6 +874,8 @@ func (gm *GlobalManager) tradeTxn(p *sim.Proc, victim, bneck *Container) bool {
 		return false
 	}
 	st := tx.Run(p)
+	gm.rt.trades = append(gm.rt.trades, TradeRecord{T: p.Now(),
+		Outcome: st.Outcome, Decided: st.Decided, Outcomes: tx.Outcomes()})
 	return st.Outcome == txn.Committed
 }
 

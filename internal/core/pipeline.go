@@ -171,6 +171,15 @@ type Runtime struct {
 	// a runtime-wide counter keeps a standby's rounds distinct from the
 	// primary's in the containers' deduplication caches.
 	ctlSeq int64
+	// primary remembers the manager that started the run as primary
+	// (rt.gm is reassigned on failover).
+	primary *GlobalManager
+	// rounds / trades / crashVictims are runtime-wide logs consumed by the
+	// chaos oracles (see internal/chaos): every control-round send attempt,
+	// every D2T trade outcome, and every replica lost to a node crash.
+	rounds       []RoundRecord
+	trades       []TradeRecord
+	crashVictims []CrashVictim
 }
 
 // Build assembles (but does not run) a pipeline runtime.
@@ -243,8 +252,11 @@ func Build(cfg Config) (*Runtime, error) {
 	spare := stagingNodes[next:]
 	rt.stagingNodes = stagingNodes
 
-	// The global manager runs on the first staging node.
+	// The global manager runs on the first staging node. It starts the
+	// run as epoch 1; a standby takeover bumps the epoch (see fence.go).
 	rt.gm = newGlobalManager(rt, stagingNodes[0].ID, cfg.Policy, spare)
+	rt.gm.epoch = 1
+	rt.primary = rt.gm
 	if cfg.StandbyGM {
 		standbyPolicy := cfg.Policy
 		standbyPolicy.KillGMAt = 0 // the standby does not inherit the death sentence
@@ -253,6 +265,7 @@ func Build(cfg Config) (*Runtime, error) {
 			standbyNode = stagingNodes[1].ID
 		}
 		rt.standby = newGlobalManager(rt, standbyNode, standbyPolicy, nil)
+		rt.standby.peerEpoch = 1 // the primary's starting epoch
 		rt.gm.toStandby = rt.gm.ev.NewBridge(rt.standby.inbox(), 0)
 	}
 
@@ -409,14 +422,23 @@ func (rt *Runtime) shutdown() {
 		}
 		c.mailbox.Close()
 		c.toGM.CloseBridge()
+		if c.staleGM != nil {
+			c.staleGM.CloseBridge()
+		}
 	}
-	rt.gm.closeBridges()
-	rt.gm.ctl.Close()
-	rt.gm.rsp.Close()
-	if rt.standby != nil {
-		rt.standby.closeBridges()
-		rt.standby.ctl.Close()
-		rt.standby.rsp.Close()
+	// After a takeover rt.gm aliases rt.standby, and the original
+	// primary — possibly still alive and ticking — is only reachable via
+	// rt.primary; close every distinct manager or its loop outlives the
+	// shutdown and the post-horizon drain never finishes.
+	closed := map[*GlobalManager]bool{}
+	for _, gm := range []*GlobalManager{rt.primary, rt.gm, rt.standby} {
+		if gm == nil || closed[gm] {
+			continue
+		}
+		closed[gm] = true
+		gm.closeBridges()
+		gm.ctl.Close()
+		gm.rsp.Close()
 	}
 }
 
@@ -472,6 +494,10 @@ func (rt *Runtime) onNodeCrash(id int) {
 			if r.node.ID != id {
 				continue
 			}
+			rt.crashVictims = append(rt.crashVictims, CrashVictim{
+				T: rt.eng.Now(), Node: id, Container: c.Name(),
+				Manager: c.mgrEV.Node() == id,
+			})
 			r.stop = true
 			if r.busy && r.abort != nil {
 				r.abort.Fire()
@@ -653,6 +679,15 @@ type Result struct {
 	FaultStats fault.Stats
 	// DownNodes lists the machine nodes that crashed during the run.
 	DownNodes []int
+	// Rounds logs every control-round send attempt with the issuing
+	// manager's node and epoch (chaos single-writer oracle).
+	Rounds []RoundRecord
+	// Trades logs every D2T trade transaction's outcome and per-participant
+	// decisions (chaos same-decision oracle).
+	Trades []TradeRecord
+	// CrashVictims lists the replicas lost to node crashes (chaos
+	// heal-completeness oracle).
+	CrashVictims []CrashVictim
 }
 
 func (rt *Runtime) result() *Result {
@@ -671,6 +706,9 @@ func (rt *Runtime) result() *Result {
 	}
 	res.StepTrace = rt.stepTrace
 	res.Suspects = rt.gm.Suspects()
+	res.Rounds = append([]RoundRecord(nil), rt.rounds...)
+	res.Trades = append([]TradeRecord(nil), rt.trades...)
+	res.CrashVictims = append([]CrashVictim(nil), rt.crashVictims...)
 	if rt.faults != nil {
 		res.FaultStats = rt.faults.Stats()
 		res.DownNodes = rt.faults.DownNodes()
@@ -694,8 +732,21 @@ func (rt *Runtime) Containers() []*Container {
 	return append([]*Container(nil), rt.containers...)
 }
 
-// GM returns the global manager.
+// GM returns the currently active global manager.
 func (rt *Runtime) GM() *GlobalManager { return rt.gm }
+
+// Primary returns the manager that started the run as primary (it may be
+// dead or deposed by now — rt.GM() is the active one).
+func (rt *Runtime) Primary() *GlobalManager { return rt.primary }
+
+// Standby returns the standby manager (nil unless Config.StandbyGM).
+func (rt *Runtime) Standby() *GlobalManager { return rt.standby }
+
+// Channels returns the pipeline's data channels in stage order (the chaos
+// conservation oracle audits their byte ledgers).
+func (rt *Runtime) Channels() []*datatap.Channel {
+	return append([]*datatap.Channel(nil), rt.channels...)
+}
 
 // Engine returns the simulation engine.
 func (rt *Runtime) Engine() *sim.Engine { return rt.eng }

@@ -34,6 +34,7 @@ const (
 // Fig. 3). The global manager has already reserved the nodes.
 type IncreaseReq struct {
 	Seq   int64
+	Epoch int64
 	Nodes []*cluster.Node
 }
 
@@ -42,6 +43,7 @@ type IncreaseReq struct {
 // Fig. 4) and the intra-container metadata exchange that dominates.
 type IncreaseResp struct {
 	Seq    int64
+	Epoch  int64
 	Launch sim.Time
 	Intra  sim.Time
 	Size   int
@@ -49,8 +51,9 @@ type IncreaseResp struct {
 
 // DecreaseReq asks a container to shed n replicas.
 type DecreaseReq struct {
-	Seq int64
-	N   int
+	Seq   int64
+	Epoch int64
+	N     int
 }
 
 // DecreaseResp returns the released nodes and the cost breakdown: the
@@ -58,6 +61,7 @@ type DecreaseReq struct {
 // drain.
 type DecreaseResp struct {
 	Seq       int64
+	Epoch     int64
 	Nodes     []*cluster.Node
 	PauseWait sim.Time
 	Drain     sim.Time
@@ -66,12 +70,14 @@ type DecreaseResp struct {
 
 // OfflineReq takes the container offline entirely.
 type OfflineReq struct {
-	Seq int64
+	Seq   int64
+	Epoch int64
 }
 
 // OfflineResp returns all nodes and the count of queued steps dropped.
 type OfflineResp struct {
 	Seq     int64
+	Epoch   int64
 	Nodes   []*cluster.Node
 	Dropped int
 }
@@ -80,21 +86,27 @@ type OfflineResp struct {
 // (the upstream half of an offline transition).
 type SetOutputReq struct {
 	Seq        int64
+	Epoch      int64
 	Provenance string
 }
 
 // SetOutputResp acknowledges the switch.
-type SetOutputResp struct{ Seq int64 }
+type SetOutputResp struct {
+	Seq   int64
+	Epoch int64
+}
 
 // QueryReq asks the local manager what it needs to sustain the SLA.
 type QueryReq struct {
-	Seq int64
-	Max int
+	Seq   int64
+	Epoch int64
+	Max   int
 }
 
 // QueryResp carries the local manager's answer.
 type QueryResp struct {
 	Seq    int64
+	Epoch  int64
 	Size   int
 	Needed int // total replicas needed; 0 = unattainable within Max
 	Period sim.Time
@@ -103,21 +115,29 @@ type QueryResp struct {
 // ActivateReq toggles consumption (the pipeline's dynamic branch).
 type ActivateReq struct {
 	Seq    int64
+	Epoch  int64
 	Active bool
 }
 
 // ActivateResp acknowledges the toggle.
-type ActivateResp struct{ Seq int64 }
+type ActivateResp struct {
+	Seq   int64
+	Epoch int64
+}
 
 // AddTapReq attaches an observer channel that receives a duplicate of
 // every step the container forwards (mid-run visualization taps).
 type AddTapReq struct {
-	Seq int64
-	Ch  *datatap.Channel
+	Seq   int64
+	Epoch int64
+	Ch    *datatap.Channel
 }
 
 // AddTapResp acknowledges the tap.
-type AddTapResp struct{ Seq int64 }
+type AddTapResp struct {
+	Seq   int64
+	Epoch int64
+}
 
 // CrackNotice informs the global manager of observed crack formation.
 type CrackNotice struct {
@@ -193,6 +213,18 @@ func (c *Container) managerLoop(p *sim.Proc) {
 			continue
 		}
 		seq, hasSeq := reqSeq(ev.Data)
+		if e, fenced := reqEpoch(ev.Data); fenced && c.rt.fencingOn() {
+			if e < c.fencedEpoch {
+				// A round from a deposed manager epoch. Refuse it — even a
+				// cached one: serving (or re-serving) it would let a stale
+				// primary keep mutating the pipeline after a failover.
+				c.fence(p, seq, e, ev.Attrs)
+				continue
+			}
+			if e > c.fencedEpoch {
+				c.fencedEpoch = e
+			}
+		}
 		if hasSeq {
 			if cached, dup := served[seq]; dup {
 				// A retried round answered from the cache: visible in the
@@ -238,7 +270,12 @@ func (c *Container) managerLoop(p *sim.Proc) {
 			c.doAddTap(req.Ch)
 			resp = &AddTapResp{Seq: req.Seq}
 		case *RehomeReq:
-			c.toGM.CloseBridge()
+			// Keep the previous upward bridge alive: it is the only path a
+			// FenceResp can take back to the manager it is deposing.
+			if c.staleGM != nil {
+				c.staleGM.CloseBridge()
+			}
+			c.staleGM = c.toGM
 			c.toGM = c.mgrEV.NewBridge(req.Inbox, 0)
 			if c.probe != nil {
 				// The probe must follow the new upward path.
@@ -251,6 +288,7 @@ func (c *Container) managerLoop(p *sim.Proc) {
 			sp.Attr("outcome", "unknown").End()
 			return
 		}
+		stampRespEpoch(resp, c.fencedEpoch)
 		if hasSeq {
 			served[seq] = resp
 		}

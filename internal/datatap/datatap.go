@@ -51,8 +51,17 @@ type Meta struct {
 type Stats struct {
 	StepsWritten int64
 	StepsPulled  int64
+	// BytesWritten accumulates the payload bytes of every successful
+	// write. Together with BytesPulled, BytesInvalidated, and
+	// Channel.QueuedBytes it forms the chunk-conservation invariant the
+	// chaos oracles check: every byte written is pulled, invalidated, or
+	// still queued — never silently lost.
+	BytesWritten int64
 	BytesPulled  int64
-	MaxQueue     int
+	// BytesInvalidated accumulates the payload bytes of invalidated
+	// descriptors (failed pulls plus InvalidateNode purges).
+	BytesInvalidated int64
+	MaxQueue         int
 	// WriterBlocked accumulates total virtual time writers spent blocked
 	// on a full queue or full buffer — the "application blocking" metric.
 	WriterBlocked sim.Time
@@ -134,6 +143,15 @@ func (c *Channel) SetTracer(r *trace.Recorder) { c.tracer = r }
 // QueueLen returns the current metadata backlog.
 func (c *Channel) QueueLen() int { return c.meta.Len() }
 
+// QueuedBytes returns the payload bytes referenced by descriptors still
+// in the metadata queue — the in-flight term of the chunk-conservation
+// invariant (BytesWritten = BytesPulled + BytesInvalidated + QueuedBytes).
+func (c *Channel) QueuedBytes() int64 {
+	var n int64
+	c.meta.Each(func(m *Meta) { n += m.Size })
+	return n
+}
+
 // QueueCap returns the metadata queue bound (0 = unbounded).
 func (c *Channel) QueueCap() int { return c.cfg.QueueCap }
 
@@ -174,11 +192,18 @@ func (c *Channel) Requeue(m *Meta) bool {
 		return false
 	}
 	m.release = func() {}
-	c.stats.StepsPulled--
-	c.stats.BytesPulled -= m.Size
 	c.tracer.Instant(m.Span, "datatap", "requeue").
 		Container(c.name).Step(m.Step).End()
-	return c.meta.TryPut(m)
+	if !c.meta.TryPut(m) {
+		// The queue refused the descriptor (full): the step stays
+		// accounted as pulled — the caller drops it — so the pulled
+		// counters must NOT be rolled back, or the channel's byte
+		// accounting would claim the payload is still in flight.
+		return false
+	}
+	c.stats.StepsPulled--
+	c.stats.BytesPulled -= m.Size
+	return true
 }
 
 // Close closes the metadata queue; readers drain and then see ok=false.
@@ -297,6 +322,7 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 		return false
 	}
 	w.ch.stats.StepsWritten++
+	w.ch.stats.BytesWritten += size
 	if l := w.ch.meta.Len(); l > w.ch.stats.MaxQueue {
 		w.ch.stats.MaxQueue = l
 	}
@@ -398,6 +424,7 @@ func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
 	m.release()
 	if !ok {
 		r.ch.stats.Invalidated++
+		r.ch.stats.BytesInvalidated += m.Size
 		sp.Attr("fail", "invalidated").End()
 		return false
 	}
@@ -411,14 +438,17 @@ func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
 // (crashed) node, returning how many were dropped. Readers never see them;
 // without this, each parked descriptor costs a reader one failed pull.
 func (c *Channel) InvalidateNode(node int) int {
+	var bytes int64
 	n := c.meta.RemoveWhere(func(m *Meta) bool {
 		if m.SrcNode != node {
 			return false
 		}
 		m.release()
+		bytes += m.Size
 		return true
 	})
 	c.stats.Invalidated += int64(n)
+	c.stats.BytesInvalidated += bytes
 	if n > 0 {
 		c.tracer.Instant(0, "datatap", "invalidate").
 			Container(c.name).Node(node).AttrInt("descriptors", int64(n)).End()

@@ -59,6 +59,22 @@ type File struct {
 	Stages []Stage `json:"stages"`
 	// Faults schedules deterministic fault injection (nil = none).
 	Faults *Faults `json:"faults"`
+	// Chaos marks a chaos-search artifact (a shrunk regression emitted by
+	// iochaos). The runtime ignores it; the regression replay harness
+	// reads it to know which oracle the schedule must violate.
+	Chaos *ChaosMeta `json:"chaos,omitempty"`
+}
+
+// ChaosMeta is the provenance block iochaos stamps on emitted regression
+// scenarios.
+type ChaosMeta struct {
+	// Seed is the chaos search seed that generated the schedule.
+	Seed int64 `json:"seed"`
+	// ExpectViolation names the oracle this schedule violates (empty =
+	// the schedule is expected to pass all oracles).
+	ExpectViolation string `json:"expectViolation"`
+	// Note is a human-readable description of the failure.
+	Note string `json:"note,omitempty"`
 }
 
 // Faults is the JSON fault schedule. Node references are either absolute
@@ -67,18 +83,18 @@ type File struct {
 // changes).
 type Faults struct {
 	// Seed drives the drop-window randomness (0 = the scenario seed).
-	Seed       int64            `json:"seed"`
-	Crashes    []CrashFault     `json:"crashes"`
-	Links      []LinkFault      `json:"links"`
-	Partitions []PartitionFault `json:"partitions"`
-	Drops      []DropFault      `json:"drops"`
-	Stalls     []StallFault     `json:"stalls"`
+	Seed       int64            `json:"seed,omitempty"`
+	Crashes    []CrashFault     `json:"crashes,omitempty"`
+	Links      []LinkFault      `json:"links,omitempty"`
+	Partitions []PartitionFault `json:"partitions,omitempty"`
+	Drops      []DropFault      `json:"drops,omitempty"`
+	Stalls     []StallFault     `json:"stalls,omitempty"`
 }
 
 // NodeRef names one machine node, absolutely or staging-relative.
 type NodeRef struct {
-	Node         int  `json:"node"`
-	StagingIndex *int `json:"stagingIndex"`
+	Node         int  `json:"node,omitempty"`
+	StagingIndex *int `json:"stagingIndex,omitempty"`
 }
 
 // resolve returns the absolute machine node ID.
@@ -199,6 +215,12 @@ type Policy struct {
 	// a container is allowed before the GM probes it with a liveness
 	// query (0 = default 4, negative disables).
 	SilencePatience int `json:"silencePatience"`
+	// TradeVoteTimeoutSec bounds each D2T vote round inside a
+	// transactional trade (0 = derived from the control-round timeout).
+	TradeVoteTimeoutSec float64 `json:"tradeVoteTimeoutSec"`
+	// DisableFencing restores the legacy, pre-epoch-fencing failover
+	// (the split-brain chaos regressions reproduce under this).
+	DisableFencing bool `json:"disableFencing"`
 }
 
 // Stage describes one pipeline component.
@@ -222,7 +244,7 @@ type Stage struct {
 	DiskOutput bool `json:"diskOutput"`
 	SLAPeriods int  `json:"slaPeriods"`
 	// Cost overrides the default cost model (required for Custom).
-	Cost *Cost `json:"cost"`
+	Cost *Cost `json:"cost,omitempty"`
 }
 
 // Cost is a JSON cost model.
@@ -296,6 +318,9 @@ func (f *File) ToConfig() (core.Config, error) {
 			CallTimeout:         sim.Time(f.Policy.CallTimeoutSec * float64(sim.Second)),
 			CallRetries:         f.Policy.CallRetries,
 			SilencePatience:     f.Policy.SilencePatience,
+			TradeVoteTimeout: sim.Time(
+				f.Policy.TradeVoteTimeoutSec * float64(sim.Second)),
+			DisableFencing: f.Policy.DisableFencing,
 		},
 	}
 	if f.Faults != nil {
@@ -398,13 +423,37 @@ func describeDecodeError(err error) error {
 	return fmt.Errorf("scenario: %w", err)
 }
 
-// Load parses a scenario from r.
-func Load(r io.Reader) (core.Config, error) {
+// Read parses a scenario file from r without converting it, for harnesses
+// (like the chaos search) that mutate the schedule before building a run.
+func Read(r io.Reader) (*File, error) {
 	var f File
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return core.Config{}, describeDecodeError(err)
+		return nil, describeDecodeError(err)
+	}
+	return &f, nil
+}
+
+// ReadFile parses a scenario file from disk without converting it.
+func ReadFile(path string) (*File, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	f, err := Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Load parses a scenario from r.
+func Load(r io.Reader) (core.Config, error) {
+	f, err := Read(r)
+	if err != nil {
+		return core.Config{}, err
 	}
 	return f.ToConfig()
 }
@@ -412,12 +461,11 @@ func Load(r io.Reader) (core.Config, error) {
 // LoadFile parses a scenario from a JSON file. Errors are prefixed with the
 // file path so multi-scenario harnesses report which file is broken.
 func LoadFile(path string) (core.Config, error) {
-	f, err := os.Open(path)
+	f, err := ReadFile(path)
 	if err != nil {
 		return core.Config{}, err
 	}
-	defer f.Close()
-	cfg, err := Load(f)
+	cfg, err := f.ToConfig()
 	if err != nil {
 		return core.Config{}, fmt.Errorf("%s: %w", path, err)
 	}

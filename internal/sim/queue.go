@@ -196,6 +196,15 @@ func (q *Queue[T]) RemoveWhere(pred func(T) bool) int {
 	return removed
 }
 
+// Each visits every buffered item in queue order without removing any.
+// Auditors (e.g. byte-conservation checks) use it to account for items
+// still in flight at the end of a run.
+func (q *Queue[T]) Each(fn func(T)) {
+	for _, v := range q.items {
+		fn(v)
+	}
+}
+
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (v T, ok bool) {
 	if len(q.items) == 0 {
