@@ -1,0 +1,31 @@
+package iocontainer
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// BenchmarkIocheckModule is the wall-time budget for `iocheck ./...`: one
+// iteration loads and type-checks the whole module, builds the CFG and
+// CHA call-graph layer, and runs all eight analyzers. It rides in `make
+// bench` so a regression in the whole-program analysis (an unbounded
+// summary fixpoint, a quadratic CFG walk) shows up in BENCH_baseline.json
+// next to the scenario benchmarks.
+func BenchmarkIocheckModule(b *testing.B) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags := analysis.Run(pkgs, analysis.Analyzers())
+		if n := len(analysis.Unsuppressed(diags)); n != 0 {
+			b.Fatalf("module has %d unsuppressed findings", n)
+		}
+	}
+}

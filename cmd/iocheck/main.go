@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	iocheck [-v] [-rules simtime,maprange,...] [pattern]
+//	iocheck [-v] [-json] [-rules simtime,maprange,...]
+//	        [-baseline lint-baseline.json] [-write-baseline FILE] [pattern]
 //
 // The pattern is a directory tree suffixed with /... (default "./..."):
 // the module containing it is loaded and type-checked in full, and
@@ -13,17 +14,30 @@
 // go/token, and go/types, so it needs no network and no third-party
 // modules.
 //
-// Diagnostics print as file:line:col: [rule] message. Audited exceptions
-// are suppressed with `//iocheck:allow <rule> <reason>` on the flagged
-// line or the line above; -v prints suppressed findings too.
+// Diagnostics print as file:line:col: [rule] message, sorted by position
+// so two runs over the same tree produce byte-identical output. -json
+// prints every diagnostic (suppressed included) as a sorted JSON array
+// instead. Audited exceptions are suppressed with `//iocheck:allow <rule>
+// <reason>` on the flagged line or the line above; -v prints suppressed
+// findings too.
+//
+// -baseline compares the per-rule suppression counts against a checked-in
+// ratchet file: growth in audited exceptions fails the run the same way a
+// new unsuppressed finding does, so allows cannot accumulate silently.
+// -write-baseline regenerates that file from the current tree.
+//
+// Exit codes: 0 clean, 1 findings (unsuppressed diagnostics or ratchet
+// growth), 2 usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -38,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "also print suppressed diagnostics")
 	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "print all diagnostics (suppressed included) as a JSON array")
+	baseline := fs.String("baseline", "", "suppression-count ratchet file; growth fails the run")
+	writeBaseline := fs.String("write-baseline", "", "write current suppression counts to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,6 +75,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if dir == "" {
 		dir = "."
 	}
+	if fi, err := os.Stat(dir); err != nil {
+		fmt.Fprintf(stderr, "iocheck: %v\n", err)
+		return 2
+	} else if !fi.IsDir() {
+		fmt.Fprintf(stderr, "iocheck: pattern root %q is not a directory\n", dir)
+		return 2
+	}
 	analyzers, err := selectAnalyzers(*rules)
 	if err != nil {
 		fmt.Fprintf(stderr, "iocheck: %v\n", err)
@@ -75,21 +99,130 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	pkgs = underDir(pkgs, dir)
 	diags := analysis.Run(pkgs, analyzers)
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, diags); err != nil {
+			fmt.Fprintf(stderr, "iocheck: %v\n", err)
+			return 2
+		}
+	}
 	failures := 0
-	for _, d := range diags {
-		switch {
-		case !d.Suppressed:
-			failures++
-			fmt.Fprintln(stdout, d.String())
-		case *verbose:
-			fmt.Fprintf(stdout, "%s (suppressed: %s)\n", d.String(), d.SuppressReason)
+	if *jsonOut {
+		if err := printJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "iocheck: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			if !d.Suppressed {
+				failures++
+			}
+		}
+	} else {
+		for _, d := range diags {
+			switch {
+			case !d.Suppressed:
+				failures++
+				fmt.Fprintln(stdout, d.String())
+			case *verbose:
+				fmt.Fprintf(stdout, "%s (suppressed: %s)\n", d.String(), d.SuppressReason)
+			}
 		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(stderr, "iocheck: %d unsuppressed finding(s)\n", failures)
 		return 1
 	}
+	if *baseline != "" {
+		grown, err := checkBaseline(*baseline, diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "iocheck: %v\n", err)
+			return 2
+		}
+		if len(grown) > 0 {
+			for _, g := range grown {
+				fmt.Fprintln(stderr, "iocheck: "+g)
+			}
+			fmt.Fprintln(stderr, "iocheck: audited suppressions grew past the baseline; justify and regenerate with -write-baseline, or remove the allow")
+			return 1
+		}
+	}
 	return 0
+}
+
+// baselineFile is the checked-in suppression ratchet: how many audited
+// //iocheck:allow exceptions each rule is permitted.
+type baselineFile struct {
+	Suppressed map[string]int `json:"suppressed"`
+}
+
+func suppressionCounts(diags []analysis.Diagnostic) map[string]int {
+	counts := make(map[string]int)
+	for _, d := range diags {
+		if d.Suppressed {
+			counts[d.Rule]++
+		}
+	}
+	return counts
+}
+
+func writeBaselineFile(path string, diags []analysis.Diagnostic) error {
+	data, err := json.MarshalIndent(baselineFile{Suppressed: suppressionCounts(diags)}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkBaseline returns a message per rule whose suppression count grew
+// past the ratchet. Shrinkage is fine (and a reason to regenerate).
+func checkBaseline(path string, diags []analysis.Diagnostic) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	counts := suppressionCounts(diags)
+	var grown []string
+	for rule, n := range counts {
+		if allowed := base.Suppressed[rule]; n > allowed {
+			grown = append(grown, fmt.Sprintf("rule %s has %d suppression(s), baseline allows %d", rule, n, allowed))
+		}
+	}
+	sort.Strings(grown)
+	return grown, nil
+}
+
+// jsonDiag is the -json wire form of one diagnostic. Fields marshal in
+// declaration order and the input is already position-sorted, so the
+// output is byte-stable across runs.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func printJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Rule:       d.Rule,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.SuppressReason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers resolves the -rules filter against the full suite.

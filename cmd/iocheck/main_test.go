@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -101,5 +103,173 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	var out, errOut strings.Builder
 	if code := run([]string{"-rules", "maprange", root + "/..."}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, want 0; stdout=%q", code, out.String())
+	}
+}
+
+// TestExitCodeSplit pins the contract: 1 means findings, 2 means the run
+// itself could not proceed (usage or load errors), and the unknown-rule
+// message lands on stderr.
+func TestExitCodeSplit(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module split\n\ngo 1.22\n",
+		"internal/clock/clock.go": `package clock
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run([]string{root + "/..."}, &out, &errOut); code != 1 {
+		t.Errorf("findings: exit = %d, want 1", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-rules", "nosuch", root + "/..."}, &out, &errOut); code != 2 {
+		t.Errorf("unknown rule: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown analyzer "nosuch"`) {
+		t.Errorf("unknown-rule message missing from stderr: %q", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{filepath.Join(root, "nope") + "/..."}, &out, &errOut); code != 2 {
+		t.Errorf("unloadable tree: exit = %d, want 2; stderr=%q", code, errOut.String())
+	}
+}
+
+// TestDeterministicOutput runs the binary twice over a module with
+// several findings and requires byte-identical stdout.
+func TestDeterministicOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module det\n\ngo 1.22\n",
+		"internal/a/a.go": `package a
+
+import "time"
+
+func A() int64 { return time.Now().UnixNano() }
+func B() int64 { return time.Now().UnixNano() }
+`,
+		"internal/b/b.go": `package b
+
+import "time"
+
+func C() int64 { return time.Now().UnixNano() }
+`,
+	})
+	render := func(extra ...string) string {
+		var out, errOut strings.Builder
+		run(append(extra, root+"/..."), &out, &errOut)
+		return out.String()
+	}
+	if first, second := render(), render(); first != second || first == "" {
+		t.Errorf("text output not byte-identical across runs:\n%q\n%q", first, second)
+	}
+	if first, second := render("-json"), render("-json"); first != second {
+		t.Errorf("json output not byte-identical across runs:\n%q\n%q", first, second)
+	}
+}
+
+// TestJSONOutput checks shape and sortedness of -json mode, including a
+// suppressed entry with its audit reason.
+func TestJSONOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module jsonmod\n\ngo 1.22\n",
+		"internal/clock/clock.go": `package clock
+
+import "time"
+
+//iocheck:allow simtime boot stamp only, audited
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Bad() int64 { return time.Now().UnixNano() }
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", root + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 (one unsuppressed finding); stderr=%q", code, errOut.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one suppressed, one not): %+v", len(diags), diags)
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Col < diags[j].Col
+	}) {
+		t.Errorf("json diagnostics not sorted by position: %+v", diags)
+	}
+	var suppressed, unsuppressed int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if !strings.Contains(d.Reason, "boot stamp only") {
+				t.Errorf("suppressed entry lost its reason: %+v", d)
+			}
+		} else {
+			unsuppressed++
+		}
+	}
+	if suppressed != 1 || unsuppressed != 1 {
+		t.Errorf("suppressed/unsuppressed = %d/%d, want 1/1", suppressed, unsuppressed)
+	}
+}
+
+// TestBaselineRatchet: a run matching the baseline passes; adding one
+// more allow makes it fail; regenerating with -write-baseline passes
+// again.
+func TestBaselineRatchet(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module ratchet\n\ngo 1.22\n",
+		"internal/clock/clock.go": `package clock
+
+import "time"
+
+//iocheck:allow simtime boot stamp only, audited
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	root := writeModule(t, files)
+	base := filepath.Join(root, "lint-baseline.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-write-baseline", base, root + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("write-baseline exit = %d; stderr=%q", code, errOut.String())
+	}
+	if code := run([]string{"-baseline", base, root + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("at-baseline exit = %d, want 0; stderr=%q", code, errOut.String())
+	}
+	// A second audited allow in a fresh copy of the module grows the count.
+	files["internal/clock/more.go"] = `package clock
+
+import "time"
+
+//iocheck:allow simtime another audited stamp
+func Stamp2() int64 { return time.Now().UnixNano() }
+`
+	grownRoot := writeModule(t, files)
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, grownRoot + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("grown suppressions exit = %d, want 1; stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "baseline allows 1") {
+		t.Errorf("ratchet message missing counts: %q", errOut.String())
+	}
+	// Regenerating the baseline accepts the new audit.
+	if code := run([]string{"-write-baseline", base, grownRoot + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("regenerate exit = %d", code)
+	}
+	if code := run([]string{"-baseline", base, grownRoot + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("after regenerate exit = %d, want 0", code)
+	}
+	// A missing baseline file is a load error, not a finding.
+	if code := run([]string{"-baseline", filepath.Join(root, "nope.json"), root + "/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline exit = %d, want 2", code)
 	}
 }

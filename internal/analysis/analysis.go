@@ -54,10 +54,13 @@ type Analyzer struct {
 	Run     func(pass *Pass)
 }
 
-// Pass carries one analyzer's execution over one package.
+// Pass carries one analyzer's execution over one package. Prog is the
+// whole-program call graph shared by every pass of a Run (nil only when a
+// Pass is constructed by hand without one).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 	diags    []Diagnostic
 }
 
@@ -70,14 +73,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in a stable order.
+// Analyzers returns the full suite in a stable order: the four
+// syntactic rules from the original suite, then the four interprocedural
+// rules built on the CFG/call-graph layer.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg}
+	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg, VTBlock, EpochSet, NilFlow, MapRangeDeep}
 }
 
 // Run executes the given analyzers over the packages and returns all
-// diagnostics, suppression already applied, sorted by position.
+// diagnostics — suppressed ones included — in a total order (file, line,
+// column, rule, message), so two runs over the same tree are
+// byte-identical even when one position carries several findings.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg)
@@ -85,7 +93,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if a.Applies != nil && !a.Applies(pkg) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
 			a.Run(pass)
 			out = append(out, applyAllows(pass.diags, allows)...)
 		}
@@ -102,7 +110,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return out
 }

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func loadCallgraphFixture(t *testing.T) (*Package, *Program) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkg, NewProgram([]*Package{pkg})
+}
+
+// findNode locates a function node by its rendered name.
+func findNode(t *testing.T, prog *Program, name string) *FuncNode {
+	t.Helper()
+	for _, n := range prog.Funcs {
+		if n.String() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// findCall locates the first call expression whose source contains the
+// given selector or identifier name.
+func findCall(t *testing.T, pkg *Package, funcName, calleeName string) *ast.CallExpr {
+	t.Helper()
+	var found *ast.CallExpr
+	for _, f := range pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			if fd.Name.Name != funcName {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found != nil {
+					return found == nil
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.SelectorExpr:
+					if fun.Sel.Name == calleeName {
+						found = call
+					}
+				case *ast.Ident:
+					if fun.Name == calleeName {
+						found = call
+					}
+				}
+				return found == nil
+			})
+		}
+	}
+	if found == nil {
+		t.Fatalf("no call to %s in %s", calleeName, funcName)
+	}
+	return found
+}
+
+func TestCHAInterfaceDispatch(t *testing.T) {
+	pkg, prog := loadCallgraphFixture(t)
+	call := findCall(t, pkg, "SpeakAll", "Speak")
+	var names []string
+	for _, callee := range prog.Callees(pkg, call) {
+		names = append(names, callee.String())
+	}
+	sort.Strings(names)
+	want := []string{"(*Cat).Speak", "(Dog).Speak"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("interface dispatch resolved to %v, want %v", names, want)
+	}
+}
+
+func TestBlockingSummaryAndChain(t *testing.T) {
+	_, prog := loadCallgraphFixture(t)
+	helper := findNode(t, prog, "Helper")
+	if !helper.Blocks {
+		t.Fatal("Helper reaches park through Sleep; Blocks should be true")
+	}
+	chain := helper.BlockChain()
+	for _, hop := range []string{"Helper", "Sleep", "park"} {
+		if !strings.Contains(chain, hop) {
+			t.Errorf("witness chain %q missing hop %s", chain, hop)
+		}
+	}
+	wake := findNode(t, prog, "(*Proc).Wake")
+	if wake.Blocks {
+		t.Fatal("Wake never parks; Blocks should be false")
+	}
+}
+
+func TestFuncValueResolvesMethodValue(t *testing.T) {
+	pkg, prog := loadCallgraphFixture(t)
+	call := findCall(t, pkg, "RegisterBoth", "Register")
+	if len(call.Args) != 1 {
+		t.Fatalf("Register call args = %d", len(call.Args))
+	}
+	fn := prog.FuncValue(pkg, call.Args[0])
+	if fn == nil {
+		t.Fatal("FuncValue should resolve the method value p.Wake")
+	}
+	if fn.String() != "(*Proc).Wake" {
+		t.Fatalf("resolved %s, want (*Proc).Wake", fn.String())
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG wraps a function body in a throwaway file and builds its
+// CFG. The builder is purely syntactic, so no type information is needed.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f(a, b bool, xs []int) int {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd)
+}
+
+// condEdges collects the conditional edges, keyed by the leaf condition's
+// source form (an identifier for the fixtures here).
+func condEdges(cfg *CFG) map[string][]bool {
+	out := make(map[string][]bool)
+	for _, b := range cfg.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			name := "?"
+			if id, ok := e.Cond.(*ast.Ident); ok {
+				name = id.Name
+			}
+			out[name] = append(out[name], e.Branch)
+		}
+	}
+	return out
+}
+
+func hasBackEdge(cfg *CFG) bool {
+	for _, b := range cfg.Blocks {
+		for _, e := range b.Succs {
+			if e.To.Index <= e.From.Index {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGBranch(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	if a {
+		return 1
+	}
+	return 2`)
+	edges := condEdges(cfg)
+	branches := edges["a"]
+	if len(branches) != 2 || branches[0] == branches[1] {
+		t.Fatalf("condition a should have one true and one false edge, got %v", branches)
+	}
+	if len(cfg.Exit.Preds) < 2 {
+		t.Fatalf("both returns should reach exit, preds = %d", len(cfg.Exit.Preds))
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	n := 0
+	for i := 0; i < 10; i++ {
+		n++
+	}
+	return n`)
+	if !hasBackEdge(cfg) {
+		t.Fatal("loop should produce a back edge")
+	}
+	if len(cfg.Exit.Preds) == 0 {
+		t.Fatal("loop exit should reach the function exit")
+	}
+}
+
+func TestCFGShortCircuit(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	if a && b {
+		return 1
+	}
+	return 2`)
+	edges := condEdges(cfg)
+	if len(edges["a"]) != 2 || len(edges["b"]) != 2 {
+		t.Fatalf("&& should decompose into leaf conditions for a and b, got %v", edges)
+	}
+}
+
+func TestCFGShortCircuitOr(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	if a || b {
+		return 1
+	}
+	return 2`)
+	edges := condEdges(cfg)
+	if len(edges["a"]) != 2 || len(edges["b"]) != 2 {
+		t.Fatalf("|| should decompose into leaf conditions for a and b, got %v", edges)
+	}
+}
+
+func TestCFGBreak(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	for {
+		if a {
+			break
+		}
+	}
+	return 0`)
+	if len(cfg.Exit.Preds) == 0 {
+		t.Fatal("break should make the statement after the loop reachable")
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	defer println(1)
+	if a {
+		defer println(2)
+	}
+	return 0`)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGRangeBodyIsolated(t *testing.T) {
+	// WalkCFGNode must not descend into a RangeStmt's body (the body has
+	// its own blocks) but must still visit the ranged expression.
+	cfg := buildTestCFG(t, `
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n`)
+	sawRangeX, sawBody := false, false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			WalkCFGNode(rs, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == "xs" {
+					sawRangeX = true
+				}
+				if as, ok := m.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+					sawBody = true
+				}
+				return true
+			})
+		}
+	}
+	if !sawRangeX {
+		t.Fatal("WalkCFGNode should visit the ranged expression")
+	}
+	if sawBody {
+		t.Fatal("WalkCFGNode must not descend into the range body")
+	}
+}

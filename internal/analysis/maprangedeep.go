@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MapRangeDeep is maprange one rung up the call stack: it flags calls
+// made from a map-range body whose *callee* transitively performs an
+// order-bearing side effect (submits, sends, schedules — maprange's
+// orderSinks set), even though the loop body itself looks pure. The
+// direct-sink case stays maprange's; this rule only fires on calls the
+// syntactic rule cannot see through, and each message carries the
+// call-graph witness chain down to the sink.
+var MapRangeDeep = &Analyzer{
+	Name:    "maprange-deep",
+	Doc:     "calls from map iteration must not reach order-bearing side effects (call-graph extension of maprange)",
+	Applies: internalPkg,
+	Run:     runMapRangeDeep,
+}
+
+func runMapRangeDeep(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRangeStmt(pass.Pkg.Info, rs) {
+					return true
+				}
+				checkDeepCalls(pass, rs, reported)
+				return true
+			})
+		}
+	}
+}
+
+func checkDeepCalls(pass *Pass, rs *ast.RangeStmt, reported map[token.Pos]bool) {
+	walkOwnCode(pass.Pkg, rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Direct sink calls are maprange's finding; don't double-report.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && orderSinks[sel.Sel.Name] {
+			return true
+		}
+		for _, callee := range pass.Prog.Callees(pass.Pkg, call) {
+			if !callee.OrderEffect {
+				continue
+			}
+			if !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(),
+					"map iteration order is nondeterministic, and this call reaches an order-bearing side effect (%s); iterate sorted keys instead",
+					callee.OrderChain())
+			}
+			break
+		}
+		return true
+	})
+}

@@ -1,6 +1,9 @@
 package analysis
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestModuleSelfCheck runs the full analyzer suite over the actual module
 // and asserts zero unsuppressed diagnostics. This is the enforcement
@@ -34,5 +37,55 @@ func TestModuleSelfCheck(t *testing.T) {
 	}
 	if suppressed == 0 {
 		t.Error("expected at least one suppressed (audited) finding in the tree; stale allow machinery?")
+	}
+}
+
+// TestSuiteIsComplete pins the suite roster: all eight rules — the four
+// syntactic ones and the four interprocedural ones built on the CFG and
+// call-graph layer — must be registered, in deterministic order.
+func TestSuiteIsComplete(t *testing.T) {
+	want := []string{"simtime", "maprange", "nilrecv", "ctlmsg",
+		"vtblock", "epochset", "nilflow", "maprange-deep"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestRunIsDeterministic runs the whole suite over the module twice and
+// asserts the rendered diagnostics — suppressed included — are
+// byte-identical: positions, ordering, and messages may not depend on map
+// iteration or load order.
+func TestRunIsDeterministic(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		pkgs, err := LoadModule(root)
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		var sb strings.Builder
+		for _, d := range Run(pkgs, Analyzers()) {
+			sb.WriteString(d.String())
+			sb.WriteString(" suppressed=")
+			if d.Suppressed {
+				sb.WriteString("y " + d.SuppressReason)
+			} else {
+				sb.WriteString("n")
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Error("two identical runs rendered different output; diagnostics are not deterministic")
 	}
 }

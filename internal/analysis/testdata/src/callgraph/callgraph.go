@@ -1,0 +1,41 @@
+// Package callgraph is the fixture for the CHA call-graph unit tests
+// (not an analyzer fixture; the golden harness never loads it).
+package callgraph
+
+// Speaker has two implementations, so a call through the interface must
+// resolve to both under CHA.
+type Speaker interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (c *Cat) Speak() string { return "meow" }
+
+// SpeakAll dispatches through the interface.
+func SpeakAll(s Speaker) string { return s.Speak() }
+
+// Proc mirrors the kernel's blocking seed shape.
+type Proc struct{ t int64 }
+
+func (p *Proc) park() { p.t++ }
+
+// Sleep reaches park directly.
+func (p *Proc) Sleep() { p.park() }
+
+// Helper reaches park through Sleep — two hops for the chain test.
+func Helper(p *Proc) { p.Sleep() }
+
+// Registry receives a method value; FuncValue must resolve it.
+type Registry struct{ f func() }
+
+func (r *Registry) Register(f func()) { r.f = f }
+
+// Wake is a non-blocking method handed over as a value.
+func (p *Proc) Wake() { p.t = 0 }
+
+func RegisterBoth(r *Registry, p *Proc) {
+	r.Register(p.Wake)
+}

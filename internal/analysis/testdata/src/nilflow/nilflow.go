@@ -1,0 +1,76 @@
+// Package nilflow is a golden-file fixture for the nilflow analyzer.
+package nilflow
+
+// Step is a transported payload; lookups return nil on a miss.
+type Step struct {
+	Size int64
+	Data []byte
+}
+
+type cache struct{ m map[int64]*Step }
+
+// find returns nil on a miss — the nilable source. The guarded comma-ok
+// inside is NOT itself a nilable source (ok is bound and tested).
+func (c *cache) find(k int64) *Step {
+	if s, ok := c.m[k]; ok {
+		return s
+	}
+	return nil
+}
+
+// consume dereferences its parameter without a guard, so its summary
+// marks the parameter.
+func consume(s *Step) int64 { return s.Size }
+
+// newCount returns nil when disabled.
+func newCount(on bool) *int64 {
+	if !on {
+		return nil
+	}
+	v := int64(0)
+	return &v
+}
+
+// good guards before the dereference.
+func good(c *cache) int64 {
+	s := c.find(1)
+	if s == nil {
+		return 0
+	}
+	return s.Size
+}
+
+// goodNe guards with the positive form on the dereferencing branch.
+func goodNe(c *cache) int64 {
+	s := c.find(1)
+	if s != nil {
+		return s.Size
+	}
+	return 0
+}
+
+// bad dereferences the unchecked result.
+func bad(c *cache) int64 {
+	s := c.find(1)
+	return s.Size // want "may be nil"
+}
+
+// badStar dereferences a possibly-nil pointer with *.
+func badStar(on bool) int64 {
+	n := newCount(on)
+	return *n // want "may be nil"
+}
+
+// badCall passes the unchecked value to an unguarded dereferencer.
+func badCall(c *cache) int64 {
+	s := c.find(2)
+	return consume(s) // want "dereferences the parameter unguarded"
+}
+
+// audited: an invariant the analysis cannot see (the key is always
+// seeded at construction); the audit records why.
+func audited(c *cache) int64 {
+	s := c.find(3)
+	//iocheck:allow nilflow fixture: key 3 is seeded at construction, audited
+	return s.Size
+}

@@ -35,6 +35,9 @@ func FaultCount(f *scenario.Faults) int {
 // stalls.
 func removeFault(f *scenario.Faults, i int) *scenario.Faults {
 	out := cloneFaults(f)
+	if out == nil {
+		return nil // nil schedule has no entries to remove
+	}
 	switch {
 	case i < len(out.Crashes):
 		out.Crashes = append(out.Crashes[:i:i], out.Crashes[i+1:]...)

@@ -350,7 +350,11 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 }
 
 // dispatch routes one monitoring/notice event (responses never reach this
-// path; the overlay split sends them to the response mailbox).
+// path; the overlay split sends them to the response mailbox). It runs on
+// both the primary's pump and the deposed pump, which must never wedge on
+// a courier — handling an event must not park the manager process.
+//
+//iocheck:nonblocking
 func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 	switch data := ev.Data.(type) {
 	case monitor.Sample:
@@ -371,6 +375,7 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 			if gm.toDeposed == nil {
 				gm.toDeposed = gm.ev.NewBridge(data.Inbox, 0)
 			}
+			//iocheck:allow vtblock toDeposed is a bridge stone: handle() takes the forward() courier path, which enqueues without parking
 			gm.toDeposed.Submit(p, &evpath.Event{Type: msgDemote,
 				Size: ctlMsgBytes, Data: &DemoteNotice{Epoch: gm.epoch}})
 			if !gm.fencedPeer {
@@ -385,6 +390,7 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 			gm.depose(p, data.Epoch, "demote notice")
 		}
 	case *SpareReq:
+		//iocheck:allow vtblock grantSpare submits only to container control bridges (courier path); see its own audit
 		gm.grantSpare(p, data)
 		gm.lastHeard[data.From] = p.Now()
 	case *HealNotice:
@@ -403,7 +409,10 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 
 // grantSpare answers a local manager's replica-restart request: pop up to
 // N nodes from the spare pool and send them down the container's control
-// bridge. An empty grant tells the requester to degrade.
+// bridge. An empty grant tells the requester to degrade. Runs from
+// dispatch, so it inherits the pump's must-not-park obligation.
+//
+//iocheck:nonblocking
 func (gm *GlobalManager) grantSpare(p *sim.Proc, req *SpareReq) {
 	if gm.deposed {
 		return // a fenced manager's pool is no longer authoritative
@@ -421,6 +430,7 @@ func (gm *GlobalManager) grantSpare(p *sim.Proc, req *SpareReq) {
 		grant = append(grant, gm.spare[:take]...)
 		gm.spare = gm.spare[take:]
 	}
+	//iocheck:allow vtblock toContainer stones are control bridges: handle() takes the forward() courier path, which enqueues without parking
 	stone.Submit(p, &evpath.Event{Type: msgSpareGrant, Size: ctlMsgBytes,
 		Data: &SpareGrant{Seq: req.Seq, Nodes: grant}})
 }
