@@ -34,12 +34,14 @@ lint-baseline:
 	$(GO) run ./cmd/iocheck -write-baseline lint-baseline.json ./...
 
 # chaos searches randomized fault schedules for invariant violations
-# (cmd/iochaos: 64 seeds over the failover scenario and the hand-written
-# fault schedule), then replays the checked-in shrunk reproducers in
-# scenarios/regressions/.
+# (cmd/iochaos: 64 seeds over the failover scenario, the hand-written
+# fault schedule, and the at-least-once data plane with writer-node
+# crashes and descriptor-drop windows as fair targets), then replays the
+# checked-in shrunk reproducers in scenarios/regressions/.
 chaos:
 	$(GO) run ./cmd/iochaos -scenario scenarios/chaos-failover.json -seeds 64
 	$(GO) run ./cmd/iochaos -scenario scenarios/faults.json -seeds 64
+	$(GO) run ./cmd/iochaos -scenario scenarios/delivery.json -seeds 64
 	$(GO) test ./internal/chaos/ -run TestRegressionsReplay
 
 # check is what CI runs.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datatap"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
 )
@@ -185,6 +186,86 @@ func BenchmarkAblationTransactionalTrades(b *testing.B) {
 	}
 	b.Run("plain", func(b *testing.B) { run(b, false) })
 	b.Run("transactional", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationDeliveryGuarantee prices the at-least-once data
+// plane against best-effort under the same hostile schedule: the writer
+// node is partitioned for most of the run, so mid-run pulls fail, and a
+// tiny descriptor queue keeps the channel under spill pressure. The
+// best-effort leg loses the steps whose pulls failed; the at-least-once
+// leg redelivers them (retention + repair loop + spill-to-disk) and the
+// run fails outright if even one step goes unaccounted — the bench output
+// is the cost of that guarantee, and `make bench` ratchets it.
+func BenchmarkAblationDeliveryGuarantee(b *testing.B) {
+	const steps = 24
+	run := func(b *testing.B, alo bool) {
+		b.ReportAllocs()
+		var delivered, lost, redelivered, spilled int64
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine(int64(9 + i))
+			mc := Franklin()
+			mc.Nodes = 8
+			mach := NewMachine(eng, mc)
+			sched, err := fault.NewSchedule(eng, fault.Config{
+				Seed: int64(9 + i),
+				Partitions: []fault.Partition{
+					{From: 5 * sim.Second, Until: 40 * sim.Second, Nodes: []int{2}},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mach.SetFaults(sched)
+			cfg := datatap.Config{HomeNode: 1, QueueCap: 4}
+			if alo {
+				cfg.Delivery.Mode = datatap.DeliveryAtLeastOnce
+			}
+			ch := datatap.NewChannel(eng, mach, "bench", cfg)
+			w := ch.NewWriter(2)
+			r := ch.NewReader(1)
+			eng.Go("writer", func(p *sim.Proc) {
+				for s := int64(1); s <= steps; s++ {
+					w.Write(p, s, 1<<20, nil)
+				}
+			})
+			var got int64
+			eng.Go("reader", func(p *sim.Proc) {
+				p.Sleep(2 * sim.Second)
+				for got < steps {
+					m, ok := r.FetchTimeout(p, 60*sim.Second)
+					if !ok {
+						break
+					}
+					got++
+					if alo {
+						r.Ack(p, m)
+					}
+					p.Sleep(sim.Second) // spread pulls across the partition window
+				}
+				ch.Close()
+			})
+			eng.Run()
+			delivered += got
+			lost += steps - got
+			d := ch.DeliverySnapshot()
+			redelivered += d.StepsRedelivered
+			spilled += d.StepsSpilled
+			if alo {
+				if got != steps {
+					b.Fatalf("at-least-once delivered %d of %d steps", got, steps)
+				}
+				if n := d.Unaccounted(); n != 0 {
+					b.Fatalf("at-least-once left %d steps unaccounted: %+v", n, d)
+				}
+			}
+		}
+		b.ReportMetric(float64(delivered)/float64(b.N), "steps-delivered/op")
+		b.ReportMetric(float64(lost)/float64(b.N), "steps-lost/op")
+		b.ReportMetric(float64(redelivered)/float64(b.N), "steps-redelivered/op")
+		b.ReportMetric(float64(spilled)/float64(b.N), "steps-spilled/op")
+	}
+	b.Run("best-effort", func(b *testing.B) { run(b, false) })
+	b.Run("at-least-once", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkAblationPlacement previews the paper's future-work question:

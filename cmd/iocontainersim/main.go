@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/datatap"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
@@ -181,6 +182,8 @@ func runAndReport(cfg core.Config) {
 		fmt.Printf("end-to-end latency: first=%.1fs last=%.1fs\n", e2e.Points[0].V, e2e.Last().V)
 	}
 
+	printDelivery(res)
+
 	if trig, ok := rt.Tracer().Triggered(); ok && flightPath != "" {
 		fmt.Printf("flight recorder: triggered (%s), dump in %s\n", trig, flightPath)
 	}
@@ -199,6 +202,31 @@ func runAndReport(cfg core.Config) {
 			fmt.Println("\nend-to-end latency:")
 			fmt.Print(metrics.Chart(e2e, metrics.ChartOptions{
 				YLabel: "end-to-end latency (s)", Markers: res.Recorder.Markers}))
+		}
+	}
+}
+
+// printDelivery summarizes each at-least-once channel's step ledger and
+// any knowingly-lost steps. Best-effort channels keep no ledger and are
+// skipped; a fully best-effort run prints nothing here.
+func printDelivery(res *core.Result) {
+	printed := false
+	for _, d := range res.Delivery {
+		if d.Mode != datatap.DeliveryAtLeastOnce {
+			continue
+		}
+		if !printed {
+			fmt.Println("delivery (at-least-once channels):")
+			printed = true
+		}
+		fmt.Printf("  %-8s written=%d acked=%d redelivered=%d spilled=%d drained=%d crash-lost=%d retained=%d unaccounted=%d\n",
+			d.Channel, d.StepsWritten, d.StepsAcked, d.StepsRedelivered,
+			d.StepsSpilled, d.StepsDrained, d.StepsCrashLost, d.Retained, d.Unaccounted())
+	}
+	if len(res.DeliveryLost) > 0 {
+		fmt.Printf("delivery losses (%d):\n", len(res.DeliveryLost))
+		for _, l := range res.DeliveryLost {
+			fmt.Printf("  %-8s step=%d reason=%s\n", l.Container, l.Step, l.Reason)
 		}
 	}
 }

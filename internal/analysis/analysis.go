@@ -6,9 +6,10 @@
 // bit-deterministic replay from a seed, nil-safe fault schedules, and the
 // crash-tolerance protocol's exhaustive dispatch.
 //
-// The four analyzers (see simtime.go, maprange.go, nilrecv.go, ctlmsg.go)
-// are run by cmd/iocheck over the whole module (`make lint`) and by the
-// repo-wide self-check test, so `go test ./...` enforces them too.
+// The analyzers (simtime, maprange, nilrecv, ctlmsg, the CFG-based
+// vtblock/epochset/nilflow/maprange-deep, and dropresult — one file per
+// rule) are run by cmd/iocheck over the whole module (`make lint`) and by
+// the repo-wide self-check test, so `go test ./...` enforces them too.
 //
 // Audited exceptions are suppressed — but stay visible — with a comment on
 // the flagged line or on the line directly above it:
@@ -74,10 +75,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Analyzers returns the full suite in a stable order: the four
-// syntactic rules from the original suite, then the four interprocedural
-// rules built on the CFG/call-graph layer.
+// syntactic rules from the original suite, the four interprocedural
+// rules built on the CFG/call-graph layer, then the delivery-contract
+// rule from the at-least-once data plane.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg, VTBlock, EpochSet, NilFlow, MapRangeDeep}
+	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg, VTBlock, EpochSet, NilFlow, MapRangeDeep, DropResult}
 }
 
 // Run executes the given analyzers over the packages and returns all

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DropResult flags statements that discard the boolean result of a
+// datatap Writer's Write or WriteTraced. That bool IS the delivery
+// contract: false means the transport refused the step — saturation or a
+// downed reader in best-effort mode, a writer-crash rejection in
+// at-least-once mode — and the step is gone unless the caller reacts.
+// PR 6's delivery oracle catches such losses at chaos-test time; this
+// rule catches the droppable call sites at lint time, before a schedule
+// ever has to expose them.
+//
+// The rule matches semantically, not by import path, so fixtures and
+// future packages are covered alike: a method named Write or WriteTraced
+// whose receiver's named type is Writer and whose only result is a bool.
+// io.Writer-style `Write([]byte) (int, error)` methods and same-named
+// methods on other types never match. Both bare call statements and
+// explicit blank-assigns (`_ = w.Write(...)`) are flagged — a deliberate
+// drop (e.g. a best-effort observer tap) must carry an //iocheck:allow
+// audit comment instead, so the decision stays visible.
+var DropResult = &Analyzer{
+	Name: "dropresult",
+	Doc:  "the boolean result of a datatap Writer.Write/WriteTraced must be checked; dropping it silently loses a step",
+	Run:  runDropResult,
+}
+
+func runDropResult(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 || !allBlank(st.Lhs) {
+					return true
+				}
+				call, _ = st.Rhs[0].(*ast.CallExpr)
+			}
+			if call == nil {
+				return true
+			}
+			if name := droppedWriteCall(pass, call); name != "" {
+				pass.Reportf(call.Pos(),
+					"result of Writer.%s dropped: false means the transport refused the step and it is lost unless handled",
+					name)
+			}
+			return true
+		})
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// droppedWriteCall reports the method name if call is a Writer.Write or
+// Writer.WriteTraced method call returning a single bool, else "".
+func droppedWriteCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return "" // package-qualified call or conversion, not a method
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || (fn.Name() != "Write" && fn.Name() != "WriteTraced") {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || sig.Recv() == nil {
+		return ""
+	}
+	if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Writer" {
+		return ""
+	}
+	return fn.Name()
+}

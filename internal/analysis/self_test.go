@@ -40,12 +40,13 @@ func TestModuleSelfCheck(t *testing.T) {
 	}
 }
 
-// TestSuiteIsComplete pins the suite roster: all eight rules — the four
-// syntactic ones and the four interprocedural ones built on the CFG and
-// call-graph layer — must be registered, in deterministic order.
+// TestSuiteIsComplete pins the suite roster: all nine rules — the four
+// syntactic ones, the four interprocedural ones built on the CFG and
+// call-graph layer, and the delivery-contract rule — must be registered,
+// in deterministic order.
 func TestSuiteIsComplete(t *testing.T) {
 	want := []string{"simtime", "maprange", "nilrecv", "ctlmsg",
-		"vtblock", "epochset", "nilflow", "maprange-deep"}
+		"vtblock", "epochset", "nilflow", "maprange-deep", "dropresult"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,47 @@
+// Package dropresult is a golden-file fixture for the dropresult
+// analyzer: only a Writer's single-bool Write/WriteTraced may trip the
+// rule, and only when the result is discarded.
+package dropresult
+
+// Writer mirrors the datatap writer shape: Write/WriteTraced return the
+// delivery bool that callers must not drop.
+type Writer struct{ full bool }
+
+func (w *Writer) Write(step int, size int64) bool { return !w.full }
+
+func (w *Writer) WriteTraced(step int, size int64, span string) bool { return !w.full }
+
+// Logger shares the method names but not the receiver type name;
+// dropping its results is out of scope.
+type Logger struct{}
+
+func (Logger) Write(msg string) bool { return true }
+
+// Sink has the io.Writer signature — multiple results, no lone bool.
+type Sink struct{}
+
+func (*Sink) Write(p []byte) (int, error) { return len(p), nil }
+
+func bad(w *Writer) {
+	w.Write(1, 64)               // want "result of Writer.Write dropped"
+	w.WriteTraced(2, 64, "span") // want "result of Writer.WriteTraced dropped"
+	_ = w.Write(3, 64)           // want "result of Writer.Write dropped"
+	_, _ = w.Write(4, 64), false // not a single dropped call; the tuple keeps it visible
+}
+
+func good(w *Writer, lg Logger, sk *Sink) {
+	if !w.Write(5, 64) {
+		w.full = true
+	}
+	ok := w.WriteTraced(6, 64, "span")
+	_ = ok // bound first, then deliberately unused — the binding is the handling site
+	lg.Write("other receiver type")
+	sk.Write(nil)
+	f := w.Write // method value: the caller of f owns the result
+	_ = f
+}
+
+func audited(w *Writer) {
+	//iocheck:allow dropresult fixture demonstrating an audited exception
+	w.Write(7, 64)
+}

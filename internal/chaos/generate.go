@@ -37,7 +37,13 @@ func horizonSec(base *scenario.File) int {
 // includes index 0 (the primary global manager's node) and index 1 (the
 // standby's) — plus an occasional simulation-partition node, so crashes
 // and partitions exercise the control plane's failover and fencing paths
-// as often as the data plane.
+// as often as the data plane. Simulation-node crashes are biased toward
+// node 0 (the producer's aggregation point, i.e. the writer node of the
+// first channel) so writer-node crashes mid-pull — the case at-least-once
+// delivery must tombstone, not lose — are a first-class target rather
+// than a 1-in-256 accident. Descriptor-push drop windows (dataDrops) are
+// their own fault class: they exercise the push-retry and spill paths
+// without touching the control plane.
 func Generate(seed int64, base *scenario.File, gc GenConfig) *scenario.Faults {
 	r := sim.NewRand(seed)
 	maxFaults := gc.MaxFaults
@@ -86,7 +92,15 @@ func Generate(seed int64, base *scenario.File, gc GenConfig) *scenario.Faults {
 		case pick < 25: // node crash
 			ref := stagingRef()
 			if r.Intn(100) < 20 {
-				ref = scenario.NodeRef{Node: r.Intn(simNodes)}
+				// A simulation-node crash: half the time the writer node
+				// (node 0, where the producer's output buffers live), so
+				// schedules routinely kill payloads out from under queued
+				// descriptors.
+				node := 0
+				if r.Intn(2) == 0 {
+					node = r.Intn(simNodes)
+				}
+				ref = scenario.NodeRef{Node: node}
 			}
 			key := ref.Node
 			if ref.StagingIndex != nil {
@@ -117,9 +131,14 @@ func Generate(seed int64, base *scenario.File, gc GenConfig) *scenario.Faults {
 				pf.Nodes = append(pf.Nodes, scenario.NodeRef{StagingIndex: &idx})
 			}
 			out.Partitions = append(out.Partitions, pf)
-		case pick < 85: // control-message drop window
+		case pick < 80: // control-message drop window
 			from, until := window(horizon / 2)
 			out.Drops = append(out.Drops, scenario.DropFault{
+				FromSec: float64(from), UntilSec: float64(until),
+				Prob: float64(5+5*r.Intn(10)) / 100})
+		case pick < 92: // descriptor-push drop window (data plane)
+			from, until := window(horizon / 2)
+			out.DataDrops = append(out.DataDrops, scenario.DropFault{
 				FromSec: float64(from), UntilSec: float64(until),
 				Prob: float64(5+5*r.Intn(10)) / 100})
 		default: // replica stall window

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/datatap"
 	"repro/internal/sim"
 	"repro/internal/txn"
 )
@@ -19,21 +20,76 @@ func DefaultOracles() []Oracle {
 		{Name: "convergence", Check: checkConvergence},
 		{Name: "heal-completeness", Check: checkHeal},
 		{Name: "trace-dag", Check: checkTraceDAG},
+		{Name: "delivery", Check: checkDelivery},
 	}
 }
 
-// checkConservation audits each channel's byte ledger: every byte
-// written must be pulled, invalidated, or still queued — never silently
-// lost, no matter which nodes crashed mid-transfer.
+// checkConservation audits each channel's byte ledger: every byte that
+// entered the channel (written or re-emitted by the repair loop) must be
+// pulled, invalidated, still queued, or resident in the spill store —
+// never silently lost, no matter which nodes crashed mid-transfer. The
+// redelivery and spill terms are zero in best-effort mode, so the
+// legacy invariant is the same equation.
 func checkConservation(info *RunInfo) []string {
 	var out []string
 	for _, ch := range info.RT.Channels() {
 		s := ch.Stats()
 		queued := ch.QueuedBytes()
-		if s.BytesWritten != s.BytesPulled+s.BytesInvalidated+queued {
+		spilled := ch.SpillResidentBytes()
+		if s.BytesWritten+s.BytesRedelivered != s.BytesPulled+s.BytesInvalidated+queued+spilled {
 			out = append(out, fmt.Sprintf(
-				"channel %s: written %d != pulled %d + invalidated %d + queued %d",
-				ch.Name(), s.BytesWritten, s.BytesPulled, s.BytesInvalidated, queued))
+				"channel %s: written %d + redelivered %d != pulled %d + invalidated %d + queued %d + spilled %d",
+				ch.Name(), s.BytesWritten, s.BytesRedelivered,
+				s.BytesPulled, s.BytesInvalidated, queued, spilled))
+		}
+	}
+	return out
+}
+
+// checkDelivery audits the no-step-lost guarantee on runs that opted
+// into an explicit delivery contract (a scenario "delivery" section):
+//
+//   - No container may report an unexplained delivery loss (a refused
+//     output write on a live channel) in either mode — best-effort runs
+//     that lose steps do so silently at the transport, not the stage.
+//   - In at-least-once mode every written step must be acked, resident
+//     in the spill store, retained for redelivery, still queued, or
+//     covered by an explicit crash tombstone — the per-channel step
+//     ledger must balance — and no write may be silently rejected.
+//   - In explicit best-effort mode the oracle reports the losses the
+//     transport DOES allow (rejected writes, live-writer invalidations),
+//     which is how checked-in reproducers demonstrate a loss that
+//     flipping the scenario to at-least-once clears.
+//
+// Runs without a delivery section (the legacy chaos corpus) are skipped:
+// they never promised anything about step delivery.
+func checkDelivery(info *RunInfo) []string {
+	if info.File.Delivery == nil {
+		return nil
+	}
+	var out []string
+	for _, l := range info.Res.DeliveryLost {
+		out = append(out, fmt.Sprintf(
+			"container %s lost step %d (%s)", l.Container, l.Step, l.Reason))
+	}
+	alo := info.File.Delivery.Mode == "at-least-once"
+	for _, d := range info.Res.Delivery {
+		if d.Mode == datatap.DeliveryAtLeastOnce {
+			if n := d.Unaccounted(); n != 0 {
+				out = append(out, fmt.Sprintf(
+					"channel %s: %d step(s) unaccounted (written %d, acked %d, crash-lost %d, spilled %d, retained %d)",
+					d.Channel, n, d.StepsWritten, d.StepsAcked,
+					d.StepsCrashLost, d.SpillResident, d.Retained))
+			}
+			if d.WriteRejected > 0 {
+				out = append(out, fmt.Sprintf(
+					"channel %s: %d write(s) silently rejected in at-least-once mode",
+					d.Channel, d.WriteRejected))
+			}
+		} else if !alo && (d.WriteRejected > 0 || d.InvalidatedLive > 0) {
+			out = append(out, fmt.Sprintf(
+				"channel %s: best-effort transport lost data (%d rejected write(s), %d live invalidation(s))",
+				d.Channel, d.WriteRejected, d.InvalidatedLive))
 		}
 	}
 	return out
@@ -133,7 +189,8 @@ func checkConvergence(info *RunInfo) []string {
 	}
 	f := info.File.Faults
 	faultFree := f == nil || (len(f.Crashes) == 0 && len(f.Links) == 0 &&
-		len(f.Partitions) == 0 && len(f.Drops) == 0 && len(f.Stalls) == 0)
+		len(f.Partitions) == 0 && len(f.Drops) == 0 && len(f.DataDrops) == 0 &&
+		len(f.Stalls) == 0)
 	if faultFree {
 		if !info.Res.ProducerFinished {
 			out = append(out, "fault-free run did not finish the producer")

@@ -9,8 +9,9 @@ import (
 
 // TestRegressionsReplay replays every shrunk schedule iochaos has checked
 // in. Each file is a minimal reproducer: run as written it must still
-// violate the oracle it was filed under, and — because every reproducer
-// so far needs legacy mode — flipping fencing back on must clear it.
+// violate the oracle it was filed under, and flipping the mechanism it is
+// gated on — fencing for the split-brain reproducers, at-least-once
+// delivery for the step-loss reproducers — must clear it.
 func TestRegressionsReplay(t *testing.T) {
 	files, err := filepath.Glob("../../scenarios/regressions/*.json")
 	if err != nil {
@@ -34,13 +35,21 @@ func TestRegressionsReplay(t *testing.T) {
 				t.Fatalf("no longer violates %q: reproducer has rotted "+
 					"(or the bug it pins is back under a different shape)", oracle)
 			}
-			if !f.Policy.DisableFencing {
-				return // reproducer is not gated on legacy mode
+			if f.Policy.DisableFencing {
+				fixed := *f
+				fixed.Policy.DisableFencing = false
+				if Violates(&fixed, fixed.Faults, oracle, DefaultOracles()) {
+					t.Fatalf("still violates %q with fencing enabled: the fix regressed", oracle)
+				}
 			}
-			fixed := *f
-			fixed.Policy.DisableFencing = false
-			if Violates(&fixed, fixed.Faults, oracle, DefaultOracles()) {
-				t.Fatalf("still violates %q with fencing enabled: the fix regressed", oracle)
+			if oracle == "delivery" && f.Delivery != nil && f.Delivery.Mode != "at-least-once" {
+				fixed := *f
+				d := *f.Delivery
+				d.Mode = "at-least-once"
+				fixed.Delivery = &d
+				if Violates(&fixed, fixed.Faults, oracle, DefaultOracles()) {
+					t.Fatalf("still violates %q in at-least-once mode: redelivery regressed", oracle)
+				}
 			}
 		})
 	}

@@ -18,6 +18,7 @@ func cloneFaults(f *scenario.Faults) *scenario.Faults {
 	out.Links = append([]scenario.LinkFault(nil), f.Links...)
 	out.Partitions = append([]scenario.PartitionFault(nil), f.Partitions...)
 	out.Drops = append([]scenario.DropFault(nil), f.Drops...)
+	out.DataDrops = append([]scenario.DropFault(nil), f.DataDrops...)
 	out.Stalls = append([]scenario.StallFault(nil), f.Stalls...)
 	return out
 }
@@ -27,12 +28,13 @@ func FaultCount(f *scenario.Faults) int {
 	if f == nil {
 		return 0
 	}
-	return len(f.Crashes) + len(f.Links) + len(f.Partitions) + len(f.Drops) + len(f.Stalls)
+	return len(f.Crashes) + len(f.Links) + len(f.Partitions) +
+		len(f.Drops) + len(f.DataDrops) + len(f.Stalls)
 }
 
 // removeFault returns a copy of the schedule with flattened entry i
 // deleted. Entries are indexed crashes, then links, partitions, drops,
-// stalls.
+// data drops, stalls.
 func removeFault(f *scenario.Faults, i int) *scenario.Faults {
 	out := cloneFaults(f)
 	if out == nil {
@@ -65,6 +67,13 @@ func removeFault(f *scenario.Faults, i int) *scenario.Faults {
 		return out
 	default:
 		i -= len(out.Drops)
+	}
+	switch {
+	case i < len(out.DataDrops):
+		out.DataDrops = append(out.DataDrops[:i:i], out.DataDrops[i+1:]...)
+		return out
+	default:
+		i -= len(out.DataDrops)
 	}
 	out.Stalls = append(out.Stalls[:i:i], out.Stalls[i+1:]...)
 	return out

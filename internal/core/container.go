@@ -435,6 +435,11 @@ func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 		At:        p.Now(),
 	})
 	r.forward(p, m, pg, fi, sp.ID())
+	// Processing ack: under at-least-once delivery the upstream writer
+	// retains the payload until the step has been computed AND routed
+	// downstream; only then may it stop guarding against redelivery.
+	// (No-op in best-effort mode.)
+	r.reader.Ack(p, m)
 }
 
 // forward routes the processed step downstream: to the output channel
@@ -460,6 +465,7 @@ func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi 
 			out = &clone
 		}
 		if !tap.Full() {
+			//iocheck:allow dropresult observer taps drop on saturation by design; the primary output path below is the guarded one
 			w.WriteTraced(p, m.Step, outSize, out, parent)
 		}
 	}
@@ -489,7 +495,17 @@ func (r *replica) forward(p *sim.Proc, m *datatap.Meta, pg *bp.ProcessGroup, fi 
 			clone := *pg
 			out = &clone
 		}
-		r.writer.WriteTraced(p, m.Step, outSize, out, parent)
+		if !r.writer.WriteTraced(p, m.Step, outSize, out, parent) &&
+			!c.output.Closed() && r.node.Up() {
+			// A refused write on a live channel by a live replica is a real
+			// loss (a best-effort push failure); record it so the delivery
+			// oracle can hold the run to account. Writes refused by shutdown
+			// are not losses, and a write that failed because this replica's
+			// own node just died is crash accounting, not silent loss: in
+			// at-least-once mode the transport tombstones it, and the heal
+			// protocol owns the replica.
+			c.rt.noteDeliveryLoss(c.spec.Name, m.Step, "output-write")
+		}
 	default:
 		// Terminal stage: the step has left the pipeline.
 		c.rt.recordExit(p.Now(), fi)
@@ -527,4 +543,16 @@ func (c *Container) MonitoringTraffic() (captured, sent int64) {
 func (c *Container) notifyCrack(p *sim.Proc) {
 	c.toGM.Submit(p, &evpath.Event{Type: msgCrackDetected, Size: ctlMsgBytes,
 		Data: &CrackNotice{From: c.spec.Name, Step: c.stepsProcessed}})
+}
+
+// noteGap reports a detected input-sequence gap to the global manager,
+// which answers with a ResendReq round to the upstream container. It is
+// installed as the input channel's gap handler under at-least-once
+// delivery; the channel rate-limits invocations.
+func (c *Container) noteGap(p *sim.Proc, missing int64) {
+	if c.state == StateOffline || c.toGM == nil {
+		return
+	}
+	c.toGM.Submit(p, &evpath.Event{Type: msgGap, Size: ctlMsgBytes,
+		Data: &GapNotice{From: c.spec.Name, Channel: c.input.Name(), Missing: missing}})
 }

@@ -65,6 +65,8 @@ func reqEpoch(v any) (int64, bool) {
 		return r.Epoch, true
 	case *AddTapReq:
 		return r.Epoch, true
+	case *ResendReq:
+		return r.Epoch, true
 	case *RehomeReq:
 		return r.Epoch, true
 	}
@@ -90,6 +92,8 @@ func stampReqEpoch(v any, epoch int64) {
 		r.Epoch = epoch
 	case *AddTapReq:
 		r.Epoch = epoch
+	case *ResendReq:
+		r.Epoch = epoch
 	case *RehomeReq:
 		r.Epoch = epoch
 	}
@@ -112,6 +116,8 @@ func stampRespEpoch(v any, epoch int64) {
 	case *ActivateResp:
 		r.Epoch = epoch
 	case *AddTapResp:
+		r.Epoch = epoch
+	case *ResendResp:
 		r.Epoch = epoch
 	case *RehomeResp:
 		r.Epoch = epoch

@@ -187,6 +187,12 @@ type GlobalManager struct {
 	// container — a monitoring sample, an upward notice, or an answered
 	// control round. The silence probe reads it.
 	lastHeard map[string]sim.Time
+	// resendRoute maps a consumer container's name to the upstream
+	// container feeding it; a GapNotice from the consumer turns into a
+	// ResendReq round to that upstream at the next policy tick.
+	resendRoute map[string]string
+	// pendingResend marks upstream containers owed a ResendReq round.
+	pendingResend map[string]bool
 	// dead is set when this manager's node crashes or KillGMAt fires; a
 	// dead manager abandons whatever it is doing, including mid-call.
 	dead bool
@@ -248,6 +254,8 @@ func newGlobalManager(rt *Runtime, node int, policy PolicyConfig, spare []*clust
 		overflowTicks: make(map[string]int),
 		suspect:       make(map[string]bool),
 		lastHeard:     make(map[string]sim.Time),
+		resendRoute:   make(map[string]string),
+		pendingResend: make(map[string]bool),
 	}
 	if policy.KillGMAt > 0 {
 		// Death is an engine event, not a loop-top check: the manager can
@@ -335,6 +343,9 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 		if gm.deposed {
 			continue // the loop top demotes to the passive pump
 		}
+		// Data-plane repair is not a policy decision: gap-triggered resends
+		// run even when management is disabled.
+		gm.issueResends(p)
 		if gm.policy.DisableManagement {
 			continue
 		}
@@ -363,6 +374,13 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 	case *CrackNotice:
 		gm.crackSeen = true
 		gm.lastHeard[data.From] = p.Now()
+	case *GapNotice:
+		gm.lastHeard[data.From] = p.Now()
+		if up, ok := gm.resendRoute[data.From]; ok {
+			// Defer the round to the tick: dispatch must not park, and a
+			// synchronous round does.
+			gm.pendingResend[up] = true
+		}
 	case *GMHeartbeat:
 		gm.lastPrimaryBeat = data.At
 		if data.Epoch > gm.peerEpoch {
@@ -608,6 +626,8 @@ func msgTypeFor(req any) string {
 		return msgActivate
 	case *AddTapReq:
 		return msgAddTap
+	case *ResendReq:
+		return msgResend
 	case *RehomeReq:
 		return msgRehome
 	}
@@ -631,6 +651,8 @@ func respSeq(v any) (int64, bool) {
 	case *ActivateResp:
 		return r.Seq, true
 	case *AddTapResp:
+		return r.Seq, true
+	case *ResendResp:
 		return r.Seq, true
 	case *RehomeResp:
 		return r.Seq, true
@@ -697,6 +719,40 @@ func (gm *GlobalManager) Query(p *sim.Proc, target string, max int) *QueryResp {
 		func(d any) bool { r, ok := d.(*QueryResp); return ok && r.Seq == gm.seq },
 	).(*QueryResp)
 	return resp
+}
+
+// Resend asks a container to immediately re-emit every retained output
+// step whose descriptor was lost in flight (the at-least-once data
+// plane's control leg, issued in response to a consumer's GapNotice).
+func (gm *GlobalManager) Resend(p *sim.Proc, target string) *ResendResp {
+	resp, _ := gm.call(p, target,
+		func(seq int64) any { return &ResendReq{Seq: seq} },
+		func(d any) bool { r, ok := d.(*ResendResp); return ok && r.Seq == gm.seq },
+	).(*ResendResp)
+	if resp != nil && resp.Redelivered > 0 {
+		gm.record(p, Action{T: p.Now(), Kind: "resend", Target: target,
+			N: resp.Redelivered, Detail: "gap-triggered redelivery"})
+	}
+	return resp
+}
+
+// issueResends serves the GapNotices accumulated since the last tick:
+// one ResendReq round per flagged upstream container, in sorted order for
+// determinism. Entries are cleared before calling so a notice arriving
+// during the round is not lost.
+func (gm *GlobalManager) issueResends(p *sim.Proc) {
+	if len(gm.pendingResend) == 0 {
+		return
+	}
+	names := make([]string, 0, len(gm.pendingResend))
+	for name := range gm.pendingResend {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		delete(gm.pendingResend, name)
+		gm.Resend(p, name)
+	}
 }
 
 // Activate toggles a container's consumption.

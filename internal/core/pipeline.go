@@ -42,6 +42,12 @@ type Config struct {
 	QueueCap int
 	// WriterBufBytes bounds each DataTap writer buffer (default 1 GiB).
 	WriterBufBytes int64
+	// Delivery selects the data plane's delivery guarantee for the stage
+	// channels (zero value = best-effort, today's semantics). The
+	// checkpoint channel always runs best-effort: checkpoints are
+	// periodic full-state dumps, so a lost one is superseded, not lost
+	// work.
+	Delivery datatap.DeliveryConfig
 	// Scale overrides the workload scale (default from SimNodes).
 	Scale lammps.Scale
 	// Policy tunes the global manager.
@@ -161,6 +167,7 @@ type Runtime struct {
 	dropped      int
 	firstErr     error
 	stepTrace    map[int64]map[string]sim.Time
+	deliveryLost []LostStep
 
 	// faults is the armed fault schedule (nil on fault-free runs).
 	faults *fault.Schedule
@@ -283,7 +290,8 @@ func Build(cfg Config) (*Runtime, error) {
 		home := nodesFor[consumer][0].ID
 		rt.channels[i] = datatap.NewChannel(rt.eng, rt.mach,
 			fmt.Sprintf("ch.%d.%s", i, consumer),
-			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes, HomeNode: home})
+			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes,
+				HomeNode: home, Delivery: cfg.Delivery})
 		rt.channels[i].SetTracer(rt.tracer)
 	}
 
@@ -333,6 +341,9 @@ func Build(cfg Config) (*Runtime, error) {
 			DiskOutput: true,
 			SLAPeriods: cfg.CheckpointEvery, // relaxed: due by the next checkpoint
 		}
+		// Deliberately best-effort (no Delivery config): a lost checkpoint
+		// is superseded by the next one, and retaining multi-GB checkpoint
+		// payloads for redelivery would defeat their drain-fast purpose.
 		rt.ckptChannel = datatap.NewChannel(rt.eng, rt.mach, "ch.ckpt",
 			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes,
 				HomeNode: ckptNodes[0].ID})
@@ -344,6 +355,24 @@ func Build(cfg Config) (*Runtime, error) {
 		rt.containers = append(rt.containers, c)
 		rt.byName[spec.Name] = c
 		rt.channels = append(rt.channels, rt.ckptChannel)
+	}
+	// At-least-once wiring: each consumer container reports input-sequence
+	// gaps upward, and the managers learn which upstream container to aim
+	// the answering ResendReq at. Channel 0 has no upstream *container*
+	// (the producer writes it directly), so no route is registered for its
+	// consumer — the channel-local repair loop is the recovery there.
+	for _, c := range rt.containers {
+		if c.input == nil {
+			continue
+		}
+		c := c
+		c.input.SetGapHandler(func(p *sim.Proc, missing int64) { c.noteGap(p, missing) })
+		if up := rt.upstreamOf(c); up != nil {
+			rt.gm.resendRoute[c.Name()] = up.Name()
+			if rt.standby != nil {
+				rt.standby.resendRoute[c.Name()] = up.Name()
+			}
+		}
 	}
 	for _, c := range rt.containers {
 		c.start()
@@ -528,6 +557,29 @@ func (rt *Runtime) onNodeCrash(id int) {
 // Faults returns the armed fault schedule (nil on fault-free runs).
 func (rt *Runtime) Faults() *fault.Schedule { return rt.faults }
 
+// LostStep records one step the data plane knowingly failed to deliver: a
+// refused write on a live channel. Shutdown-refused writes are not
+// recorded — they are drain truncation, not loss.
+type LostStep struct {
+	Container string
+	Step      int64
+	Reason    string
+}
+
+// maxLostSteps bounds the loss log; the count of further losses is all
+// the oracle needs, and the first entries are what a human debugs from.
+const maxLostSteps = 64
+
+// noteDeliveryLoss records a knowingly-lost step for the delivery oracle.
+func (rt *Runtime) noteDeliveryLoss(container string, step int64, reason string) {
+	if len(rt.deliveryLost) < maxLostSteps {
+		rt.deliveryLost = append(rt.deliveryLost,
+			LostStep{Container: container, Step: step, Reason: reason})
+	}
+	rt.tracer.Instant(0, "datatap", "step-lost").Container(container).Step(step).
+		Attr("reason", reason).End()
+}
+
 // fail records the first runtime error.
 func (rt *Runtime) fail(err error) {
 	if rt.firstErr == nil {
@@ -688,6 +740,12 @@ type Result struct {
 	// CrashVictims lists the replicas lost to node crashes (chaos
 	// heal-completeness oracle).
 	CrashVictims []CrashVictim
+	// Delivery snapshots each channel's step ledger at run end (chaos
+	// delivery oracle). Empty entries are omitted-mode channels' zeroes.
+	Delivery []datatap.DeliverySnapshot
+	// DeliveryLost lists steps the data plane knowingly failed to deliver
+	// (refused writes on live channels), bounded at maxLostSteps.
+	DeliveryLost []LostStep
 }
 
 func (rt *Runtime) result() *Result {
@@ -706,6 +764,10 @@ func (rt *Runtime) result() *Result {
 	}
 	res.StepTrace = rt.stepTrace
 	res.Suspects = rt.gm.Suspects()
+	for _, ch := range rt.channels {
+		res.Delivery = append(res.Delivery, ch.DeliverySnapshot())
+	}
+	res.DeliveryLost = append([]LostStep(nil), rt.deliveryLost...)
 	res.Rounds = append([]RoundRecord(nil), rt.rounds...)
 	res.Trades = append([]TradeRecord(nil), rt.trades...)
 	res.CrashVictims = append([]CrashVictim(nil), rt.crashVictims...)

@@ -21,8 +21,10 @@ const (
 	msgQuery         = "ctl.query"
 	msgActivate      = "ctl.activate"
 	msgAddTap        = "ctl.add_tap"
+	msgResend        = "ctl.resend"
 	msgResp          = "ctl.resp"
 	msgCrackDetected = "ctl.crack"
+	msgGap           = "ctl.gap"
 	// Replica-restart protocol (self-healing under fault injection).
 	msgSpare      = "ctl.spare"       // LM -> GM: request replacement nodes
 	msgSpareGrant = "ctl.spare_grant" // GM -> LM: granted nodes (may be empty)
@@ -139,10 +141,37 @@ type AddTapResp struct {
 	Epoch int64
 }
 
+// ResendReq asks a container to re-emit retained output steps whose
+// descriptors were lost in flight (the at-least-once data plane's control
+// leg). The serving container replays every lost-but-retained step onto
+// its output channel immediately, bypassing the channel's own redelivery
+// backoff.
+type ResendReq struct {
+	Seq   int64
+	Epoch int64
+}
+
+// ResendResp reports how many steps the container re-emitted.
+type ResendResp struct {
+	Seq         int64
+	Epoch       int64
+	Redelivered int
+}
+
 // CrackNotice informs the global manager of observed crack formation.
 type CrackNotice struct {
 	From string
 	Step int64
+}
+
+// GapNotice is a consumer container's report that its input channel
+// detected missing step sequences. Like CrackNotice it is a pump message,
+// not a synchronous round: the global manager reacts by issuing a
+// ResendReq round to the upstream container at its next tick.
+type GapNotice struct {
+	From    string
+	Channel string
+	Missing int64
 }
 
 // SpareReq is the replica-restart protocol's first leg: a local manager
@@ -269,6 +298,12 @@ func (c *Container) managerLoop(p *sim.Proc) {
 		case *AddTapReq:
 			c.doAddTap(req.Ch)
 			resp = &AddTapResp{Seq: req.Seq}
+		case *ResendReq:
+			n := 0
+			if c.output != nil {
+				n = c.output.RedeliverLost(p)
+			}
+			resp = &ResendResp{Seq: req.Seq, Redelivered: n}
 		case *RehomeReq:
 			// Keep the previous upward bridge alive: it is the only path a
 			// FenceResp can take back to the manager it is deposing.
@@ -317,6 +352,8 @@ func reqSeq(v any) (int64, bool) {
 	case *ActivateReq:
 		return r.Seq, true
 	case *AddTapReq:
+		return r.Seq, true
+	case *ResendReq:
 		return r.Seq, true
 	case *RehomeReq:
 		return r.Seq, true

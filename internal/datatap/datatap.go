@@ -43,6 +43,13 @@ type Meta struct {
 	// write span that produced it, replaced by the pull span once fetched,
 	// so downstream spans chain to their true upstream cause.
 	Span trace.SpanID
+	// Seq is the writer-assigned step sequence (monotonic from 1 per
+	// writer; 0 = unsequenced, e.g. hand-built test descriptors). In
+	// at-least-once mode readers dedupe replays by (writer, Seq).
+	Seq int64
+	// writer is the producing endpoint, set so the at-least-once paths
+	// (ack, dedupe, redelivery) can reach the retained-step ledger.
+	writer *Writer
 	// release frees the writer-side buffer space once pulled.
 	release func()
 }
@@ -71,6 +78,42 @@ type Stats struct {
 	// (writer node crashed before the reader got to it) plus descriptors
 	// purged by InvalidateNode.
 	Invalidated int64
+	// InvalidatedLive counts failed pulls whose writer node was still
+	// alive (a partition, not a crash) — recoverable data that best-effort
+	// mode nonetheless loses.
+	InvalidatedLive int64
+	// WriteRejected counts writes that failed for a reason other than a
+	// closed channel (a lost descriptor push) — the silent-drop case
+	// at-least-once mode eliminates.
+	WriteRejected int64
+
+	// The remaining counters are live only in at-least-once mode.
+	//
+	// StepsAcked counts downstream processing acknowledgements;
+	// StepsCrashLost counts retained steps forfeited (tombstoned) because
+	// their payload died with its node; StepsDuplicate counts replayed
+	// descriptors filtered by the reader-side dedupe; Gaps counts missing
+	// sequences detected on writers' step streams; PushRetried counts
+	// descriptor-push retry attempts.
+	StepsAcked     int64
+	StepsCrashLost int64
+	BytesCrashLost int64
+	StepsDuplicate int64
+	Gaps           int64
+	PushRetried    int64
+	// StepsRedelivered / BytesRedelivered count re-emissions of
+	// previously-lost steps, into the queue or (on retry exhaustion) into
+	// the spill store. In the extended conservation invariant they join
+	// BytesWritten on the inflow side: BytesWritten + BytesRedelivered =
+	// BytesPulled + BytesInvalidated + QueuedBytes + SpillResidentBytes.
+	StepsRedelivered int64
+	BytesRedelivered int64
+	// StepsSpilled / BytesSpilled count payloads moved to the spill store
+	// (cumulative); StepsDrained / BytesDrained count reinjections.
+	StepsSpilled int64
+	BytesSpilled int64
+	StepsDrained int64
+	BytesDrained int64
 }
 
 // Config parameterizes a channel.
@@ -91,6 +134,9 @@ type Config struct {
 	// PullSpacing adds a minimum gap between pull starts (0 = none),
 	// smoothing bursts off the interconnect.
 	PullSpacing sim.Time
+	// Delivery selects the loss semantics (zero value = best-effort, the
+	// legacy at-most-once transport) and tunes the at-least-once paths.
+	Delivery DeliveryConfig
 }
 
 // descriptorBytes is the on-wire size of a metadata push.
@@ -115,10 +161,21 @@ type Channel struct {
 	pullTokens *sim.Resource
 	lastPullAt sim.Time
 	tracer     *trace.Recorder
+
+	// At-least-once state: the spill store, the repair process flag, the
+	// consumer gap callback (rate-limited by lastGapNote), and writers
+	// detached with steps still retained (kept so the ledger stays whole).
+	spill          *spillStore
+	repairOn       bool
+	onGap          func(p *sim.Proc, missing int64)
+	gapNoted       bool
+	lastGapNote    sim.Time
+	removedWriters []*Writer
 }
 
 // NewChannel creates a channel. mach may be nil for cost-free tests.
 func NewChannel(eng *sim.Engine, mach *cluster.Machine, name string, cfg Config) *Channel {
+	cfg.Delivery = cfg.Delivery.withDefaults()
 	c := &Channel{
 		name: name,
 		eng:  eng,
@@ -199,10 +256,24 @@ func (c *Channel) Requeue(m *Meta) bool {
 		// accounted as pulled — the caller drops it — so the pulled
 		// counters must NOT be rolled back, or the channel's byte
 		// accounting would claim the payload is still in flight.
+		// At-least-once recovers the step anyway: marked lost, it is
+		// re-emitted by the repair loop once the queue has room.
+		if c.alo() && m.writer != nil {
+			if e := m.writer.retained[m.Seq]; e != nil && e.state == retPulled {
+				c.markLost(e)
+			}
+		}
 		return false
 	}
 	c.stats.StepsPulled--
 	c.stats.BytesPulled -= m.Size
+	if c.alo() && m.writer != nil {
+		// The descriptor is claimable again; without this the next fetch
+		// would filter it as an in-flight duplicate.
+		if e := m.writer.retained[m.Seq]; e != nil && e.state == retPulled {
+			e.state = retStaged
+		}
+	}
 	return true
 }
 
@@ -237,6 +308,15 @@ type Writer struct {
 	nWrites   int64
 	nBlocked  sim.Time
 	pausedEvs int64
+
+	// At-least-once state: the monotonic step sequence, the retained
+	// (written-but-unacked) ledger, the applied-set dedupe watermark, and
+	// the reader-side next-expected sequence for gap detection.
+	nextSeq      int64
+	retained     map[int64]*retEntry
+	applied      map[int64]bool
+	appliedFloor int64
+	expect       int64
 }
 
 // NewWriter attaches a writer on the given node.
@@ -245,7 +325,7 @@ func (c *Channel) NewWriter(node int) *Writer {
 	if c.cfg.WriterBufBytes == 0 {
 		bufCap = 1 << 62
 	}
-	w := &Writer{ch: c, node: node, buf: sim.NewResource(c.eng, bufCap)}
+	w := &Writer{ch: c, node: node, buf: sim.NewResource(c.eng, bufCap), expect: 1}
 	c.writers = append(c.writers, w)
 	return w
 }
@@ -273,6 +353,9 @@ func (w *Writer) Write(p *sim.Proc, step int64, size int64, data any) bool {
 func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, parent trace.SpanID) bool {
 	if w.ch.closed {
 		return false
+	}
+	if w.ch.alo() {
+		return w.writeALO(p, step, size, data, parent)
 	}
 	sp := w.ch.tracer.Begin(parent, "datatap", "write").
 		Container(w.ch.name).Node(w.node).Step(step).AttrInt("bytes", size)
@@ -302,9 +385,11 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 	// (dead endpoint, partition) fails the write: the payload never becomes
 	// visible downstream.
 	if w.ch.mach != nil && w.node != w.ch.cfg.HomeNode {
-		if !w.ch.mach.Send(p, w.node, w.ch.cfg.HomeNode, descriptorBytes) {
+		if !w.ch.mach.Send(p, w.node, w.ch.cfg.HomeNode, descriptorBytes) ||
+			w.ch.mach.Faults().DropData() {
 			m.release()
 			w.finishWrite(start)
+			w.ch.stats.WriteRejected++
 			sp.Attr("fail", "push").End()
 			return false
 		}
@@ -369,7 +454,7 @@ func (r *Reader) Fetch(p *sim.Proc) (*Meta, bool) {
 		if !ok {
 			return nil, false
 		}
-		if r.pull(p, m) {
+		if r.pull(p, m) && r.admit(p, m) {
 			return m, true
 		}
 	}
@@ -385,7 +470,7 @@ func (r *Reader) FetchTimeout(p *sim.Proc, d sim.Time) (*Meta, bool) {
 		if !ok {
 			return nil, false
 		}
-		if r.pull(p, m) {
+		if r.pull(p, m) && r.admit(p, m) {
 			return m, true
 		}
 		if r.ch.eng.Now() >= deadline {
@@ -421,10 +506,27 @@ func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
 	if r.ch.pullTokens != nil {
 		r.ch.pullTokens.Release(1)
 	}
-	m.release()
+	// In at-least-once mode the writer retains the payload until the
+	// processing ack; in best-effort mode a pull (successful or not) is
+	// the last the writer hears of the step, so the buffer frees here.
+	if !r.ch.alo() {
+		m.release()
+	}
 	if !ok {
 		r.ch.stats.Invalidated++
 		r.ch.stats.BytesInvalidated += m.Size
+		if r.ch.mach != nil && r.ch.mach.Faults().NodeUp(m.SrcNode) {
+			r.ch.stats.InvalidatedLive++
+		}
+		if r.ch.alo() && m.writer != nil {
+			// The step is not gone: mark it lost so the repair loop (or a
+			// GM-driven resend) re-emits it, and surface the gap.
+			if e := m.writer.retained[m.Seq]; e != nil && e.state == retStaged {
+				r.ch.markLost(e)
+			}
+			r.ch.tracer.Trigger("gap:" + r.ch.name)
+			r.ch.noteGap(p, 1)
+		}
 		sp.Attr("fail", "invalidated").End()
 		return false
 	}
@@ -449,6 +551,22 @@ func (c *Channel) InvalidateNode(node int) int {
 	})
 	c.stats.Invalidated += int64(n)
 	c.stats.BytesInvalidated += bytes
+	if c.alo() {
+		// Retained payloads living on the crashed node are gone with it:
+		// tombstone them so the loss is explicit. Pulled steps survive
+		// (their data already crossed to a reader and will be acked), and
+		// spilled steps survive on stable storage.
+		for _, w := range c.writers {
+			if w.node == node {
+				w.forfeitAll("crash")
+			}
+		}
+		for _, w := range c.removedWriters {
+			if w.node == node {
+				w.forfeitAll("crash")
+			}
+		}
+	}
 	if n > 0 {
 		c.tracer.Instant(0, "datatap", "invalidate").
 			Container(c.name).Node(node).AttrInt("descriptors", int64(n)).End()
@@ -463,8 +581,17 @@ func (c *Channel) RemoveWriter(w *Writer) {
 	for i, x := range c.writers {
 		if x == w {
 			c.writers = append(c.writers[:i], c.writers[i+1:]...)
+			if c.alo() {
+				// Keep the endpoint reachable for the step ledger: its
+				// pulled steps still get acked, and a crash handler that
+				// runs after detachment can still tombstone the rest.
+				c.removedWriters = append(c.removedWriters, w)
+			}
 			break
 		}
+	}
+	if c.alo() && c.mach != nil && !c.mach.Faults().NodeUp(w.node) {
+		w.forfeitAll("removed")
 	}
 	w.buf.Grow(1 << 61)
 	if w.idle != nil {

@@ -49,6 +49,11 @@ type Config struct {
 	// Drops lists windows during which control/overlay messages are
 	// dropped with the given probability.
 	Drops []DropWindow
+	// DataDrops lists windows during which data-plane descriptor pushes
+	// (DataTap metadata messages) are dropped with the given probability.
+	// The transfer itself is charged; the descriptor simply never arrives,
+	// so the consumer side has no idea the step exists.
+	DataDrops []DropWindow
 	// Stalls lists windows during which a node is frozen: resident
 	// processes make no progress but are not dead.
 	Stalls []Stall
@@ -108,6 +113,11 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("fault: drop probability %v outside [0,1]", d.Prob)
 		}
 	}
+	for _, d := range c.DataDrops {
+		if d.Prob < 0 || d.Prob > 1 {
+			return fmt.Errorf("fault: data-drop probability %v outside [0,1]", d.Prob)
+		}
+	}
 	return nil
 }
 
@@ -117,13 +127,15 @@ func (c *Config) Empty() bool {
 		return true
 	}
 	return len(c.Crashes) == 0 && len(c.Links) == 0 &&
-		len(c.Partitions) == 0 && len(c.Drops) == 0 && len(c.Stalls) == 0
+		len(c.Partitions) == 0 && len(c.Drops) == 0 &&
+		len(c.DataDrops) == 0 && len(c.Stalls) == 0
 }
 
 // Stats counts fault activity for experiment reporting.
 type Stats struct {
 	CrashesFired int
 	CtlDropped   int64
+	DataDropped  int64
 	SendsFailed  int64
 }
 
@@ -136,6 +148,7 @@ type Schedule struct {
 	eng     *sim.Engine
 	cfg     Config
 	rng     *sim.Rand
+	rngData *sim.Rand // separate stream so data drops never perturb ctl drops
 	down    map[int]bool
 	onCrash []func(node int)
 	stats   Stats
@@ -153,10 +166,11 @@ func NewSchedule(eng *sim.Engine, cfg Config) (*Schedule, error) {
 		seed = 0x10fa17 // arbitrary fixed default; determinism is what matters
 	}
 	s := &Schedule{
-		eng:  eng,
-		cfg:  cfg,
-		rng:  sim.NewRand(seed),
-		down: make(map[int]bool),
+		eng:     eng,
+		cfg:     cfg,
+		rng:     sim.NewRand(seed),
+		rngData: sim.NewRand(seed ^ 0x7ab1e),
+		down:    make(map[int]bool),
 	}
 	for _, cr := range cfg.Crashes {
 		cr := cr
@@ -281,6 +295,27 @@ func (s *Schedule) DropCtl() bool {
 		if now >= d.From && now < d.Until && d.Prob > 0 {
 			if s.rng.Float64() < d.Prob {
 				s.stats.CtlDropped++
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// DropData decides whether one data-plane descriptor push is dropped now.
+// Like DropCtl it consumes randomness (its own stream) only while a window
+// is active, so schedules without data-drop windows are bit-identical to
+// no-fault runs.
+func (s *Schedule) DropData() bool {
+	if s == nil || len(s.cfg.DataDrops) == 0 {
+		return false
+	}
+	now := s.eng.Now()
+	for _, d := range s.cfg.DataDrops {
+		if now >= d.From && now < d.Until && d.Prob > 0 {
+			if s.rngData.Float64() < d.Prob {
+				s.stats.DataDropped++
 				return true
 			}
 			return false

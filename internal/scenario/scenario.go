@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/datatap"
 	"repro/internal/fault"
 	"repro/internal/lammps"
 	"repro/internal/sim"
@@ -57,6 +58,9 @@ type File struct {
 	// Stages describes the pipeline (empty = the paper's default
 	// four-stage SmartPointer pipeline with DefaultSizes).
 	Stages []Stage `json:"stages"`
+	// Delivery selects the data plane's delivery guarantee and tunes its
+	// retry/spill machinery (nil = best-effort, the legacy semantics).
+	Delivery *Delivery `json:"delivery,omitempty"`
 	// Faults schedules deterministic fault injection (nil = none).
 	Faults *Faults `json:"faults"`
 	// Chaos marks a chaos-search artifact (a shrunk regression emitted by
@@ -77,6 +81,76 @@ type ChaosMeta struct {
 	Note string `json:"note,omitempty"`
 }
 
+// Delivery is the JSON form of datatap.DeliveryConfig. All knobs are
+// optional; zeroes take the package defaults.
+type Delivery struct {
+	// Mode is "best-effort" or "at-least-once".
+	Mode string `json:"mode"`
+	// PushRetries/PushBackoffSec bound the descriptor-push retry loop.
+	PushRetries    int     `json:"pushRetries,omitempty"`
+	PushBackoffSec float64 `json:"pushBackoffSec,omitempty"`
+	// RedeliverDelaySec/RedeliverRetries tune the lost-step repair loop.
+	RedeliverDelaySec float64 `json:"redeliverDelaySec,omitempty"`
+	RedeliverRetries  int     `json:"redeliverRetries,omitempty"`
+	// SpillQueueFrac is the metadata-queue fill fraction that triggers
+	// spill-to-disk (0 = default 0.9; must be within (0,1]).
+	SpillQueueFrac float64 `json:"spillQueueFrac,omitempty"`
+	// RetainCap bounds the retained-unacked set per writer (0 = unbounded).
+	RetainCap int `json:"retainCap,omitempty"`
+	// DrainIntervalSec/DrainBurst pace spill reinjection.
+	DrainIntervalSec float64 `json:"drainIntervalSec,omitempty"`
+	DrainBurst       int     `json:"drainBurst,omitempty"`
+}
+
+// toConfig validates the section and converts it to datatap units. Each
+// rejected field names its own JSON path, like the faults section.
+func (d *Delivery) toConfig() (datatap.DeliveryConfig, error) {
+	var dc datatap.DeliveryConfig
+	switch d.Mode {
+	case "", "best-effort":
+		dc.Mode = datatap.DeliveryBestEffort
+	case "at-least-once":
+		dc.Mode = datatap.DeliveryAtLeastOnce
+	default:
+		return dc, fmt.Errorf("scenario: field %q: unknown mode %q (want \"best-effort\" or \"at-least-once\")",
+			"delivery.mode", d.Mode)
+	}
+	if d.PushRetries < 0 {
+		return dc, fmt.Errorf("scenario: field %q: %d is negative", "delivery.pushRetries", d.PushRetries)
+	}
+	if d.PushBackoffSec < 0 {
+		return dc, fmt.Errorf("scenario: field %q: %g is negative", "delivery.pushBackoffSec", d.PushBackoffSec)
+	}
+	if d.RedeliverDelaySec < 0 {
+		return dc, fmt.Errorf("scenario: field %q: %g is negative", "delivery.redeliverDelaySec", d.RedeliverDelaySec)
+	}
+	if d.RedeliverRetries < 0 {
+		return dc, fmt.Errorf("scenario: field %q: %d is negative", "delivery.redeliverRetries", d.RedeliverRetries)
+	}
+	if d.SpillQueueFrac < 0 || d.SpillQueueFrac > 1 {
+		return dc, fmt.Errorf("scenario: field %q: %g outside [0,1]", "delivery.spillQueueFrac", d.SpillQueueFrac)
+	}
+	if d.RetainCap < 0 {
+		return dc, fmt.Errorf("scenario: field %q: %d is negative", "delivery.retainCap", d.RetainCap)
+	}
+	if d.DrainIntervalSec < 0 {
+		return dc, fmt.Errorf("scenario: field %q: %g is negative", "delivery.drainIntervalSec", d.DrainIntervalSec)
+	}
+	if d.DrainBurst < 0 {
+		return dc, fmt.Errorf("scenario: field %q: %d is negative", "delivery.drainBurst", d.DrainBurst)
+	}
+	sec := func(s float64) sim.Time { return sim.Time(s * float64(sim.Second)) }
+	dc.PushRetries = d.PushRetries
+	dc.PushBackoff = sec(d.PushBackoffSec)
+	dc.RedeliverDelay = sec(d.RedeliverDelaySec)
+	dc.RedeliverRetries = d.RedeliverRetries
+	dc.SpillQueueFrac = d.SpillQueueFrac
+	dc.RetainCap = d.RetainCap
+	dc.DrainInterval = sec(d.DrainIntervalSec)
+	dc.DrainBurst = d.DrainBurst
+	return dc, nil
+}
+
 // Faults is the JSON fault schedule. Node references are either absolute
 // machine IDs ("node") or staging-area indexes ("stagingIndex", resolved
 // to simNodes+index so scenarios stay valid when the machine split
@@ -88,6 +162,7 @@ type Faults struct {
 	Links      []LinkFault      `json:"links,omitempty"`
 	Partitions []PartitionFault `json:"partitions,omitempty"`
 	Drops      []DropFault      `json:"drops,omitempty"`
+	DataDrops  []DropFault      `json:"dataDrops,omitempty"`
 	Stalls     []StallFault     `json:"stalls,omitempty"`
 }
 
@@ -179,6 +254,14 @@ func (f *Faults) toConfig(simNodes int) (*fault.Config, error) {
 				fmt.Sprintf("faults.drops[%d].prob", i), d.Prob)
 		}
 		fc.Drops = append(fc.Drops, fault.DropWindow{
+			From: sec(d.FromSec), Until: sec(d.UntilSec), Prob: d.Prob})
+	}
+	for i, d := range f.DataDrops {
+		if d.Prob < 0 || d.Prob > 1 {
+			return nil, fmt.Errorf("scenario: field %q: probability %g outside [0,1]",
+				fmt.Sprintf("faults.dataDrops[%d].prob", i), d.Prob)
+		}
+		fc.DataDrops = append(fc.DataDrops, fault.DropWindow{
 			From: sec(d.FromSec), Until: sec(d.UntilSec), Prob: d.Prob})
 	}
 	for i, s := range f.Stalls {
@@ -322,6 +405,13 @@ func (f *File) ToConfig() (core.Config, error) {
 				f.Policy.TradeVoteTimeoutSec * float64(sim.Second)),
 			DisableFencing: f.Policy.DisableFencing,
 		},
+	}
+	if f.Delivery != nil {
+		dc, err := f.Delivery.toConfig()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Delivery = dc
 	}
 	if f.Faults != nil {
 		fc, err := f.Faults.toConfig(f.SimNodes)
