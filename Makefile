@@ -20,11 +20,13 @@ fmt:
 		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # lint runs the in-repo invariant analyzers (cmd/iocheck): the syntactic
-# rules (simtime, maprange, nilrecv, ctlmsg) and the interprocedural ones
-# built on the CFG + call-graph layer (vtblock, epochset, nilflow,
-# maprange-deep). Zero-dependency; exits nonzero on any unsuppressed
-# finding OR if the audited //iocheck:allow count grows past the
-# checked-in lint-baseline.json ratchet.
+# rules (simtime, maprange, nilrecv, ctlmsg, dropresult) and the
+# interprocedural ones built on the CFG + call-graph layer (vtblock,
+# epochset, nilflow, maprange-deep) plus the perf layer (hotalloc,
+# hotbox: heat propagation + escape analysis over hot paths).
+# Zero-dependency; exits nonzero on any unsuppressed finding OR if the
+# audited //iocheck:allow count grows past the checked-in
+# lint-baseline.json ratchet.
 lint:
 	$(GO) run ./cmd/iocheck -baseline lint-baseline.json ./...
 
@@ -61,10 +63,13 @@ bench:
 	rm -f bench.out
 
 # bench-smoke proves every benchmark still runs and parses, without
-# touching the checked-in baseline (CI runs this).
+# touching the checked-in baseline (CI runs this). -assert-allocs guards
+# the harness itself: the ablation benchmarks emit ReportMetric columns
+# between ns/op and B/op, and a parser regression there once zeroed
+# every ablation's allocs/op in the baseline.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
-	$(GO) run ./cmd/benchjson < bench.out > /dev/null
+	$(GO) run ./cmd/benchjson -assert-allocs 'Ablation,Fig5,Fig10,IocheckHotalloc' < bench.out > /dev/null
 	rm -f bench.out
 
 # trace-smoke runs one traced fig7 scenario and fails unless the exported

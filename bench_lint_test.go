@@ -8,7 +8,7 @@ import (
 
 // BenchmarkIocheckModule is the wall-time budget for `iocheck ./...`: one
 // iteration loads and type-checks the whole module, builds the CFG and
-// CHA call-graph layer, and runs all eight analyzers. It rides in `make
+// CHA call-graph layer, and runs all eleven analyzers. It rides in `make
 // bench` so a regression in the whole-program analysis (an unbounded
 // summary fixpoint, a quadratic CFG walk) shows up in BENCH_baseline.json
 // next to the scenario benchmarks.
@@ -26,6 +26,30 @@ func BenchmarkIocheckModule(b *testing.B) {
 		diags := analysis.Run(pkgs, analysis.Analyzers())
 		if n := len(analysis.Unsuppressed(diags)); n != 0 {
 			b.Fatalf("module has %d unsuppressed findings", n)
+		}
+	}
+}
+
+// BenchmarkIocheckHotalloc budgets the perf layer alone: heat
+// propagation over the CHA call graph plus the escape fixpoint, run via
+// the hotalloc and hotbox rules over the whole module. Module loading
+// is paid inside the loop (the rules re-derive facts from a fresh load,
+// matching how `iocheck -rules hotalloc` runs), so this tracks the
+// end-to-end cost of a perf-only lint pass.
+func BenchmarkIocheckHotalloc(b *testing.B) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags := analysis.Run(pkgs, []*analysis.Analyzer{analysis.HotAlloc, analysis.HotBox})
+		if n := len(analysis.Unsuppressed(diags)); n != 0 {
+			b.Fatalf("module has %d unsuppressed perf findings", n)
 		}
 	}
 }

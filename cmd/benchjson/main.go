@@ -7,6 +7,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -21,15 +22,29 @@ type Entry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// benchLine matches e.g.
+// benchLine matches the leading, fixed part of a benchmark result line:
 //
-//	BenchmarkFig7Events256-8   1   45123456 ns/op   123456 B/op   1234 allocs/op
+//	BenchmarkFig7Events256-8   1   45123456 ns/op   ...
 //
-// The -8 GOMAXPROCS suffix is stripped so baselines compare across hosts.
+// The -8 GOMAXPROCS suffix is stripped so baselines compare across
+// hosts. B/op and allocs/op are extracted separately from the remainder
+// because b.ReportMetric custom metrics (steps-exited/op, halo-latency-ms,
+// ...) print *between* ns/op and B/op, so a single anchored regex with
+// optional trailing groups silently drops the allocation columns.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	bytesCol  = regexp.MustCompile(`(\d+) B/op`)
+	allocsCol = regexp.MustCompile(`(\d+) allocs/op`)
+)
 
 func main() {
+	assertAllocs := flag.String("assert-allocs", "",
+		"comma-separated benchmark-name substrings; each must match at "+
+			"least one benchmark reporting nonzero allocs/op, else exit 1")
+	flag.Parse()
+
 	out, failed, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -43,12 +58,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if bad := checkAllocs(out, *assertAllocs); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: no benchmark matching %q reported nonzero allocs/op "+
+				"(is the harness dropping the -benchmem columns?)\n",
+			strings.Join(bad, ", "))
+		os.Exit(1)
+	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	fmt.Println(string(enc))
+}
+
+// checkAllocs returns the -assert-allocs substrings not satisfied by any
+// parsed benchmark with nonzero allocs/op.
+func checkAllocs(out map[string]Entry, spec string) []string {
+	var bad []string
+	for _, want := range strings.Split(spec, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		ok := false
+		for name, e := range out {
+			if strings.Contains(name, want) && e.AllocsPerOp > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			bad = append(bad, want)
+		}
+	}
+	return bad
 }
 
 func parse(r *os.File) (map[string]Entry, bool, error) {
@@ -70,11 +115,12 @@ func parse(r *os.File) (map[string]Entry, bool, error) {
 			return nil, failed, fmt.Errorf("bad ns/op in %q: %v", line, err)
 		}
 		e := Entry{NsPerOp: ns}
-		if m[3] != "" {
-			e.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		rest := m[3]
+		if b := bytesCol.FindStringSubmatch(rest); b != nil {
+			e.BytesPerOp, _ = strconv.ParseInt(b[1], 10, 64)
 		}
-		if m[4] != "" {
-			e.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		if a := allocsCol.FindStringSubmatch(rest); a != nil {
+			e.AllocsPerOp, _ = strconv.ParseInt(a[1], 10, 64)
 		}
 		out[m[1]] = e
 	}

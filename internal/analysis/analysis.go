@@ -7,9 +7,10 @@
 // crash-tolerance protocol's exhaustive dispatch.
 //
 // The analyzers (simtime, maprange, nilrecv, ctlmsg, the CFG-based
-// vtblock/epochset/nilflow/maprange-deep, and dropresult — one file per
-// rule) are run by cmd/iocheck over the whole module (`make lint`) and by
-// the repo-wide self-check test, so `go test ./...` enforces them too.
+// vtblock/epochset/nilflow/maprange-deep, dropresult, and the
+// heat-propagated perf rules hotalloc/hotbox — one file per rule) are run
+// by cmd/iocheck over the whole module (`make lint`) and by the repo-wide
+// self-check test, so `go test ./...` enforces them too.
 //
 // Audited exceptions are suppressed — but stay visible — with a comment on
 // the flagged line or on the line directly above it:
@@ -76,10 +77,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in a stable order: the four
 // syntactic rules from the original suite, the four interprocedural
-// rules built on the CFG/call-graph layer, then the delivery-contract
-// rule from the at-least-once data plane.
+// rules built on the CFG/call-graph layer, the delivery-contract rule
+// from the at-least-once data plane, then the two heat-propagated perf
+// rules.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg, VTBlock, EpochSet, NilFlow, MapRangeDeep, DropResult}
+	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg, VTBlock, EpochSet, NilFlow, MapRangeDeep, DropResult, HotAlloc, HotBox}
 }
 
 // Run executes the given analyzers over the packages and returns all

@@ -36,6 +36,8 @@ type Program struct {
 	// nilsafe holds the type names carrying the `iocheck:nilsafe` doc
 	// marker, program-wide — their methods tolerate nil receivers.
 	nilsafe map[*types.TypeName]bool
+	// heatDone: the lazy heat propagation (heat.go) has run.
+	heatDone bool
 }
 
 // NilSafeType reports whether tn carries the iocheck:nilsafe marker.
@@ -94,6 +96,19 @@ type FuncNode struct {
 	// empty body — safe to call on a possibly-nil receiver.
 	NilGuarded bool
 
+	// Hot: the function runs on the per-event hot path (heat.go; valid
+	// after ensureHeat). hotVia is the hot caller that first reached it
+	// (nil for roots), forming the HotChain witness.
+	Hot    bool
+	hotVia *FuncNode
+
+	// Escape summaries (escape.go), receiver excluded like the other
+	// per-param summaries. ParamEscape[i]: ways argument i can leave the
+	// callee. ResultEscape[i]: ways result i escapes beyond being
+	// returned.
+	ParamEscape  []Escape
+	ResultEscape []Escape
+
 	// seeds, kept separate so fixpoint recomputation is idempotent
 	summariesInit   bool
 	seedBlocks      bool
@@ -109,6 +124,19 @@ type FuncNode struct {
 	// bound by a comma-ok assertion/map-read/channel-receive.
 	localNil   map[types.Object]bool
 	localCalls map[types.Object][]localSource
+
+	// escape-analysis working state (escape.go): per-local and per-
+	// expression escape bits, alloc→local bindings, and the recorded
+	// call-argument flows the fixpoint resolves against callee summaries.
+	localEsc  map[types.Object]Escape
+	exprEsc   map[ast.Expr]Escape
+	binds     map[ast.Expr]types.Object
+	escFlows  []escFlow
+	exprFlows []exprFlow
+
+	// cold-block cache (heat.go).
+	coldDone  bool
+	coldSpans coldSet
 }
 
 type returnExpr struct {
@@ -566,6 +594,8 @@ func (prog *Program) collect(n *FuncNode) {
 			}
 		}
 	}
+
+	n.seedEscapes(prog)
 }
 
 // recordAssignSources notes where locals get their values, for the
@@ -790,6 +820,8 @@ func (prog *Program) recompute(n *FuncNode) bool {
 		n.SinksEventData = make([]bool, len(n.seedSinks))
 		n.DerefsParam = make([]bool, len(n.seedDerefs))
 		n.NilableResult = make([]bool, len(n.seedNilable))
+		n.ParamEscape = make([]Escape, len(n.seedStamps))
+		n.ResultEscape = make([]Escape, len(n.seedNilable))
 	}
 	for i, v := range n.seedStamps {
 		set(&n.StampsEpoch[i], v)
@@ -867,6 +899,10 @@ func (prog *Program) recompute(n *FuncNode) bool {
 				}
 			}
 		}
+	}
+
+	if prog.recomputeEscapes(n) {
+		changed = true
 	}
 	return changed
 }

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Escape summaries: for each function, where can each parameter (and each
+// local, and each allocation expression) end up? The hotalloc rule uses
+// them to split findings into poolable (the value dies with the call — a
+// freelist or scratch buffer removes the allocation outright) and
+// genuinely retained (the value outlives the call via a struct, global,
+// channel, or return — pooling needs a lifecycle, or the finding needs an
+// audited allow).
+//
+// The lattice is a four-bit set, fixpointed round-robin like the
+// may-block summaries. Documented approximations, all conservative
+// toward "retained":
+//
+//   - Local-to-local aliasing (`y := x`) is not tracked; the alias's
+//     escapes attach to the alias, not the original.
+//   - Receiver flow is not tracked (summaries index parameters only,
+//     matching the other per-param summaries).
+//   - Arguments to unresolvable callees (stdlib, function values) are
+//     assumed retained.
+
+// Escape is a bitset of ways a value leaves its frame.
+type Escape uint8
+
+const (
+	// EscReturned: the value is returned to the caller.
+	EscReturned Escape = 1 << iota
+	// EscGlobal: the value is assigned to a package-level variable.
+	EscGlobal
+	// EscChan: the value is sent on a channel.
+	EscChan
+	// EscRetained: the value is stored into a struct field, slice, map,
+	// or pointer target, captured by a closure or method value, kept by
+	// append, or handed to a callee the graph cannot see into.
+	EscRetained
+)
+
+func (e Escape) String() string {
+	if e == 0 {
+		return "none"
+	}
+	var parts []string
+	if e&EscReturned != 0 {
+		parts = append(parts, "return")
+	}
+	if e&EscGlobal != 0 {
+		parts = append(parts, "global")
+	}
+	if e&EscChan != 0 {
+		parts = append(parts, "chan")
+	}
+	if e&EscRetained != 0 {
+		parts = append(parts, "retained")
+	}
+	return strings.Join(parts, "|")
+}
+
+// escFlow records "object obj is argument idx of a call to callees" —
+// resolved at seed time, consulted every fixpoint round so the callee's
+// (growing) ParamEscape flows back into the caller's local.
+type escFlow struct {
+	obj     types.Object
+	callees []*FuncNode
+	idx     int
+}
+
+// exprFlow is escFlow for a non-identifier argument (an allocation
+// passed inline, e.g. push(&event{…})).
+type exprFlow struct {
+	expr    ast.Expr
+	callees []*FuncNode
+	idx     int
+}
+
+// seedEscapes performs the intraprocedural escape walk: direct sinks
+// (send, return, global/field stores, composite elements, append,
+// captures) seed localEsc/exprEsc; call-argument flows are recorded for
+// the fixpoint. Called once from collect.
+func (n *FuncNode) seedEscapes(prog *Program) {
+	pkg := n.Pkg
+	info := pkg.Info
+	n.localEsc = make(map[types.Object]Escape)
+	n.exprEsc = make(map[ast.Expr]Escape)
+	n.binds = make(map[ast.Expr]types.Object)
+
+	classify := func(e ast.Expr, esc Escape) {
+		e = ast.Unparen(e)
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				n.localEsc[obj] |= esc
+			}
+			return
+		}
+		n.exprEsc[e] |= esc
+	}
+
+	// Pre-pass: selector expressions that are call targets are calls, not
+	// method-value captures.
+	callFuns := make(map[ast.Expr]bool)
+	walkOwnCode(pkg, n.Decl.Body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	fnStart, fnEnd := n.Decl.Pos(), n.Decl.End()
+	walkOwnCode(pkg, n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.SendStmt:
+			classify(node.Value, EscChan)
+		case *ast.ReturnStmt:
+			for _, r := range node.Results {
+				classify(r, EscReturned)
+			}
+		case *ast.AssignStmt:
+			n.seedAssignEscapes(classify, node)
+		case *ast.ValueSpec:
+			for i, name := range node.Names {
+				if i >= len(node.Values) || name.Name == "_" {
+					continue
+				}
+				if obj := info.Defs[name]; obj != nil {
+					n.binds[ast.Unparen(node.Values[i])] = obj
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				classify(v, EscRetained)
+			}
+		case *ast.CallExpr:
+			n.seedCallEscapes(prog, classify, node)
+		case *ast.FuncLit:
+			// Free-variable capture: any identifier declared in the
+			// enclosing function but outside the literal escapes into the
+			// closure.
+			ast.Inspect(node.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok || v.IsField() {
+					return true
+				}
+				p := v.Pos()
+				if p >= node.Pos() && p <= node.End() {
+					return true // the literal's own binding
+				}
+				if p < fnStart || p > fnEnd {
+					return true // package-level or foreign
+				}
+				n.localEsc[v] |= EscRetained
+				return true
+			})
+		case *ast.SelectorExpr:
+			// Method value (p.unpark used as a value): captures its
+			// receiver like a closure.
+			if callFuns[node] {
+				return true
+			}
+			if s, ok := info.Selections[node]; ok && s.Kind() == types.MethodVal {
+				classify(node.X, EscRetained)
+			}
+		}
+		return true
+	})
+}
+
+// seedAssignEscapes classifies one assignment's right-hand sides: stores
+// through selectors/indexes/derefs retain, package-level targets
+// globalize, and plain local bindings are recorded so an allocation
+// inherits its variable's fate.
+func (n *FuncNode) seedAssignEscapes(classify func(ast.Expr, Escape), as *ast.AssignStmt) {
+	info := n.Pkg.Info
+	if len(as.Lhs) != len(as.Rhs) {
+		return // tuple assignment from a call: no tracked value flow
+	}
+	for i := range as.Lhs {
+		rhs := ast.Unparen(as.Rhs[i])
+		switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			obj := info.Defs[lhs]
+			if obj == nil {
+				obj = info.Uses[lhs]
+			}
+			if obj == nil {
+				continue
+			}
+			if v, ok := obj.(*types.Var); ok && v.Parent() == n.Pkg.Types.Scope() {
+				classify(rhs, EscGlobal)
+				continue
+			}
+			n.binds[rhs] = obj
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			classify(rhs, EscRetained)
+		}
+	}
+}
+
+// seedCallEscapes records how call arguments flow: append retains its
+// appended values, builtins otherwise don't leak, unknown callees retain
+// everything, and resolvable callees defer to their ParamEscape summary
+// via the fixpoint.
+func (n *FuncNode) seedCallEscapes(prog *Program, classify func(ast.Expr, Escape), call *ast.CallExpr) {
+	info := n.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				for _, a := range call.Args[1:] {
+					classify(a, EscRetained)
+				}
+			}
+			return
+		}
+	}
+	callees := prog.Callees(n.Pkg, call)
+	if len(callees) == 0 {
+		for _, a := range call.Args {
+			classify(a, EscRetained)
+		}
+		return
+	}
+	for j, a := range call.Args {
+		a = ast.Unparen(a)
+		if id, ok := a.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				n.escFlows = append(n.escFlows, escFlow{obj: obj, callees: callees, idx: j})
+			}
+			continue
+		}
+		n.exprFlows = append(n.exprFlows, exprFlow{expr: a, callees: callees, idx: j})
+	}
+}
+
+// calleeParamEscape reads a callee's summary for argument position j,
+// folding variadic tails onto the last parameter.
+func calleeParamEscape(callee *FuncNode, j int) Escape {
+	pe := callee.ParamEscape
+	if len(pe) == 0 {
+		return 0
+	}
+	sig, _ := callee.Obj.Type().(*types.Signature)
+	if sig != nil && sig.Variadic() && j >= len(pe)-1 {
+		return pe[len(pe)-1]
+	}
+	if j < len(pe) {
+		return pe[j]
+	}
+	return 0
+}
+
+// recomputeEscapes is the per-round escape propagation step, called from
+// recompute. Returns whether anything grew (the bits are monotone).
+func (prog *Program) recomputeEscapes(n *FuncNode) bool {
+	changed := false
+	mergeObj := func(obj types.Object, bits Escape) {
+		if obj == nil || bits == 0 {
+			return
+		}
+		if n.localEsc[obj]&bits != bits {
+			n.localEsc[obj] |= bits
+			changed = true
+		}
+	}
+	mergeBits := func(dst *Escape, bits Escape) {
+		if *dst&bits != bits {
+			*dst |= bits
+			changed = true
+		}
+	}
+
+	// Arguments inherit the callees' parameter summaries.
+	for _, fl := range n.escFlows {
+		for _, callee := range fl.callees {
+			mergeObj(fl.obj, calleeParamEscape(callee, fl.idx))
+		}
+	}
+	for _, fl := range n.exprFlows {
+		for _, callee := range fl.callees {
+			bits := calleeParamEscape(callee, fl.idx)
+			if bits != 0 && n.exprEsc[fl.expr]&bits != bits {
+				n.exprEsc[fl.expr] |= bits
+				changed = true
+			}
+		}
+	}
+
+	// Parameters (and their assert/switch aliases) fold their locals'
+	// bits into the exported summary.
+	for obj, bits := range n.localEsc {
+		if i, ok := n.paramIndex[obj]; ok && i < len(n.ParamEscape) {
+			mergeBits(&n.ParamEscape[i], bits)
+		}
+	}
+
+	// Results: a returned local carries its escapes (minus the trivially
+	// true "returned"); `return f(…)` forwards f's result summary.
+	for _, row := range n.returnPositions {
+		if len(row) == 1 && row[0].call != nil && len(n.ResultEscape) >= 1 {
+			for _, callee := range prog.Callees(n.Pkg, row[0].call) {
+				for i := 0; i < len(n.ResultEscape) && i < len(callee.ResultEscape); i++ {
+					mergeBits(&n.ResultEscape[i], callee.ResultEscape[i])
+				}
+			}
+			continue
+		}
+		if len(row) != len(n.ResultEscape) {
+			continue
+		}
+		for i, re := range row {
+			if re.local != nil {
+				mergeBits(&n.ResultEscape[i], n.localEsc[re.local]&^EscReturned)
+			}
+			if re.call != nil {
+				for _, callee := range prog.Callees(n.Pkg, re.call) {
+					if len(callee.ResultEscape) == 1 {
+						mergeBits(&n.ResultEscape[i], callee.ResultEscape[0])
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// AllocEscape classifies where the value built by allocation expression e
+// (a composite literal, make, closure, concat, …) ends up: its own
+// direct sinks plus, when it initializes a local, that local's fate.
+// Zero means the value provably (within the approximations above) never
+// leaves the call — a pooling candidate.
+func (n *FuncNode) AllocEscape(e ast.Expr) Escape {
+	bits := n.exprEsc[e]
+	if obj, ok := n.binds[e]; ok {
+		bits |= n.localEsc[obj]
+	}
+	return bits
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func loadEscapeFixture(t *testing.T) (*Package, *Program) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "escape"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkg, NewProgram([]*Package{pkg})
+}
+
+// TestParamEscapes pins each lattice bit to the sink that produces it,
+// including the interprocedural case (wrapRetain merely forwards its
+// parameter; the EscRetained bit must arrive from retainParam's summary
+// through the fixpoint).
+func TestParamEscapes(t *testing.T) {
+	_, prog := loadEscapeFixture(t)
+	cases := []struct {
+		fn    string
+		param int
+		want  Escape
+	}{
+		{"retainParam", 1, EscRetained},      // struct-field store
+		{"retainParam", 0, 0},                // the box is only written through
+		{"sendParam", 1, EscChan},            // channel send
+		{"sendParam", 0, 0},                  // the channel itself stays put
+		{"globalParam", 0, EscGlobal},        // package-level assignment
+		{"returnParam", 0, EscReturned},      // returned to caller
+		{"captureParam", 0, EscRetained},     // closed over by a FuncLit
+		{"methodValueParam", 0, EscRetained}, // bound-method receiver capture
+		{"wrapRetain", 1, EscRetained},       // interprocedural, via retainParam
+		{"wrapRetain", 0, 0},                 // retainParam doesn't leak the box
+		{"pure", 0, 0},                       // read-only use
+	}
+	for _, c := range cases {
+		n := findNode(t, prog, c.fn)
+		if c.param >= len(n.ParamEscape) {
+			t.Fatalf("%s: no summary for param %d (len %d)", c.fn, c.param, len(n.ParamEscape))
+		}
+		if got := n.ParamEscape[c.param]; got != c.want {
+			t.Errorf("%s param %d: escape %v, want %v", c.fn, c.param, got, c.want)
+		}
+	}
+}
+
+// TestResultEscape: a returned local carries its other escapes into the
+// result summary (freshRetained's value is stored into the box before
+// being returned).
+func TestResultEscape(t *testing.T) {
+	_, prog := loadEscapeFixture(t)
+	n := findNode(t, prog, "freshRetained")
+	if len(n.ResultEscape) != 1 {
+		t.Fatalf("freshRetained: %d result summaries, want 1", len(n.ResultEscape))
+	}
+	if got := n.ResultEscape[0]; got&EscRetained == 0 {
+		t.Errorf("freshRetained result: escape %v, want the retained bit", got)
+	}
+}
+
+// TestAllocEscape: the composite literal in freshRetained inherits its
+// binding's fate — retained (struct store) and returned.
+func TestAllocEscape(t *testing.T) {
+	pkg, prog := loadEscapeFixture(t)
+	n := findNode(t, prog, "freshRetained")
+	var alloc ast.Expr
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.AND && alloc == nil {
+			alloc = u
+		}
+		return alloc == nil
+	})
+	if alloc == nil {
+		t.Fatalf("no &composite in freshRetained")
+	}
+	_ = pkg
+	got := n.AllocEscape(alloc)
+	if got&EscRetained == 0 || got&EscReturned == 0 {
+		t.Errorf("freshRetained alloc: escape %v, want retained|return", got)
+	}
+}
+
+// TestEscapeString covers the message rendering hotalloc embeds in its
+// findings.
+func TestEscapeString(t *testing.T) {
+	cases := []struct {
+		e    Escape
+		want string
+	}{
+		{0, "none"},
+		{EscReturned, "return"},
+		{EscGlobal | EscChan, "global|chan"},
+		{EscReturned | EscGlobal | EscChan | EscRetained, "return|global|chan|retained"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Escape(%d).String() = %q, want %q", c.e, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func loadHeatFixture(t *testing.T) (*Package, *Program) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "heat"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkg, NewProgram([]*Package{pkg})
+}
+
+// markPos locates the mark("label") call inside fnName.
+func markPos(t *testing.T, pkg *Package, fnName, label string) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	for _, f := range pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			if fd.Name.Name != fnName {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "mark" || len(call.Args) != 1 {
+					return true
+				}
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Value == `"`+label+`"` {
+					pos = call.Pos()
+				}
+				return true
+			})
+		}
+	}
+	if !pos.IsValid() {
+		t.Fatalf("no mark(%q) in %s", label, fnName)
+	}
+	return pos
+}
+
+// TestColdPruningEdgeCases walks the CFG shapes the pruner must get
+// right: error branches nested in select clause bodies, labeled
+// break/continue from failure paths, and panic blocks — without losing
+// the warm statements around them.
+func TestColdPruningEdgeCases(t *testing.T) {
+	pkg, prog := loadHeatFixture(t)
+	cases := []struct {
+		fn, label string
+		cold      bool
+	}{
+		{"selectCold", "warm recv", false},
+		{"selectCold", "cold err", true},
+		{"selectCold", "warm after err check", false},
+		{"selectCold", "warm done", false},
+
+		{"labeledCold", "warm inner", false},
+		{"labeledCold", "cold break", true},
+		{"labeledCold", "warm outer tail", false},
+		{"labeledCold", "warm end", false},
+
+		{"labeledContinueCold", "cold miss", true},
+		{"labeledContinueCold", "warm hit", false},
+
+		{"panicCold", "cold about to panic", true},
+		{"panicCold", "warm tail", false},
+	}
+	for _, c := range cases {
+		n := findNode(t, prog, c.fn)
+		cold := n.coldBlocks()
+		if got := cold.contains(markPos(t, pkg, c.fn, c.label)); got != c.cold {
+			t.Errorf("%s: mark(%q) cold = %v, want %v", c.fn, c.label, got, c.cold)
+		}
+	}
+}
+
+// TestHeatPropagation checks the fixpoint's seeds and stops: the marked
+// root heats its static callees transitively; calls in cold blocks,
+// //iocheck:cold functions (and everything only they call), and
+// cold-by-name-shape functions stay cold.
+func TestHeatPropagation(t *testing.T) {
+	_, prog := loadHeatFixture(t)
+	prog.ensureHeat()
+	cases := []struct {
+		fn  string
+		hot bool
+	}{
+		{"root", true},            // //iocheck:hot marker
+		{"helper", true},          // direct static call from a hot function
+		{"leaf", true},            // transitive
+		{"onError", false},        // only called from a cold block
+		{"slowPath", false},       // //iocheck:cold marker beats the call edge
+		{"slowLeaf", false},       // propagation stops at the cold marker
+		{"shutdownAll", false},    // cold name prefix
+		{"(stamp).String", false}, // cold name exact
+	}
+	for _, c := range cases {
+		if got := findNode(t, prog, c.fn).Hot; got != c.hot {
+			t.Errorf("%s: Hot = %v, want %v", c.fn, got, c.hot)
+		}
+	}
+	if got, want := findNode(t, prog, "leaf").HotChain(), "root → helper → leaf"; got != want {
+		t.Errorf("leaf witness chain = %q, want %q", got, want)
+	}
+}

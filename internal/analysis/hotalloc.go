@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags per-event heap allocations inside heat-propagated hot
+// functions (heat.go): composite literals, map/slice literals, `make`
+// with a non-constant size (and any map make — maps allocate regardless
+// of the size hint), `append` growth inside loops, `fmt.Sprintf` and
+// friends, and non-constant string concatenation. Every finding carries
+// the witness chain from a hot root and a poolable-vs-retained tag from
+// the escape summaries (escape.go), so the fix is legible from the
+// message: poolable values move to a freelist or scratch buffer;
+// retained values need a lifecycle or an audited allow.
+//
+// Allocations in cold blocks (error/panic handling, failed comma-ok
+// branches) are skipped — they run once per failure, not once per event.
+var HotAlloc = &Analyzer{
+	Name:    "hotalloc",
+	Doc:     "no per-event heap allocations (composites, non-constant make, append-in-loop, Sprintf, string concat) in heat-propagated hot functions",
+	Applies: internalPkg,
+	Run:     runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	pass.Prog.ensureHeat()
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			n := pass.Prog.Node(obj)
+			if n == nil || !n.Hot {
+				continue
+			}
+			checkHotAllocs(pass, n, fd, reported)
+		}
+	}
+}
+
+func checkHotAllocs(pass *Pass, n *FuncNode, fd *ast.FuncDecl, reported map[token.Pos]bool) {
+	info := pass.Pkg.Info
+	cold := n.coldBlocks()
+
+	// Loop bodies, for the append-growth check.
+	var loops coldSet
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, posSpan{m.Body.Pos(), m.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, posSpan{m.Body.Pos(), m.Body.End()})
+		}
+		return true
+	})
+
+	report := func(e ast.Expr, kind string) {
+		if reported[e.Pos()] {
+			return
+		}
+		reported[e.Pos()] = true
+		pass.Reportf(e.Pos(), "per-event allocation (%s) on hot path %s; %s",
+			kind, n.HotChain(), escTag(n.AllocEscape(e)))
+	}
+
+	// Nested composites inside an already-flagged &T{…} are one
+	// allocation, not two; concat subtrees likewise.
+	covered := make(map[ast.Node]bool)
+
+	walkOwnCode(pass.Pkg, fd.Body, func(node ast.Node) bool {
+		if node == nil {
+			return true
+		}
+		if cold.contains(node.Pos()) {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.UnaryExpr:
+			if node.Op != token.AND {
+				return true
+			}
+			if lit, ok := node.X.(*ast.CompositeLit); ok {
+				covered[lit] = true
+				report(node, "composite literal &"+compositeName(info, lit)+"{…}")
+			}
+		case *ast.CompositeLit:
+			if covered[node] {
+				return true
+			}
+			tv, ok := info.Types[node]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				report(node, "map literal")
+			case *types.Slice:
+				report(node, "slice literal")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, node, loops, report)
+		case *ast.BinaryExpr:
+			if node.Op != token.ADD || covered[node] {
+				return true
+			}
+			tv, ok := info.Types[node]
+			if !ok || tv.Type == nil || tv.Value != nil || !isStringType(tv.Type) {
+				return true
+			}
+			covered[node.X] = true
+			covered[node.Y] = true
+			report(node, "string concatenation")
+		}
+		return true
+	})
+}
+
+// checkHotCall flags the allocation-bearing call shapes: make, append in
+// a loop, and the fmt formatting family.
+func checkHotCall(pass *Pass, call *ast.CallExpr, loops coldSet, report func(ast.Expr, string)) {
+	info := pass.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		b, isBuiltin := info.Uses[id].(*types.Builtin)
+		if isBuiltin {
+			switch b.Name() {
+			case "make":
+				checkHotMake(pass, call, report)
+			case "append":
+				if loops.contains(call.Pos()) {
+					report(call, "append growth in a loop")
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isFmtCall(info, sel) {
+		switch sel.Sel.Name {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf":
+			report(call, "fmt."+sel.Sel.Name)
+		}
+	}
+}
+
+func checkHotMake(pass *Pass, call *ast.CallExpr, report func(ast.Expr, string)) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		// A map make allocates its header (and buckets) regardless of the
+		// size hint.
+		report(call, "make(map)")
+	case *types.Slice, *types.Chan:
+		for _, a := range call.Args[1:] {
+			if atv, ok := info.Types[a]; ok && atv.Value == nil {
+				report(call, "make with non-constant size")
+				return
+			}
+		}
+	}
+}
+
+// isFmtCall reports whether sel is a qualified call into package fmt.
+func isFmtCall(info *types.Info, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+// compositeName renders the type name of a composite literal for the
+// finding message.
+func compositeName(info *types.Info, lit *ast.CompositeLit) string {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return "?"
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// escTag turns an allocation's escape classification into the
+// actionable half of the finding message.
+func escTag(esc Escape) string {
+	if esc == 0 {
+		return "value does not escape — poolable"
+	}
+	return "value escapes (" + esc.String() + ") — needs a lifecycle to pool"
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

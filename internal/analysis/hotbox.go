@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotBox flags the hidden per-event allocations hotalloc's syntactic
+// shapes miss, inside the same heat-propagated hot set:
+//
+//   - interface boxing: a non-pointer-shaped concrete value passed where
+//     an interface parameter is expected allocates a copy on every call;
+//   - capturing closures: a function literal with free variables
+//     allocates its closure record each time the literal is evaluated —
+//     including literals handed to launchers and callback registrars,
+//     whose *bodies* run elsewhere but whose closure is built here
+//     (a capture-free literal is a static value and is fine);
+//   - method values: `p.unpark` used as a value allocates a bound-method
+//     closure per evaluation — hoist it to a field computed once.
+//
+// Constant arguments and the fmt formatting family are skipped (the
+// latter is hotalloc's finding); cold blocks are pruned as in hotalloc.
+var HotBox = &Analyzer{
+	Name:    "hotbox",
+	Doc:     "no per-event hidden allocations (interface boxing, capturing closures, method values) in heat-propagated hot functions",
+	Applies: internalPkg,
+	Run:     runHotBox,
+}
+
+func runHotBox(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	pass.Prog.ensureHeat()
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(f) {
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			n := pass.Prog.Node(obj)
+			if n == nil || !n.Hot {
+				continue
+			}
+			checkHotBoxes(pass, n, fd, reported)
+		}
+	}
+}
+
+func checkHotBoxes(pass *Pass, n *FuncNode, fd *ast.FuncDecl, reported map[token.Pos]bool) {
+	info := pass.Pkg.Info
+	cold := n.coldBlocks()
+
+	report := func(e ast.Expr, what string) {
+		if reported[e.Pos()] {
+			return
+		}
+		reported[e.Pos()] = true
+		pass.Reportf(e.Pos(), "per-event %s on hot path %s; %s",
+			what, n.HotChain(), escTag(n.AllocEscape(e)))
+	}
+
+	// Selector expressions used as call targets are calls, not
+	// method-value captures.
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		if node.Pos().IsValid() && cold.contains(node.Pos()) {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			if caps := captureCount(info, fd, node); caps > 0 {
+				report(node, fmt.Sprintf("closure (captures %d variable%s)",
+					caps, plural(caps)))
+			}
+		case *ast.CallExpr:
+			checkBoxingArgs(pass, node, report)
+		case *ast.SelectorExpr:
+			if callFuns[node] {
+				return true
+			}
+			if s, ok := info.Selections[node]; ok && s.Kind() == types.MethodVal {
+				report(node, "method value "+types.ExprString(node)+" (allocates a bound-method closure)")
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxingArgs flags concrete, non-pointer-shaped, non-constant
+// arguments passed to interface parameters.
+func checkBoxingArgs(pass *Pass, call *ast.CallExpr, report func(ast.Expr, string)) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; !ok || tv.Type == nil || tv.IsType() {
+		return // conversion or untyped (builtin)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isFmtCall(info, sel) {
+		return // hotalloc's finding
+	}
+	sig, ok := info.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for j, arg := range call.Args {
+		if call.Ellipsis.IsValid() && j == len(call.Args)-1 {
+			break // s... passes the slice through, no boxing
+		}
+		pt := paramTypeAt(sig, j)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || atv.Value != nil {
+			continue // unknown or constant (folded / staticinit'd)
+		}
+		if isNilIdent(info, arg) || pointerShaped(atv.Type) || types.IsInterface(atv.Type) {
+			continue
+		}
+		report(arg, "interface boxing of "+atv.Type.String())
+	}
+}
+
+// paramTypeAt resolves the parameter type for argument position j,
+// unfolding the variadic tail to its element type.
+func paramTypeAt(sig *types.Signature, j int) types.Type {
+	np := sig.Params().Len()
+	if sig.Variadic() && j >= np-1 {
+		if sl, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if j < np {
+		return sig.Params().At(j).Type()
+	}
+	return nil
+}
+
+// pointerShaped: storing the value in an interface copies a single
+// pointer word — no allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// captureCount counts the distinct variables of the enclosing function
+// that lit closes over.
+func captureCount(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) int {
+	seen := make(map[*types.Var]bool)
+	fnStart, fnEnd := fd.Pos(), fd.End()
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		p := v.Pos()
+		if p >= lit.Pos() && p <= lit.End() {
+			return true // the literal's own binding
+		}
+		if p < fnStart || p > fnEnd {
+			return true // package-level or foreign
+		}
+		seen[v] = true
+		return true
+	})
+	return len(seen)
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,0 +1,49 @@
+// Package escape is a unit-test fixture for the escape-summary
+// fixpoint: each function leaks (or keeps) its parameter exactly one
+// way, so the tests can pin individual lattice bits.
+package escape
+
+type item struct{ n int }
+
+type box struct{ kept *item }
+
+var global *item
+
+// retainParam stores its parameter in a struct field.
+func retainParam(b *box, it *item) { b.kept = it }
+
+// sendParam sends its parameter on a channel.
+func sendParam(ch chan *item, it *item) { ch <- it }
+
+// globalParam assigns its parameter to a package-level variable.
+func globalParam(it *item) { global = it }
+
+// returnParam returns its parameter.
+func returnParam(it *item) *item { return it }
+
+// captureParam closes over its parameter.
+func captureParam(it *item) func() int {
+	return func() int { return it.n }
+}
+
+func (it *item) bump() { it.n++ }
+
+// methodValueParam captures its parameter via a bound method value.
+func methodValueParam(it *item) func() {
+	return it.bump
+}
+
+// wrapRetain only forwards its parameter; the retention must arrive
+// interprocedurally from retainParam's summary.
+func wrapRetain(b *box, it *item) { retainParam(b, it) }
+
+// pure reads its parameter without leaking it.
+func pure(it *item) int { return it.n }
+
+// freshRetained allocates a value that is both retained and returned;
+// AllocEscape on the composite must carry both bits.
+func freshRetained(b *box) *item {
+	it := &item{}
+	b.kept = it
+	return it
+}

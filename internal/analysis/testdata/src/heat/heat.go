@@ -1,0 +1,100 @@
+// Package heat is a unit-test fixture for heat propagation and
+// cold-block pruning: select clauses, labeled break/continue, panic
+// blocks, and the marker/name-shape propagation stops.
+package heat
+
+func mark(s string) {}
+
+// selectCold: inside a select clause body, the error branch is cold
+// while the rest of the clause (and the join after it) stays warm.
+func selectCold(ch chan int, errs chan error) {
+	select {
+	case v := <-ch:
+		mark("warm recv")
+		_ = v
+	case err := <-errs:
+		if err != nil {
+			mark("cold err")
+		}
+		mark("warm after err check")
+	}
+	mark("warm done")
+}
+
+// labeledCold: a labeled break out of a nested loop on the error path is
+// cold; both loop bodies and the code after the loops stay warm.
+func labeledCold(rows [][]int, err error) {
+outer:
+	for _, row := range rows {
+		for range row {
+			if err != nil {
+				mark("cold break")
+				break outer
+			}
+			mark("warm inner")
+		}
+		mark("warm outer tail")
+	}
+	mark("warm end")
+}
+
+// labeledContinueCold: a labeled continue from a failed comma-ok test is
+// cold; the hit path stays warm.
+func labeledContinueCold(rows [][]int, m map[int]bool) {
+next:
+	for _, row := range rows {
+		for _, v := range row {
+			ok := m[v]
+			if !ok {
+				mark("cold miss")
+				continue next
+			}
+			mark("warm hit")
+		}
+	}
+}
+
+// panicCold: a block that panics is cold even though its entry edge is
+// an ordinary comparison; the fallthrough stays warm.
+func panicCold(n int) {
+	if n < 0 {
+		mark("cold about to panic")
+		panic("negative")
+	}
+	mark("warm tail")
+}
+
+// root seeds the propagation test: helper/leaf get heat, the cold-block
+// call, the marker-cold slow path, and the name-shape-cold callees don't.
+//
+//iocheck:hot
+func root(e error) {
+	helper()
+	if e != nil {
+		onError()
+	}
+	slowPath()
+	shutdownAll()
+	_ = stamp{}.String()
+}
+
+func helper() { leaf() }
+
+func leaf() {}
+
+// onError is only called from root's error branch.
+func onError() {}
+
+// slowPath opts out of heat by marker; the opt-out also stops
+// propagation into its callees.
+//
+//iocheck:cold
+func slowPath() { slowLeaf() }
+
+func slowLeaf() {}
+
+func shutdownAll() {}
+
+type stamp struct{}
+
+func (stamp) String() string { return "" }

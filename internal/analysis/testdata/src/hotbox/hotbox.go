@@ -1,0 +1,82 @@
+// Package hotbox is a golden-file fixture for the hotbox analyzer:
+// interface boxing, capturing closures, and method values inside
+// heat-propagated hot functions.
+package hotbox
+
+type sink interface{ accept(v any) }
+
+type conn struct{ vals []any }
+
+func (c *conn) accept(v any) { c.vals = append(c.vals, v) }
+
+type msg struct{ seq int64 }
+
+// box passes a concrete struct where an interface parameter is
+// expected: a copy is heap-allocated on every call.
+//
+//iocheck:hot
+func box(c *conn, m msg) {
+	c.accept(m) // want "interface boxing of"
+}
+
+// noBoxPointer: a pointer is stored in the interface word directly.
+//
+//iocheck:hot
+func noBoxPointer(c *conn, m *msg) {
+	c.accept(m)
+}
+
+// noBoxNil / noBoxConst: nil and constants are skipped.
+//
+//iocheck:hot
+func noBoxNil(c *conn) {
+	c.accept(nil)
+	c.accept(3)
+}
+
+type engine struct{ cbs []func() }
+
+func (e *engine) after(f func()) { e.cbs = append(e.cbs, f) }
+
+// arm allocates a closure record per call: the literal captures n.
+//
+//iocheck:hot
+func arm(e *engine, n *int) {
+	e.after(func() { *n++ }) // want "closure (captures 1 variable)"
+}
+
+// armStatic's literal captures nothing — a static value, no allocation.
+//
+//iocheck:hot
+func armStatic(e *engine) {
+	e.after(func() {})
+}
+
+type proc struct{ t int64 }
+
+func (p *proc) unpark() { p.t++ }
+
+// wake allocates a bound-method closure for p.unpark on every call.
+//
+//iocheck:hot
+func wake(e *engine, p *proc) {
+	e.after(p.unpark) // want "method value p.unpark"
+}
+
+// guarded exercises cold-pruning: the error branch's closure is
+// once-per-failure.
+//
+//iocheck:hot
+func guarded(e *engine, p *proc, err error) {
+	if err != nil {
+		e.after(p.unpark) // no finding: cold error branch
+	}
+}
+
+// timer is the audited suppression case.
+//
+//iocheck:hot
+func timer(e *engine, fired *bool) {
+	//iocheck:allow hotbox fixture: timer closures arm only on the blocking path, audited
+	e.after(func() { *fired = true })
+}

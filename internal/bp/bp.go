@@ -156,17 +156,37 @@ func (v *Var) validate() error {
 		}
 		n = len(d)
 	default:
-		return fmt.Errorf("bp: var %q has unsupported data %T", v.Name, v.Data)
+		return errUnsupportedData(v)
 	}
 	if n != v.Count() {
-		return fmt.Errorf("bp: var %q dims %v imply %d elements, data has %d",
-			v.Name, v.Dims, v.Count(), n)
+		return errDimsMismatch(v, n)
 	}
 	return nil
 }
 
+// Error constructors are outlined so fmt's allocations stay off the
+// per-step encode path; each runs once per malformed input, never per
+// well-formed step.
+
+//iocheck:cold
 func typeMismatch(v *Var, got string) error {
 	return fmt.Errorf("bp: var %q declared %v but data is []%s", v.Name, v.Type, got)
+}
+
+//iocheck:cold
+func errUnsupportedData(v *Var) error {
+	return fmt.Errorf("bp: var %q has unsupported data %T", v.Name, v.Data)
+}
+
+//iocheck:cold
+func errDimsMismatch(v *Var, n int) error {
+	return fmt.Errorf("bp: var %q dims %v imply %d elements, data has %d",
+		v.Name, v.Dims, v.Count(), n)
+}
+
+//iocheck:cold
+func errNegativeDim(v *Var) error {
+	return fmt.Errorf("bp: var %q has negative dim", v.Name)
 }
 
 // ProcessGroup is one appended output step.
@@ -278,31 +298,31 @@ func readU64(r io.Reader) (uint64, error) {
 
 // --- variable payload encoding ---
 
-func writeVarData(w io.Writer, v *Var) error {
+func writeVarData(w io.Writer, es *encodeState, v *Var) error {
 	switch d := v.Data.(type) {
 	case []float64:
-		buf := make([]byte, 8*len(d))
+		buf := es.grow(8 * len(d))
 		for i, x := range d {
 			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
 		}
 		_, err := w.Write(buf)
 		return err
 	case []float32:
-		buf := make([]byte, 4*len(d))
+		buf := es.grow(4 * len(d))
 		for i, x := range d {
 			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
 		}
 		_, err := w.Write(buf)
 		return err
 	case []int64:
-		buf := make([]byte, 8*len(d))
+		buf := es.grow(8 * len(d))
 		for i, x := range d {
 			binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
 		}
 		_, err := w.Write(buf)
 		return err
 	case []int32:
-		buf := make([]byte, 4*len(d))
+		buf := es.grow(4 * len(d))
 		for i, x := range d {
 			binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
 		}
@@ -312,7 +332,7 @@ func writeVarData(w io.Writer, v *Var) error {
 		_, err := w.Write(d)
 		return err
 	}
-	return fmt.Errorf("bp: unsupported data %T", v.Data)
+	return errUnsupportedData(v)
 }
 
 func readVarData(r io.Reader, t DType, count int) (any, error) {
@@ -355,16 +375,44 @@ func readVarData(r io.Reader, t DType, count int) (any, error) {
 	return nil, fmt.Errorf("bp: unknown dtype %d", t)
 }
 
-// encodePG serializes a process group body.
-func encodePG(pg *ProcessGroup) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := writeString(&buf, pg.Group); err != nil {
+// encodeState holds the scratch one encoder reuses across process
+// groups so the steady state of Append allocates nothing: the body
+// buffer, the payload byte-conversion scratch, and the sorted attr keys.
+type encodeState struct {
+	body    bytes.Buffer
+	scratch []byte
+	keys    []string
+}
+
+// grow returns an n-byte conversion buffer, reusing the scratch backing
+// when it is already wide enough.
+func (es *encodeState) grow(n int) []byte {
+	if cap(es.scratch) < n {
+		es.scratch = es.allocScratch(n)
+	}
+	return es.scratch[:n]
+}
+
+// allocScratch services a scratch miss; steady state reuses the widest
+// buffer seen so far.
+//
+//iocheck:cold
+func (es *encodeState) allocScratch(n int) []byte {
+	return make([]byte, n)
+}
+
+// encodePG serializes a process group body into es.body (valid until the
+// next call with the same state).
+func encodePG(es *encodeState, pg *ProcessGroup) ([]byte, error) {
+	buf := &es.body
+	buf.Reset()
+	if err := writeString(buf, pg.Group); err != nil {
 		return nil, err
 	}
-	if err := writeU64(&buf, uint64(pg.Timestep)); err != nil {
+	if err := writeU64(buf, uint64(pg.Timestep)); err != nil {
 		return nil, err
 	}
-	if err := writeUvarint(&buf, uint64(len(pg.Vars))); err != nil {
+	if err := writeUvarint(buf, uint64(len(pg.Vars))); err != nil {
 		return nil, err
 	}
 	for i := range pg.Vars {
@@ -372,33 +420,34 @@ func encodePG(pg *ProcessGroup) ([]byte, error) {
 		if err := v.validate(); err != nil {
 			return nil, err
 		}
-		if err := writeString(&buf, v.Name); err != nil {
+		if err := writeString(buf, v.Name); err != nil {
 			return nil, err
 		}
 		buf.WriteByte(byte(v.Type))
-		if err := writeUvarint(&buf, uint64(len(v.Dims))); err != nil {
+		if err := writeUvarint(buf, uint64(len(v.Dims))); err != nil {
 			return nil, err
 		}
 		for _, d := range v.Dims {
 			if d < 0 {
-				return nil, fmt.Errorf("bp: var %q has negative dim", v.Name)
+				return nil, errNegativeDim(v)
 			}
-			if err := writeUvarint(&buf, uint64(d)); err != nil {
+			if err := writeUvarint(buf, uint64(d)); err != nil {
 				return nil, err
 			}
 		}
-		if err := writeVarData(&buf, v); err != nil {
+		if err := writeVarData(buf, es, v); err != nil {
 			return nil, err
 		}
 	}
-	if err := writeUvarint(&buf, uint64(len(pg.Attrs))); err != nil {
+	if err := writeUvarint(buf, uint64(len(pg.Attrs))); err != nil {
 		return nil, err
 	}
-	for _, k := range sortedKeys(pg.Attrs) {
-		if err := writeString(&buf, k); err != nil {
+	es.keys = sortedKeysInto(es.keys[:0], pg.Attrs)
+	for _, k := range es.keys {
+		if err := writeString(buf, k); err != nil {
 			return nil, err
 		}
-		if err := writeString(&buf, pg.Attrs[k]); err != nil {
+		if err := writeString(buf, pg.Attrs[k]); err != nil {
 			return nil, err
 		}
 	}
@@ -480,11 +529,17 @@ func decodePG(r io.Reader) (*ProcessGroup, error) {
 	return pg, nil
 }
 
-func sortedKeys(m map[string]string) []string {
-	keys := make([]string, 0, len(m))
+// sortedKeysInto fills dst (reusing its capacity) with m's keys in
+// sorted order.
+func sortedKeysInto(dst []string, m map[string]string) []string {
 	for k := range m {
-		keys = append(keys, k)
+		//iocheck:allow hotalloc reuses the encoder's key scratch; grows only to the widest attr set seen
+		dst = append(dst, k)
 	}
-	sort.Strings(keys)
-	return keys
+	sort.Strings(dst)
+	return dst
+}
+
+func sortedKeys(m map[string]string) []string {
+	return sortedKeysInto(make([]string, 0, len(m)), m)
 }

@@ -14,6 +14,7 @@ type Writer struct {
 	index  []indexEntry
 	closed bool
 	err    error
+	es     encodeState // per-writer encode scratch, reused across Appends
 }
 
 // NewWriter starts a BP stream on w.
@@ -41,7 +42,7 @@ func (w *Writer) Append(pg *ProcessGroup) error {
 	if w.closed {
 		return errors.New("bp: append after close")
 	}
-	body, err := encodePG(pg)
+	body, err := encodePG(&w.es, pg)
 	if err != nil {
 		return w.fail(err)
 	}

@@ -425,6 +425,7 @@ func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 	c.lastService = st
 	c.stepsProcessed++
 	latency := p.Now() - m.Created
+	spID := sp.ID() // before End: spans recycle once ended
 	sp.End()
 	c.report(p, monitor.Sample{
 		Container: c.spec.Name,
@@ -434,7 +435,7 @@ func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 		QueueLen:  c.input.QueueLen(),
 		At:        p.Now(),
 	})
-	r.forward(p, m, pg, fi, sp.ID())
+	r.forward(p, m, pg, fi, spID)
 	// Processing ack: under at-least-once delivery the upstream writer
 	// retains the payload until the step has been computed AND routed
 	// downstream; only then may it stop guarding against redelivery.

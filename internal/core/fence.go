@@ -219,9 +219,9 @@ func (c *Container) ManagerNode() int { return c.mgrEV.Node() }
 // the stale manager can demote itself. The refusal travels the bridge
 // the round arrived on — after a rehome that is the *previous* upward
 // bridge, which still points at the stale manager's inbox.
-func (c *Container) fence(p *sim.Proc, seq, stale int64, attrs map[string]string) {
+func (c *Container) fence(p *sim.Proc, seq, stale int64, parent trace.SpanID) {
 	c.rt.tracer.Trigger("fence:" + c.spec.Name)
-	c.rt.tracer.Instant(trace.Ctx(attrs), "ctl", "fence").
+	c.rt.tracer.Instant(parent, "ctl", "fence").
 		Container(c.spec.Name).Node(c.mgrEV.Node()).
 		AttrInt("seq", seq).AttrInt("stale", stale).
 		AttrInt("fenced", c.fencedEpoch).End()

@@ -9,7 +9,6 @@ import (
 	"repro/internal/evpath"
 	"repro/internal/monitor"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -508,12 +507,12 @@ func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64
 			return nil
 		}
 		// Each attempt is its own round span; the container-side serve
-		// chains from it through the stamped event context.
+		// chains from it through the event's typed span context.
 		sp := gm.rt.tracer.Begin(0, "ctl", "round."+kind).
 			Container(target).Node(gm.node).
 			AttrInt("attempt", int64(attempt)).AttrInt("seq", gm.seq)
 		ev := &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req}
-		ev.Attrs = trace.Stamp(ev.Attrs, sp.ID())
+		ev.Span = sp.ID()
 		gm.rt.noteRound(RoundRecord{T: p.Now(), Epoch: gm.epoch, Seq: gm.seq,
 			Node: gm.node, Target: target, Kind: kind, Retry: attempt})
 		stone.Submit(p, ev)

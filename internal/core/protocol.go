@@ -9,7 +9,6 @@ import (
 	"repro/internal/evpath"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
-	"repro/internal/trace"
 )
 
 // Control message event types on the management overlay.
@@ -247,7 +246,7 @@ func (c *Container) managerLoop(p *sim.Proc) {
 				// A round from a deposed manager epoch. Refuse it — even a
 				// cached one: serving (or re-serving) it would let a stale
 				// primary keep mutating the pipeline after a failover.
-				c.fence(p, seq, e, ev.Attrs)
+				c.fence(p, seq, e, ev.Ctx())
 				continue
 			}
 			if e > c.fencedEpoch {
@@ -258,7 +257,7 @@ func (c *Container) managerLoop(p *sim.Proc) {
 			if cached, dup := served[seq]; dup {
 				// A retried round answered from the cache: visible in the
 				// trace as an instant chained to the retry's round span.
-				c.rt.tracer.Instant(trace.Ctx(ev.Attrs), "ctl", "dedupe").
+				c.rt.tracer.Instant(ev.Ctx(), "ctl", "dedupe").
 					Container(c.spec.Name).Node(c.mgrEV.Node()).
 					AttrInt("seq", seq).End()
 				c.reply(p, cached)
@@ -268,7 +267,7 @@ func (c *Container) managerLoop(p *sim.Proc) {
 				continue
 			}
 		}
-		sp := c.rt.tracer.Begin(trace.Ctx(ev.Attrs), "ctl",
+		sp := c.rt.tracer.Begin(ev.Ctx(), "ctl",
 			"serve."+strings.TrimPrefix(ev.Type, "ctl.")).
 			Container(c.spec.Name).Node(c.mgrEV.Node())
 		var resp any

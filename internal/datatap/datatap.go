@@ -48,10 +48,24 @@ type Meta struct {
 	// at-least-once mode readers dedupe replays by (writer, Seq).
 	Seq int64
 	// writer is the producing endpoint, set so the at-least-once paths
-	// (ack, dedupe, redelivery) can reach the retained-step ledger.
+	// (ack, dedupe, redelivery) can reach the retained-step ledger, and
+	// so releaseBuf can return buffer space without a per-write closure.
 	writer *Writer
-	// release frees the writer-side buffer space once pulled.
-	release func()
+	// released marks the writer-side buffer space as already returned
+	// (or never owned by this descriptor, e.g. the at-least-once ledger
+	// manages it instead).
+	released bool
+}
+
+// releaseBuf frees the writer-side buffer space backing this descriptor.
+// Idempotent; a no-op for descriptors without a writer (hand-built test
+// metas) or whose space is managed elsewhere.
+func (m *Meta) releaseBuf() {
+	if m.released || m.writer == nil {
+		return
+	}
+	m.released = true
+	m.writer.buf.Release(int(m.Size))
 }
 
 // Stats aggregates channel activity.
@@ -161,6 +175,10 @@ type Channel struct {
 	pullTokens *sim.Resource
 	lastPullAt sim.Time
 	tracer     *trace.Recorder
+	// overflowReason / gapReason are the flight-recorder trigger labels,
+	// precomputed so the hot write/fetch paths don't concatenate per event.
+	overflowReason string
+	gapReason      string
 
 	// At-least-once state: the spill store, the repair process flag, the
 	// consumer gap callback (rate-limited by lastGapNote), and writers
@@ -182,6 +200,9 @@ func NewChannel(eng *sim.Engine, mach *cluster.Machine, name string, cfg Config)
 		mach: mach,
 		cfg:  cfg,
 		meta: sim.NewQueue[*Meta](eng, cfg.QueueCap),
+
+		overflowReason: "overflow:" + name,
+		gapReason:      "gap:" + name,
 	}
 	if cfg.PullTokens > 0 {
 		c.pullTokens = sim.NewResource(eng, cfg.PullTokens)
@@ -248,7 +269,7 @@ func (c *Channel) Requeue(m *Meta) bool {
 	if c.closed {
 		return false
 	}
-	m.release = func() {}
+	m.released = true // buffer space went back when the step was pulled
 	c.tracer.Instant(m.Span, "datatap", "requeue").
 		Container(c.name).Step(m.Step).End()
 	if !c.meta.TryPut(m) {
@@ -325,7 +346,8 @@ func (c *Channel) NewWriter(node int) *Writer {
 	if c.cfg.WriterBufBytes == 0 {
 		bufCap = 1 << 62
 	}
-	w := &Writer{ch: c, node: node, buf: sim.NewResource(c.eng, bufCap), expect: 1}
+	w := &Writer{ch: c, node: node, buf: sim.NewResource(c.eng, bufCap), expect: 1,
+		retained: make(map[int64]*retEntry)}
 	c.writers = append(c.writers, w)
 	return w
 }
@@ -372,6 +394,7 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 	if w.ch.mach != nil {
 		w.ch.mach.Send(p, w.node, w.node, size)
 	}
+	//iocheck:allow hotalloc descriptors are retained in the metadata queue by design; the payload reference must outlive this call
 	m := &Meta{
 		Step:    step,
 		Size:    size,
@@ -379,15 +402,15 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 		Created: w.ch.eng.Now(),
 		Data:    data,
 		Span:    sp.ID(),
+		writer:  w,
 	}
-	m.release = func() { w.buf.Release(int(size)) }
 	// Push the descriptor to the queue's home node. A push lost to a fault
 	// (dead endpoint, partition) fails the write: the payload never becomes
 	// visible downstream.
 	if w.ch.mach != nil && w.node != w.ch.cfg.HomeNode {
 		if !w.ch.mach.Send(p, w.node, w.ch.cfg.HomeNode, descriptorBytes) ||
 			w.ch.mach.Faults().DropData() {
-			m.release()
+			m.releaseBuf()
 			w.finishWrite(start)
 			w.ch.stats.WriteRejected++
 			sp.Attr("fail", "push").End()
@@ -397,11 +420,11 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 	if w.ch.Full() {
 		// The paper's Fig. 9 condition: a full metadata queue is about to
 		// block the application. Preserve the lead-up in the flight ring.
-		w.ch.tracer.Trigger("overflow:" + w.ch.name)
+		w.ch.tracer.Trigger(w.ch.overflowReason)
 	}
 	ok := w.ch.meta.Put(p, m)
 	if !ok {
-		m.release()
+		m.releaseBuf()
 		w.finishWrite(start)
 		sp.Attr("fail", "closed").End()
 		return false
@@ -510,7 +533,7 @@ func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
 	// processing ack; in best-effort mode a pull (successful or not) is
 	// the last the writer hears of the step, so the buffer frees here.
 	if !r.ch.alo() {
-		m.release()
+		m.releaseBuf()
 	}
 	if !ok {
 		r.ch.stats.Invalidated++
@@ -524,7 +547,7 @@ func (r *Reader) pull(p *sim.Proc, m *Meta) bool {
 			if e := m.writer.retained[m.Seq]; e != nil && e.state == retStaged {
 				r.ch.markLost(e)
 			}
-			r.ch.tracer.Trigger("gap:" + r.ch.name)
+			r.ch.tracer.Trigger(r.ch.gapReason)
 			r.ch.noteGap(p, 1)
 		}
 		sp.Attr("fail", "invalidated").End()
@@ -545,7 +568,7 @@ func (c *Channel) InvalidateNode(node int) int {
 		if m.SrcNode != node {
 			return false
 		}
-		m.release()
+		m.releaseBuf()
 		bytes += m.Size
 		return true
 	})

@@ -189,16 +189,17 @@ func (c *Channel) noteGap(p *sim.Proc, missing int64) {
 
 // retain records m as written-but-unacked.
 func (w *Writer) retain(m *Meta, buffered bool) *retEntry {
-	if w.retained == nil {
-		w.retained = make(map[int64]*retEntry)
-	}
+	//iocheck:allow hotalloc ledger entries are retained until acked by design
 	e := &retEntry{m: m, buffered: buffered}
 	w.retained[m.Seq] = e
 	return e
 }
 
 // sortedRetained returns the retained sequences in ascending order,
-// filtered by state, so replay and forfeiture are deterministic.
+// filtered by state, so replay and forfeiture are deterministic. It runs
+// on repair ticks, resend rounds, and crash forfeiture — never per event.
+//
+//iocheck:cold
 func (w *Writer) sortedRetained(states ...retState) []int64 {
 	var seqs []int64
 	for seq, e := range w.retained {
@@ -318,6 +319,7 @@ func (w *Writer) writeALO(p *sim.Proc, step, size int64, data any, parent trace.
 	start := w.ch.eng.Now()
 	w.busy = true
 	w.nextSeq++
+	//iocheck:allow hotalloc descriptors are retained until acked by design; the ledger needs each one live
 	m := &Meta{
 		Step:    step,
 		Size:    size,
@@ -326,7 +328,9 @@ func (w *Writer) writeALO(p *sim.Proc, step, size int64, data any, parent trace.
 		Span:    sp.ID(),
 		Seq:     w.nextSeq,
 		writer:  w,
-		release: func() {},
+		// The retained-step ledger owns the buffer lifecycle; releaseBuf
+		// must never free it behind the ledger's back.
+		released: true,
 	}
 	spill := ""
 	switch {
@@ -417,7 +421,7 @@ func (r *Reader) admit(p *sim.Proc, m *Meta) bool {
 	if m.Seq > w.expect {
 		missing := m.Seq - w.expect
 		r.ch.stats.Gaps += missing
-		r.ch.tracer.Trigger("gap:" + r.ch.name)
+		r.ch.tracer.Trigger(r.ch.gapReason)
 		r.ch.noteGap(p, missing)
 	}
 	if m.Seq >= w.expect {
@@ -473,7 +477,10 @@ type spillStore struct {
 	err      error
 }
 
-// spillStoreFor lazily creates the channel's spill store.
+// spillStoreFor lazily creates the channel's spill store. Once-per-
+// channel initialization plus crash/pressure paths only.
+//
+//iocheck:cold
 func (c *Channel) spillStoreFor() *spillStore {
 	if c.spill == nil {
 		c.spill = &spillStore{}
@@ -482,7 +489,11 @@ func (c *Channel) spillStoreFor() *spillStore {
 	return c.spill
 }
 
-// record appends one provenance process group to the BP stream.
+// record appends one provenance process group to the BP stream. Runs
+// only when a step spills or is lost to a crash — pressure degradation,
+// not the per-event path.
+//
+//iocheck:cold
 func (s *spillStore) record(channel string, m *Meta, kind, reason string) {
 	if s.err != nil || s.bw == nil {
 		return
@@ -509,6 +520,10 @@ func (s *spillStore) tombstone(channel string, m *Meta, reason string) {
 // spillIn moves a retained step into the spill store: the write-buffer
 // reservation is released (the payload now lives on node-local storage),
 // a provenance record is appended, and the step joins the drain queue.
+// Spilling is the pressure-degradation path, deliberately off the
+// per-event allocation budget.
+//
+//iocheck:cold
 func (c *Channel) spillIn(p *sim.Proc, e *retEntry, reason string) {
 	w := e.m.writer
 	if w != nil {

@@ -2,7 +2,6 @@ package evpath
 
 import (
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // bridge carries events from one manager's node to a stone on another
@@ -58,7 +57,7 @@ func (b *bridge) run(p *sim.Proc) {
 			return
 		}
 		size := ev.Size + descriptorBytes
-		sp := b.owner.tracer.Begin(trace.Ctx(ev.Attrs), "evpath", "send").
+		sp := b.owner.tracer.Begin(ev.Ctx(), "evpath", "send").
 			Node(b.owner.node).Attr("type", ev.Type).
 			AttrInt("bytes", size).AttrInt("dst", int64(b.target.mgr.node))
 		if b.owner.machine != nil {
@@ -82,7 +81,7 @@ func (b *bridge) run(p *sim.Proc) {
 		// original submitter: hop-by-hop causality survives multi-bridge
 		// overlays.
 		if sp != nil {
-			ev.Attrs = trace.Stamp(ev.Attrs, sp.ID())
+			ev.Span = sp.ID()
 		}
 		sp.End()
 		b.target.handle(p, ev)
@@ -91,7 +90,7 @@ func (b *bridge) run(p *sim.Proc) {
 
 // dropInstant records an enqueue-side drop (no courier involved).
 func (b *bridge) dropInstant(ev *Event, why string) {
-	b.owner.tracer.Instant(trace.Ctx(ev.Attrs), "evpath", "drop").
+	b.owner.tracer.Instant(ev.Ctx(), "evpath", "drop").
 		Node(b.owner.node).Attr("type", ev.Type).Attr("why", why).End()
 }
 

@@ -31,14 +31,27 @@ type Event struct {
 	Size int64
 	// Data is the payload.
 	Data any
+	// Span is the causal trace context, carried as a typed field so hot
+	// control/monitoring rounds never materialize an attribute map.
+	Span trace.SpanID
 	// Attrs carries small key/value metadata (provenance, hop counts).
 	Attrs map[string]string
+}
+
+// Ctx returns the event's trace context: the typed Span field when set,
+// otherwise whatever a legacy attribute map carries (0 when neither).
+func (ev *Event) Ctx() trace.SpanID {
+	if ev.Span != 0 {
+		return ev.Span
+	}
+	return trace.Ctx(ev.Attrs)
 }
 
 // clone returns a shallow copy so split targets can annotate independently.
 func (ev *Event) clone() *Event {
 	c := *ev
 	if ev.Attrs != nil {
+		//iocheck:allow hotalloc only attr-carrying events pay the deep copy; hot control/monitoring events use the typed Span field and carry no attrs
 		c.Attrs = make(map[string]string, len(ev.Attrs))
 		for k, v := range ev.Attrs {
 			c.Attrs[k] = v
@@ -111,6 +124,11 @@ type Stone struct {
 	targets []*Stone
 	// bridge, when non-nil, forwards events to a stone on another node.
 	bridge *bridge
+	// emit is the action callback, built once so handle doesn't allocate
+	// a capturing closure per event; it appends into pending.
+	emit    func(*Event)
+	pending []*Event
+	spare   []*Event // recycled pending backing for reentrant handles
 }
 
 // ID returns the stone's identifier.
@@ -124,6 +142,7 @@ func (s *Stone) Manager() *Manager { return s.mgr }
 func (m *Manager) NewStone(action Action) *Stone {
 	m.nextID++
 	s := &Stone{id: m.nextID, mgr: m, action: action}
+	s.emit = func(out *Event) { s.pending = append(s.pending, out) }
 	m.stones[s.id] = s
 	return s
 }
@@ -172,15 +191,27 @@ func (s *Stone) handle(p *sim.Proc, ev *Event) {
 		if s.mgr.HandlerCost > 0 && p != nil {
 			p.Sleep(s.mgr.HandlerCost)
 		}
-		var outs []*Event
-		s.action.Handle(ev, func(out *Event) { outs = append(outs, out) })
+		// Collect emissions into the stone's reusable pending buffer.
+		// Save/restore makes this safe if a downstream handler re-enters
+		// this stone (a cycle routed back): the inner handle gets the
+		// spare backing while the outer one's batch stays intact.
+		saved := s.pending
+		s.pending = s.spare[:0]
+		s.spare = nil
+		s.action.Handle(ev, s.emit)
+		outs := s.pending
+		s.pending = saved
 		if len(s.targets) == 0 {
 			s.mgr.delivered += int64(len(outs))
-			return
+		} else {
+			for _, out := range outs {
+				s.fanOut(p, out)
+			}
 		}
-		for _, out := range outs {
-			s.fanOut(p, out)
+		for i := range outs {
+			outs[i] = nil
 		}
+		s.spare = outs[:0]
 		return
 	}
 	if len(s.targets) == 0 {

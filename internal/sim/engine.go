@@ -31,6 +31,7 @@ type Engine struct {
 	stopped bool
 	panicV  any // panic propagated out of a process
 	tracer  Tracer
+	free    *event // recycled events, chained through event.next
 }
 
 // Time is virtual time: nanoseconds since the start of the simulation.
@@ -103,6 +104,7 @@ type event struct {
 	seq  uint64
 	what string
 	fn   func()
+	next *event // freelist link while recycled
 }
 
 type eventHeap []*event
@@ -200,7 +202,24 @@ func (e *Engine) schedule(t Time, what string, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	e.queue.push(&event{at: t, seq: e.seq, what: what, fn: fn})
+	ev := e.free
+	if ev == nil {
+		ev = e.allocEvent()
+	} else {
+		e.free = ev.next
+		ev.next = nil
+	}
+	ev.at, ev.seq, ev.what, ev.fn = t, e.seq, what, fn
+	e.queue.push(ev)
+}
+
+// allocEvent services a freelist miss; steady state recycles the events
+// Step retires, so fresh allocations happen only while the pending set
+// is still growing.
+//
+//iocheck:cold
+func (e *Engine) allocEvent() *event {
+	return &event{}
 }
 
 // Pending reports the number of scheduled (not yet executed) events.
@@ -217,7 +236,12 @@ func (e *Engine) Step() bool {
 	if e.tracer != nil {
 		e.tracer.Event(ev.at, ev.what)
 	}
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running: fn may itself schedule, and the retired
+	// event must already be available for reuse.
+	ev.fn, ev.what, ev.next = nil, "", e.free
+	e.free = ev
+	fn()
 	if e.panicV != nil {
 		v := e.panicV
 		e.panicV = nil

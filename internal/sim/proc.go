@@ -6,12 +6,15 @@ package sim
 // Event.Wait, Resource.Acquire, ...). Because execution is strictly
 // interleaved, process code may freely share data without locks.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	parked bool
-	done   bool
-	onDone *Event // lazily created join event
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	parked   bool
+	done     bool
+	onDone   *Event // lazily created join event
+	wakeWhat string // "wake "+name, built once at spawn
+	unparkFn func() // bound unpark, built once at spawn
+	w        waiter // the proc's single in-flight wait (see newWait)
 }
 
 // Go starts fn as a new process at the current virtual time.
@@ -22,6 +25,9 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 // GoAt starts fn as a new process at virtual time t.
 func (e *Engine) GoAt(t Time, name string, fn func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{}, 1)}
+	p.wakeWhat = "wake " + name
+	p.unparkFn = p.unpark
+	p.w.proc = p
 	e.procs[p] = struct{}{}
 	e.schedule(t, "start "+name, func() {
 		go p.run(fn)
@@ -65,7 +71,7 @@ func (p *Proc) unpark() {
 
 // wake schedules the process to resume at the current virtual time.
 func (p *Proc) wake(what string) {
-	p.eng.schedule(p.eng.now, what, p.unpark)
+	p.eng.schedule(p.eng.now, what, p.unparkFn)
 }
 
 // Engine returns the engine this process runs under.
@@ -86,7 +92,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.schedule(p.eng.now+d, "wake "+p.name, p.unpark)
+	p.eng.schedule(p.eng.now+d, p.wakeWhat, p.unparkFn)
 	p.park()
 }
 
@@ -115,11 +121,40 @@ func (p *Proc) Join(other *Proc) {
 // waiter represents one parked process inside a queue/event/resource wait
 // list. cancelled is set when a timeout fires first, so the structure's
 // wake path must skip it.
+//
+// A process can only block on one primitive at a time, so every Proc
+// embeds a single waiter that is reused across waits. seq counts the
+// waits; wait lists hold generation-stamped waiterRefs so an entry left
+// behind by an earlier wait (e.g. after a timeout) is detected stale
+// instead of corrupting the next one.
 type waiter struct {
 	proc      *Proc
 	cancelled bool
 	woken     bool
-	n         int // units requested (Resource) — unused elsewhere
+	n         int    // units requested (Resource) — unused elsewhere
+	seq       uint64 // wait generation, bumped by newWait
+}
+
+// waiterRef is one wait-list entry: a pointer to the proc's embedded
+// waiter plus the generation it was enlisted under.
+type waiterRef struct {
+	w   *waiter
+	seq uint64
+}
+
+// valid reports whether the referenced wait is still the one this entry
+// was created for.
+func (r waiterRef) valid() bool { return r.seq == r.w.seq }
+
+// newWait readies the proc's embedded waiter for one blocking wait and
+// returns a reference to enlist in a wait list. Bumping the generation
+// invalidates any stale references from previous waits.
+func (p *Proc) newWait(n int) waiterRef {
+	p.w.seq++
+	p.w.cancelled = false
+	p.w.woken = false
+	p.w.n = n
+	return waiterRef{w: &p.w, seq: p.w.seq}
 }
 
 // Event is a one-shot broadcast: processes wait until someone fires it.
@@ -127,7 +162,7 @@ type waiter struct {
 type Event struct {
 	eng     *Engine
 	fired   bool
-	waiters []*waiter
+	waiters []waiterRef
 }
 
 // NewEvent returns an unfired event.
@@ -143,10 +178,10 @@ func (ev *Event) Fire() {
 		return
 	}
 	ev.fired = true
-	for _, w := range ev.waiters {
-		if !w.cancelled {
-			w.woken = true
-			w.proc.wake("event fire")
+	for _, r := range ev.waiters {
+		if r.valid() && !r.w.cancelled {
+			r.w.woken = true
+			r.w.proc.wake("event fire")
 		}
 	}
 	ev.waiters = nil
@@ -157,8 +192,7 @@ func (ev *Event) Wait(p *Proc) {
 	if ev.fired {
 		return
 	}
-	w := &waiter{proc: p}
-	ev.waiters = append(ev.waiters, w)
+	ev.waiters = append(ev.waiters, p.newWait(0))
 	p.park()
 }
 
@@ -172,16 +206,17 @@ func (ev *Event) WaitTimeout(p *Proc, d Time) bool {
 	if d <= 0 {
 		return false
 	}
-	w := &waiter{proc: p}
-	ev.waiters = append(ev.waiters, w)
+	r := p.newWait(0)
+	ev.waiters = append(ev.waiters, r)
+	//iocheck:allow hotbox timer closures arm only on the blocking path, not per event
 	p.eng.schedule(p.eng.now+d, "event timeout", func() {
-		if !w.woken {
-			w.cancelled = true
+		if r.valid() && !r.w.woken {
+			r.w.cancelled = true
 			p.unpark()
 		}
 	})
 	p.park()
-	return w.woken
+	return r.w.woken
 }
 
 // Resource is a counting semaphore over abstract units (cores, buffer
@@ -191,7 +226,7 @@ type Resource struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	waiters  []*waiter
+	waiters  []waiterRef
 }
 
 // NewResource returns a resource with the given number of units.
@@ -222,8 +257,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if r.TryAcquire(n) {
 		return
 	}
-	w := &waiter{proc: p, n: n}
-	r.waiters = append(r.waiters, w)
+	r.waiters = append(r.waiters, p.newWait(n))
 	p.park()
 }
 
@@ -245,17 +279,17 @@ func (r *Resource) Grow(n int) {
 
 func (r *Resource) dispatch() {
 	for len(r.waiters) > 0 {
-		w := r.waiters[0]
-		if w.cancelled {
+		ref := r.waiters[0]
+		if !ref.valid() || ref.w.cancelled {
 			r.waiters = r.waiters[1:]
 			continue
 		}
-		if r.inUse+w.n > r.capacity {
+		if r.inUse+ref.w.n > r.capacity {
 			return
 		}
 		r.waiters = r.waiters[1:]
-		r.inUse += w.n
-		w.woken = true
-		w.proc.wake("resource grant")
+		r.inUse += ref.w.n
+		ref.w.woken = true
+		ref.w.proc.wake("resource grant")
 	}
 }

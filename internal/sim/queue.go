@@ -7,8 +7,9 @@ type Queue[T any] struct {
 	eng     *Engine
 	cap     int // 0 = unbounded
 	items   []T
-	getters []*waiter
+	getters []waiterRef
 	putters []*putWaiter[T]
+	putFree []*putWaiter[T] // recycled put entries
 	closed  bool
 }
 
@@ -51,9 +52,9 @@ func (q *Queue[T]) Close() {
 	q.putters = nil
 	if len(q.items) == 0 {
 		for _, g := range q.getters {
-			if !g.cancelled {
-				g.woken = true
-				g.proc.wake("queue closed (getter)")
+			if g.valid() && !g.w.cancelled {
+				g.w.woken = true
+				g.w.proc.wake("queue closed (getter)")
 			}
 		}
 		q.getters = nil
@@ -79,13 +80,39 @@ func (q *Queue[T]) Put(p *Proc, v T) bool {
 		q.deliver(v)
 		return true
 	}
-	pw := &putWaiter[T]{waiter: waiter{proc: p}, val: v}
+	pw := q.takePutWaiter(p, v)
 	q.putters = append(q.putters, pw)
 	p.park()
-	if q.closed && !pw.delivered() {
-		return false
+	ok := !q.closed || pw.delivered()
+	q.recyclePutWaiter(pw)
+	return ok
+}
+
+// takePutWaiter pops a recycled put entry (or allocates on a freelist
+// miss) and arms it for this put. The entry is owned by the blocked Put
+// until it resumes, which recycles it.
+func (q *Queue[T]) takePutWaiter(p *Proc, v T) *putWaiter[T] {
+	if n := len(q.putFree); n > 0 {
+		pw := q.putFree[n-1]
+		q.putFree[n-1] = nil
+		q.putFree = q.putFree[:n-1]
+		pw.waiter = waiter{proc: p}
+		pw.val = v
+		return pw
 	}
-	return true
+	return q.allocPutWaiter(p, v)
+}
+
+//iocheck:cold
+func (q *Queue[T]) allocPutWaiter(p *Proc, v T) *putWaiter[T] {
+	return &putWaiter[T]{waiter: waiter{proc: p}, val: v}
+}
+
+func (q *Queue[T]) recyclePutWaiter(pw *putWaiter[T]) {
+	var zero T
+	pw.val = zero
+	pw.waiter = waiter{}
+	q.putFree = append(q.putFree, pw)
 }
 
 // delivered reports whether this putter's value made it into the queue: the
@@ -104,11 +131,11 @@ func (q *Queue[T]) wakeGetters() {
 	for len(q.getters) > 0 && len(q.items) > 0 {
 		g := q.getters[0]
 		q.getters = q.getters[1:]
-		if g.cancelled {
+		if !g.valid() || g.w.cancelled {
 			continue
 		}
-		g.woken = true
-		g.proc.wake("queue item")
+		g.w.woken = true
+		g.w.proc.wake("queue item")
 	}
 }
 
@@ -122,10 +149,14 @@ func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 		if q.closed {
 			return v, false
 		}
-		g := &waiter{proc: p}
-		q.getters = append(q.getters, g)
-		p.park()
+		q.await(p)
 	}
+}
+
+// await parks p as a getter until an item or close wakes it.
+func (q *Queue[T]) await(p *Proc) {
+	q.getters = append(q.getters, p.newWait(0))
+	p.park()
 }
 
 // TryGet removes the oldest item without blocking.
@@ -149,18 +180,7 @@ func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
 	}
 	deadline := q.eng.now + d
 	for {
-		g := &waiter{proc: p}
-		q.getters = append(q.getters, g)
-		fired := false
-		q.eng.schedule(deadline, "queue get timeout", func() {
-			if !g.woken {
-				fired = true
-				g.cancelled = true
-				p.unpark()
-			}
-		})
-		p.park()
-		if fired {
+		if q.awaitTimeout(p, deadline) {
 			return v, false
 		}
 		if len(q.items) > 0 {
@@ -173,6 +193,23 @@ func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool) {
 			return v, false
 		}
 	}
+}
+
+// awaitTimeout parks p as a getter with a deadline; it reports whether
+// the timer (rather than an item or close) ended the wait. A stale timer
+// from an earlier round finds its generation bumped and does nothing.
+func (q *Queue[T]) awaitTimeout(p *Proc, deadline Time) bool {
+	r := p.newWait(0)
+	q.getters = append(q.getters, r)
+	//iocheck:allow hotbox timer closures arm only on the blocking path, not per event
+	q.eng.schedule(deadline, "queue get timeout", func() {
+		if r.valid() && !r.w.woken {
+			r.w.cancelled = true
+			p.unpark()
+		}
+	})
+	p.park()
+	return r.w.cancelled
 }
 
 // RemoveWhere deletes buffered items matching pred, preserving order, and
@@ -221,9 +258,9 @@ func (q *Queue[T]) take() T {
 	q.admitPutters()
 	if q.closed && len(q.items) == 0 {
 		for _, g := range q.getters {
-			if !g.cancelled {
-				g.woken = true
-				g.proc.wake("queue closed (getter)")
+			if g.valid() && !g.w.cancelled {
+				g.w.woken = true
+				g.w.proc.wake("queue closed (getter)")
 			}
 		}
 		q.getters = nil
@@ -238,6 +275,7 @@ func (q *Queue[T]) admitPutters() {
 		if pw.cancelled {
 			continue
 		}
+		//iocheck:allow hotalloc amortized growth of the queue's ring buffer, not per-event garbage
 		q.items = append(q.items, pw.val)
 		pw.n = 1 // delivered
 		pw.woken = true

@@ -19,7 +19,10 @@ func NewKernel(r *Recorder) *Kernel {
 	return &Kernel{r: r}
 }
 
-// Event implements sim.Tracer.
+// Event implements sim.Tracer. It runs once per executed engine event —
+// the hottest instrumentation point in the repository.
+//
+//iocheck:hot
 func (k *Kernel) Event(at sim.Time, what string) {
 	if k == nil {
 		return

@@ -10,8 +10,9 @@
 //
 // The model is spans and instant events carrying container/component/node
 // labels. Parent→child causality is propagated *across* message hops by
-// stamping a span ID onto evpath event attributes and DataTap
-// descriptors, so one timestep's end-to-end flow (simulation write → tap
+// carrying a span ID on evpath events and DataTap descriptors (a typed
+// field; attribute maps remain a fallback for untyped carriers), so one
+// timestep's end-to-end flow (simulation write → tap
 // push → pull → compute → forward) and every control round (increase,
 // decrease, offline, heal — including retries and dedupe drops) each form
 // a connected span DAG.
@@ -27,7 +28,6 @@
 package trace
 
 import (
-	"sort"
 	"strconv"
 
 	"repro/internal/sim"
@@ -108,7 +108,14 @@ type Recorder struct {
 	trigger   func(reason string)
 	triggered bool
 	reason    string
+
+	spanFree *Span    // recycled spans, chained through Span.next
+	attrFree [][]Attr // attr slices reclaimed from evicted ring records
 }
+
+// maxAttrFree bounds the reclaimed-attr pool so one attr-heavy burst
+// doesn't pin memory forever.
+const maxAttrFree = 1024
 
 // New returns a recorder reading virtual time from eng.
 func New(eng *sim.Engine, cfg Config) *Recorder {
@@ -126,18 +133,30 @@ func (r *Recorder) Enabled() bool { return r != nil }
 //
 // iocheck:nilsafe
 type Span struct {
-	r   *Recorder
-	rec Record
+	r    *Recorder
+	rec  Record
+	next *Span // freelist link while recycled
+	done bool  // set by End; guards double-End on a recycled span
 }
 
 // Begin opens a span with the given causal parent (0 = root). It returns
-// nil when the recorder is nil.
+// nil when the recorder is nil. Spans are pooled: End recycles them, so
+// a span must not be used after its End.
 func (r *Recorder) Begin(parent SpanID, cat, name string) *Span {
 	if r == nil {
 		return nil
 	}
 	r.nextID++
-	return &Span{r: r, rec: Record{
+	s := r.spanFree
+	if s == nil {
+		s = r.newSpan()
+	} else {
+		r.spanFree = s.next
+		s.next = nil
+	}
+	//iocheck:allow nilflow newSpan returns nil only on a nil Recorder, and r was checked above
+	s.done = false
+	s.rec = Record{
 		ID:     r.nextID,
 		Parent: parent,
 		Cat:    cat,
@@ -145,7 +164,19 @@ func (r *Recorder) Begin(parent SpanID, cat, name string) *Span {
 		Node:   -1,
 		Step:   -1,
 		Start:  r.eng.Now(),
-	}}
+	}
+	return s
+}
+
+// newSpan services a freelist miss; the steady state recycles the spans
+// End retires, so at most max-open-spans are ever allocated.
+//
+//iocheck:cold
+func (r *Recorder) newSpan() *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r}
 }
 
 // ID returns the span's identifier (0 for nil, so a nil span chains as
@@ -184,9 +215,27 @@ func (s *Span) Step(step int64) *Span {
 // Attr adds a key/value annotation.
 func (s *Span) Attr(key, val string) *Span {
 	if s != nil {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = s.r.grabAttrs()
+		}
 		s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Val: val})
 	}
 	return s
+}
+
+// grabAttrs hands out a reclaimed attr slice (nil on a pool miss — the
+// first append then allocates one that will eventually be reclaimed).
+func (r *Recorder) grabAttrs() []Attr {
+	if r == nil {
+		return nil
+	}
+	if n := len(r.attrFree); n > 0 {
+		a := r.attrFree[n-1]
+		r.attrFree[n-1] = nil
+		r.attrFree = r.attrFree[:n-1]
+		return a
+	}
+	return nil
 }
 
 // AttrInt adds an integer annotation.
@@ -194,14 +243,18 @@ func (s *Span) AttrInt(key string, val int64) *Span {
 	return s.Attr(key, strconv.FormatInt(val, 10))
 }
 
-// End closes the span at the current virtual time and commits it to the
-// ring.
+// End closes the span at the current virtual time, commits it to the
+// ring, and recycles the span. Ending twice is a no-op.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.done {
 		return
 	}
+	s.done = true
 	s.rec.End = s.r.eng.Now()
 	s.r.commit(s.rec)
+	s.rec.Attrs = nil // the ring owns the slice now
+	s.next = s.r.spanFree
+	s.r.spanFree = s
 }
 
 // Instant records a point event and returns its ID so later records can
@@ -223,20 +276,32 @@ func (r *Recorder) commit(rec Record) {
 	if r == nil {
 		return
 	}
-	if len(rec.Attrs) > 1 {
-		sort.SliceStable(rec.Attrs, func(i, j int) bool {
-			return rec.Attrs[i].Key < rec.Attrs[j].Key
-		})
-	}
+	sortAttrs(rec.Attrs)
 	if len(r.ring) < r.cfg.RingCap {
+		//iocheck:allow hotalloc amortized growth of the bounded flight ring, not per-event garbage
 		r.ring = append(r.ring, rec)
 		r.n++
 		return
 	}
-	// Full: overwrite the oldest record.
+	// Full: overwrite the oldest record, reclaiming its attr slice for
+	// reuse by open spans.
+	if old := r.ring[r.head].Attrs; cap(old) > 0 && len(r.attrFree) < maxAttrFree {
+		r.attrFree = append(r.attrFree, old[:0])
+	}
 	r.ring[r.head] = rec
 	r.head = (r.head + 1) % len(r.ring)
 	r.dropped++
+}
+
+// sortAttrs is a stable insertion sort: attr lists are a handful of keys
+// at most, and sort.SliceStable would box the slice and allocate its
+// comparison closure on every commit.
+func sortAttrs(attrs []Attr) {
+	for i := 1; i < len(attrs); i++ {
+		for j := i; j > 0 && attrs[j].Key < attrs[j-1].Key; j-- {
+			attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+		}
+	}
 }
 
 // Records returns the ring's contents in commit order, oldest first. The
@@ -250,7 +315,13 @@ func (r *Recorder) Records() []Record {
 	}
 	out := make([]Record, 0, r.n)
 	for i := 0; i < r.n; i++ {
-		out = append(out, r.ring[(r.head+i)%len(r.ring)])
+		rec := r.ring[(r.head+i)%len(r.ring)]
+		if len(rec.Attrs) > 0 {
+			// Deep-copy: the ring may reclaim its attr slices after
+			// eviction, and the snapshot must outlive that.
+			rec.Attrs = append([]Attr(nil), rec.Attrs...)
+		}
+		out = append(out, rec)
 	}
 	return out
 }
