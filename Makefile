@@ -37,13 +37,17 @@ lint-baseline:
 
 # chaos searches randomized fault schedules for invariant violations
 # (cmd/iochaos: 64 seeds over the failover scenario, the hand-written
-# fault schedule, and the at-least-once data plane with writer-node
-# crashes and descriptor-drop windows as fair targets), then replays the
-# checked-in shrunk reproducers in scenarios/regressions/.
+# fault schedule, the at-least-once data plane with writer-node crashes
+# and descriptor-drop windows as fair targets, and the sharded control
+# plane with meta/shard-manager crashes as fair targets), smokes the
+# 1,000-container sharded scenario on a reduced seed set, then replays
+# the checked-in shrunk reproducers in scenarios/regressions/.
 chaos:
 	$(GO) run ./cmd/iochaos -scenario scenarios/chaos-failover.json -seeds 64
 	$(GO) run ./cmd/iochaos -scenario scenarios/faults.json -seeds 64
 	$(GO) run ./cmd/iochaos -scenario scenarios/delivery.json -seeds 64
+	$(GO) run ./cmd/iochaos -scenario scenarios/chaos-shards.json -seeds 64
+	$(GO) run ./cmd/iochaos -scenario scenarios/shards-1k.json -seeds 8
 	$(GO) test ./internal/chaos/ -run TestRegressionsReplay
 
 # check is what CI runs.

@@ -9,11 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -22,7 +24,17 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	traceDir := flag.String("trace-dir", "", "record causal traces; write one Chrome trace JSON per run into this directory")
+	genShards := flag.String("gen-shards", "", "synthesize the 1,000-container sharded scenario, write it to this file, and exit")
 	flag.Parse()
+
+	if *genShards != "" {
+		if err := writeShardsScenario(*genShards); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *genShards)
+		return
+	}
 
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -69,4 +81,55 @@ func main() {
 		}
 		fmt.Println(out.String())
 	}
+}
+
+// writeShardsScenario synthesizes the 1,000-container stress scenario the
+// sharded control plane exists for: a linear chain of tiny custom stages,
+// 100 shard managers (one standby each) under the meta-manager, one spare
+// node per shard, and a policy quiet enough that the chaos smoke exercises
+// manager crashes rather than SLA churn. The output is checked in as
+// scenarios/shards-1k.json; regenerate with `experiments -gen-shards`.
+func writeShardsScenario(path string) error {
+	const (
+		nStages   = 1000
+		nShards   = 100
+		nStandbys = 1
+		nSpares   = 100 // one per shard after the round-robin split
+	)
+	f := &scenario.File{
+		SimNodes: 256,
+		// meta + shards*(1+standbys) managers, one node per stage, spares.
+		StagingNodes:    1 + nShards*(1+nStandbys) + nStages + nSpares,
+		OutputPeriodSec: 5,
+		Steps:           2,
+		CrackStep:       -1,
+		Seed:            42,
+		AtomsOverride:   100_000,
+		// Ring seed 25 balances best over these names: the hottest shard
+		// holds 16 of the 1,000 containers, so the sharded control sweep
+		// stays well under 2x the 10-container single-manager sweep.
+		Shards: &scenario.ShardsSpec{Count: nShards, Seed: 25, Standbys: nStandbys},
+		Policy: scenario.Policy{
+			DisableOffline:  true,
+			DisableStealing: true,
+			CallTimeoutSec:  5,
+			CallRetries:     2,
+		},
+	}
+	for i := 0; i < nStages; i++ {
+		f.Stages = append(f.Stages, scenario.Stage{
+			Name:         fmt.Sprintf("s%03d", i),
+			Kind:         "Custom",
+			Model:        "Serial",
+			Nodes:        1,
+			OutputFactor: 1,
+			SLAPeriods:   100, // a 1,000-deep chain is latency-bound by design
+			Cost:         &scenario.Cost{BaseSec: 0.001, RefAtoms: 100_000},
+		})
+	}
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }

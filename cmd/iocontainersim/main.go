@@ -46,6 +46,8 @@ func main() {
 	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
 	chart := flag.Bool("chart", false, "render ASCII charts of the key series")
 	standby := flag.Bool("standby", false, "deploy a standby global manager")
+	shards := flag.Int("shards", 0, "shard the control plane: per-shard managers under a meta-manager (0/1 = legacy single manager)")
+	shardStandbys := flag.Int("shard-standbys", 0, "standby managers per shard (0 or 1; requires -shards > 1)")
 	killGM := flag.Float64("kill-gm", 0, "kill the primary global manager at this virtual second (0 = never)")
 	crashNode := flag.Int("crash-node", -1, "machine node to fail-stop (-1 = none; staging IDs start at -sim)")
 	crashAt := flag.Float64("crash-at", 60, "virtual second at which -crash-node dies")
@@ -67,15 +69,24 @@ func main() {
 		return
 	}
 
+	// On sharded runs the first staging nodes host the control plane
+	// (meta + per-shard managers and standbys); size the containers for
+	// the region that remains.
+	sizeNodes := *staging
+	if *shards > 1 {
+		sizeNodes -= 1 + *shards*(1+*shardStandbys)
+	}
 	cfg := core.Config{
-		SimNodes:     *simNodes,
-		StagingNodes: *staging,
-		Sizes:        core.DefaultSizes(*staging),
-		Steps:        *steps,
-		OutputPeriod: sim.Time(*period * float64(sim.Second)),
-		CrackStep:    *crack,
-		Seed:         *seed,
-		StandbyGM:    *standby,
+		SimNodes:      *simNodes,
+		StagingNodes:  *staging,
+		Sizes:         core.DefaultSizes(sizeNodes),
+		Steps:         *steps,
+		OutputPeriod:  sim.Time(*period * float64(sim.Second)),
+		CrackStep:     *crack,
+		Seed:          *seed,
+		StandbyGM:     *standby,
+		Shards:        *shards,
+		ShardStandbys: *shardStandbys,
 		Policy: core.PolicyConfig{
 			DisableManagement:  *noMgmt,
 			DisableOffline:     *noOffline,
@@ -182,6 +193,7 @@ func runAndReport(cfg core.Config) {
 		fmt.Printf("end-to-end latency: first=%.1fs last=%.1fs\n", e2e.Points[0].V, e2e.Last().V)
 	}
 
+	printShards(res)
 	printDelivery(res)
 
 	if trig, ok := rt.Tracer().Triggered(); ok && flightPath != "" {
@@ -204,6 +216,21 @@ func runAndReport(cfg core.Config) {
 				YLabel: "end-to-end latency (s)", Markers: res.Recorder.Markers}))
 		}
 	}
+}
+
+// printShards renders the per-shard control-plane table on sharded runs
+// (legacy single-manager runs have no shard summaries and print nothing).
+func printShards(res *core.Result) {
+	if len(res.Shards) == 0 {
+		return
+	}
+	fmt.Println("control-plane shards:")
+	fmt.Println("  shard  containers  spare  epoch  stolen-in  stolen-out  suspects  actions")
+	for _, s := range res.Shards {
+		fmt.Printf("  %5d  %10d  %5d  %5d  %9d  %10d  %8d  %7d\n",
+			s.Shard, s.Containers, s.Spare, s.Epoch, s.StolenIn, s.StolenOut, s.Suspects, s.Actions)
+	}
+	fmt.Println()
 }
 
 // printDelivery summarizes each at-least-once channel's step ledger and

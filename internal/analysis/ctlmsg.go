@@ -31,6 +31,15 @@ import (
 // lower epochs, so an epoch-less round message is an unfenceable hole —
 // a deposed manager could keep mutating state through it. The rule is
 // scoped to switch members so pump-path messages stay exempt.
+//
+// Shard round messages — structs carrying BOTH `Seq int64` and `Shard int`
+// (the steal/beat/relay family of the sharded control plane) — are a
+// separate protocol with its own exhaustiveness contract: each must be
+// registered in the shardMsgSeq switch, handled by a dispatch arm
+// (dispatch or shardDispatch), and carry `Epoch int64` so steal fencing
+// can drop stale instances. They are EXEMPT from the container-round
+// rules above even when their name ends in Req/Resp: a StealReq is
+// pump-to-pump traffic between managers, never served by managerLoop.
 var CtlMsg = &Analyzer{
 	Name: "ctlmsg",
 	Doc:  "protocol Req/Resp types must be dispatched in reqSeq/msgTypeFor/managerLoop/respSeq and carry the fencing epoch",
@@ -44,9 +53,11 @@ var CtlMsg = &Analyzer{
 
 func runCtlMsg(pass *Pass) {
 	reqs, resps := protocolMessageTypes(pass)
-	if len(reqs) == 0 && len(resps) == 0 {
+	shardMsgs := shardRoundMessageTypes(pass)
+	if len(reqs) == 0 && len(resps) == 0 && len(shardMsgs) == 0 {
 		return
 	}
+	checkShardMessages(pass, shardMsgs)
 	inReqSeq := switchCaseTypes(pass, "reqSeq")
 	inMsgTypeFor := switchCaseTypes(pass, "msgTypeFor")
 	inManagerLoop, haveManagerLoop := switchCaseTypesOpt(pass, "managerLoop")
@@ -97,6 +108,34 @@ func runCtlMsg(pass *Pass) {
 	}
 }
 
+// checkShardMessages enforces the shard-round contract: registry entry,
+// dispatch arm, fencing epoch.
+func checkShardMessages(pass *Pass, shardMsgs []*types.TypeName) {
+	if len(shardMsgs) == 0 {
+		return
+	}
+	inShardSeq := switchCaseTypes(pass, "shardMsgSeq")
+	inDispatch := switchCaseTypes(pass, "dispatch")
+	inShardDispatch := switchCaseTypes(pass, "shardDispatch")
+	for _, m := range shardMsgs {
+		if !inShardSeq[m] {
+			pass.Reportf(m.Pos(),
+				"shard round message %s is missing from the shardMsgSeq registry switch",
+				m.Name())
+		}
+		if !inDispatch[m] && !inShardDispatch[m] {
+			pass.Reportf(m.Pos(),
+				"shard round message %s is not handled by any shard dispatch switch (dispatch/shardDispatch): it would be silently dropped",
+				m.Name())
+		}
+		if !hasEpochField(structOf(m)) {
+			pass.Reportf(m.Pos(),
+				"shard round message %s carries no Epoch int64 field: steal fencing cannot drop its stale instances",
+				m.Name())
+		}
+	}
+}
+
 func structOf(tn *types.TypeName) *types.Struct {
 	st, _ := tn.Type().Underlying().(*types.Struct)
 	return st
@@ -118,6 +157,9 @@ func protocolMessageTypes(pass *Pass) (reqs, resps []*types.TypeName) {
 		if !ok || !hasSeqField(st) {
 			continue
 		}
+		if hasShardField(st) {
+			continue // shard round family: separate rules, see checkShardMessages
+		}
 		switch {
 		case hasSuffix(name, "Req"):
 			reqs = append(reqs, tn)
@@ -128,12 +170,51 @@ func protocolMessageTypes(pass *Pass) (reqs, resps []*types.TypeName) {
 	return reqs, resps
 }
 
+// shardRoundMessageTypes returns the package's shard-round message types —
+// named structs with both Seq int64 and Shard int — in declaration-name
+// order.
+func shardRoundMessageTypes(pass *Pass) []*types.TypeName {
+	scope := pass.Pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	var out []*types.TypeName
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || !hasSeqField(st) || !hasShardField(st) {
+			continue
+		}
+		out = append(out, tn)
+	}
+	return out
+}
+
 func hasSuffix(s, suf string) bool {
 	return len(s) > len(suf) && s[len(s)-len(suf):] == suf
 }
 
 func hasSeqField(st *types.Struct) bool   { return hasInt64Field(st, "Seq") }
 func hasEpochField(st *types.Struct) bool { return hasInt64Field(st, "Epoch") }
+
+// hasShardField reports a plain `Shard int` field (the shard-family tag).
+func hasShardField(st *types.Struct) bool {
+	if st == nil {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Shard" {
+			continue
+		}
+		if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.Int {
+			return true
+		}
+	}
+	return false
+}
 
 func hasInt64Field(st *types.Struct, name string) bool {
 	if st == nil {

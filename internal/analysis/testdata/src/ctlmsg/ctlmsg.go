@@ -32,6 +32,54 @@ type NoSeqReq struct{ N int }
 //iocheck:allow ctlmsg fixture: served from a pump, audited
 type PumpReq struct{ Seq int64 }
 
+// BeatMsg is a fully registered shard round message.
+type BeatMsg struct {
+	Seq   int64
+	Epoch int64
+	Shard int
+}
+
+// StrayMsg never made it into the shard registry or a dispatch arm.
+type StrayMsg struct { // want "missing from the shardMsgSeq" "not handled by any shard dispatch"
+	Seq   int64
+	Epoch int64
+	Shard int
+}
+
+// BareMsg is dispatched but unfenced.
+type BareMsg struct { // want "carries no Epoch int64 field"
+	Seq   int64
+	Shard int
+}
+
+// StealReq ends in "Req" but Seq+Shard makes it a shard round message:
+// exempt from the container-round switches (reqSeq/msgTypeFor/managerLoop).
+type StealReq struct {
+	Seq   int64
+	Epoch int64
+	Shard int
+}
+
+func shardMsgSeq(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *BeatMsg:
+		return r.Seq, true
+	case *BareMsg:
+		return r.Seq, true
+	case *StealReq:
+		return r.Seq, true
+	}
+	return 0, false
+}
+
+func shardDispatch(v any) bool {
+	switch v.(type) {
+	case *BeatMsg, *BareMsg, *StealReq:
+		return true
+	}
+	return false
+}
+
 func reqSeq(v any) (int64, bool) {
 	switch r := v.(type) {
 	case *PingReq:

@@ -79,8 +79,24 @@ func Generate(seed int64, base *scenario.File, gc GenConfig) *scenario.Faults {
 		}
 		return from, until
 	}
+	// On sharded bases the control plane occupies the first staging
+	// indexes (meta, then the shard primaries, then their standbys); bias
+	// toward that region so meta-manager and shard-manager crashes are
+	// fair targets rather than diluted across a large container region.
+	// ctl stays 0 for legacy bases, keeping their draw sequence (and thus
+	// every historical seed's schedule) byte-identical.
+	ctl := 0
+	if base.Shards != nil && base.Shards.Count > 1 {
+		ctl = 1 + base.Shards.Count*(1+base.Shards.Standbys)
+		if ctl > staging {
+			ctl = staging
+		}
+	}
 	stagingRef := func() scenario.NodeRef {
 		idx := r.Intn(staging)
+		if ctl > 0 && r.Intn(100) < 40 {
+			idx = r.Intn(ctl)
+		}
 		return scenario.NodeRef{StagingIndex: &idx}
 	}
 

@@ -21,6 +21,7 @@ func DefaultOracles() []Oracle {
 		{Name: "heal-completeness", Check: checkHeal},
 		{Name: "trace-dag", Check: checkTraceDAG},
 		{Name: "delivery", Check: checkDelivery},
+		{Name: "dual-ownership", Check: checkDualOwnership},
 	}
 }
 
@@ -96,35 +97,52 @@ func checkDelivery(info *RunInfo) []string {
 }
 
 // checkSingleWriter audits the epoch-fencing guarantee: within any one
-// epoch, at most one manager node may issue control rounds. The legacy
-// (DisableFencing) failover violates this after a healed partition —
-// primary and promoted standby both round in epoch 1.
+// (shard, epoch) pair, at most one manager node may issue control rounds.
+// Epochs are per-shard — shard 0's epoch 2 and shard 1's epoch 2 are
+// unrelated fences — so the key carries the issuing shard (-1 on legacy
+// single-manager runs, where the rule degenerates to per-epoch). The
+// legacy (DisableFencing) failover violates this after a healed
+// partition — primary and promoted standby both round in epoch 1.
 func checkSingleWriter(info *RunInfo) []string {
-	issuers := map[int64]map[int]bool{}
+	type fence struct {
+		shard int
+		epoch int64
+	}
+	issuers := map[fence]map[int]bool{}
 	for _, r := range info.Res.Rounds {
-		m := issuers[r.Epoch]
+		k := fence{r.Shard, r.Epoch}
+		m := issuers[k]
 		if m == nil {
 			m = map[int]bool{}
-			issuers[r.Epoch] = m
+			issuers[k] = m
 		}
 		m[r.Node] = true
 	}
-	var epochs []int64
-	for e, nodes := range issuers {
+	var bad []fence
+	for k, nodes := range issuers {
 		if len(nodes) > 1 {
-			epochs = append(epochs, e)
+			bad = append(bad, k)
 		}
 	}
-	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	sort.Slice(bad, func(i, j int) bool {
+		if bad[i].shard != bad[j].shard {
+			return bad[i].shard < bad[j].shard
+		}
+		return bad[i].epoch < bad[j].epoch
+	})
 	var out []string
-	for _, e := range epochs {
+	for _, k := range bad {
 		var nodes []int
-		for n := range issuers[e] {
+		for n := range issuers[k] {
 			nodes = append(nodes, n)
 		}
 		sort.Ints(nodes)
+		where := fmt.Sprintf("epoch %d", k.epoch)
+		if k.shard >= 0 {
+			where = fmt.Sprintf("shard %d %s", k.shard, where)
+		}
 		out = append(out, fmt.Sprintf(
-			"epoch %d has %d round issuers (nodes %v): split brain", e, len(nodes), nodes))
+			"%s has %d round issuers (nodes %v): split brain", where, len(nodes), nodes))
 	}
 	return out
 }
@@ -219,6 +237,12 @@ func checkHeal(info *RunInfo) []string {
 	if f := info.File.Faults; f != nil && len(f.Stalls) > 0 {
 		return nil
 	}
+	rt := info.RT
+	if rt.Sharded() && rt.Meta().Dead() {
+		// With the steal broker gone, a shard whose pool ran dry cannot
+		// borrow nodes: heals legitimately strand mid-protocol.
+		return nil
+	}
 	st := info.Res.FaultStats
 	if st.CtlDropped > 0 || st.SendsFailed > 0 {
 		return nil
@@ -246,6 +270,14 @@ func checkHeal(info *RunInfo) []string {
 		if down[c.ManagerNode()] || suspects[v.Container] {
 			continue
 		}
+		if rt.Sharded() {
+			// A shard whose acting manager died (primary crashed with no
+			// standby, or the standby died too) cannot run heal rounds for
+			// its containers.
+			if s := rt.Directory().ShardOf(v.Container); s >= 0 && rt.ShardManager(s).Dead() {
+				continue
+			}
+		}
 		healed := false
 		for _, a := range actions {
 			if (a.Kind == "heal" || a.Kind == "degrade") &&
@@ -263,13 +295,13 @@ func checkHeal(info *RunInfo) []string {
 	return out
 }
 
-// managerActions merges the action logs of every manager instance (the
-// primary's heal records stay relevant after a failover reassigns
-// rt.GM()).
+// managerActions merges the action logs of every manager instance — the
+// legacy primary/standby pair or every shard primary and standby — since
+// a dead manager's heal records stay relevant after a failover.
 func managerActions(rt *core.Runtime) []core.Action {
-	actions := rt.Primary().Actions()
-	if s := rt.Standby(); s != nil && s != rt.Primary() {
-		actions = append(actions, s.Actions()...)
+	var actions []core.Action
+	for _, gm := range rt.Managers() {
+		actions = append(actions, gm.Actions()...)
 	}
 	return actions
 }
@@ -296,6 +328,59 @@ func checkTraceDAG(info *RunInfo) []string {
 			if len(out) >= 5 {
 				break // enough to localize; the ring can hold thousands
 			}
+		}
+	}
+	return out
+}
+
+// checkDualOwnership audits the cross-shard steal fence: at the end of a
+// run, no staging node may be claimed by two owners. Owners are the
+// containers (their replica lists) and the authoritative managers' spare
+// pools. "Authoritative" means live, not deposed, not a watching standby,
+// AND at the highest epoch among that shard's live candidates — an
+// equal-epoch tie is exactly the fencing-disabled split brain, so BOTH
+// tied pools count and any overlap surfaces as a violation. The steal
+// protocol's failure mode under fencing is a leaked (unowned) node, never
+// a doubly-owned one; this oracle pins that asymmetry.
+func checkDualOwnership(info *RunInfo) []string {
+	owners := map[int][]string{}
+	var ids []int
+	claim := func(node int, who string) {
+		if len(owners[node]) == 0 {
+			ids = append(ids, node)
+		}
+		owners[node] = append(owners[node], who)
+	}
+	for _, c := range info.RT.Containers() {
+		for _, n := range c.Nodes() {
+			claim(n.ID, "container "+c.Name())
+		}
+	}
+	mgrs := info.RT.Managers()
+	alive := func(gm *core.GlobalManager) bool {
+		return !gm.Dead() && !gm.Deposed() && !gm.InStandby()
+	}
+	maxEpoch := map[int]int64{}
+	for _, gm := range mgrs {
+		if alive(gm) && gm.Epoch() > maxEpoch[gm.ShardID()] {
+			maxEpoch[gm.ShardID()] = gm.Epoch()
+		}
+	}
+	for _, gm := range mgrs {
+		if !alive(gm) || gm.Epoch() != maxEpoch[gm.ShardID()] {
+			continue
+		}
+		who := fmt.Sprintf("manager node %d (shard %d, epoch %d) pool",
+			gm.Node(), gm.ShardID(), gm.Epoch())
+		for _, n := range gm.SpareNodes() {
+			claim(n.ID, who)
+		}
+	}
+	sort.Ints(ids)
+	var out []string
+	for _, id := range ids {
+		if os := owners[id]; len(os) > 1 {
+			out = append(out, fmt.Sprintf("node %d has %d owners: %v", id, len(os), os))
 		}
 	}
 	return out

@@ -1,0 +1,18 @@
+package cluster
+
+// SplitPool deals nodes round-robin into k pools (pool i gets nodes
+// i, i+k, i+2k, ...). The sharded control plane uses it to carve the
+// leftover staging nodes into per-shard spare pools: round-robin keeps
+// the pools within one node of each other no matter how many spares
+// remain, so no shard starts systematically dry. Order within each pool
+// preserves the input order, keeping builds deterministic.
+func SplitPool(nodes []*Node, k int) [][]*Node {
+	if k <= 0 {
+		return nil
+	}
+	pools := make([][]*Node, k)
+	for i, n := range nodes {
+		pools[i%k] = append(pools[i%k], n)
+	}
+	return pools
+}

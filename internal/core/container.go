@@ -67,6 +67,12 @@ type Container struct {
 	// edge for offline cascades); empty for terminal stages.
 	downstream string
 
+	// shard is the control-plane shard managing this container (-1 on
+	// legacy single-manager runs). It picks the upward bridge target and
+	// labels compute spans so the critical-path analyzer can name the
+	// hot shard.
+	shard int
+
 	state  State
 	active bool // consuming (ActivateOnCrack components start passive)
 	// observer containers consume duplicated taps; their completions are
@@ -204,6 +210,7 @@ func (rt *Runtime) newContainer(spec ComponentSpec, nodes []*cluster.Node,
 		input:      input,
 		output:     output,
 		downstream: downstream,
+		shard:      -1,
 		state:      StateOnline,
 		active:     !spec.ActivateOnCrack,
 	}
@@ -218,7 +225,7 @@ func (rt *Runtime) newContainer(spec ComponentSpec, nodes []*cluster.Node,
 // initial replicas (without aprun cost: the initial deployment happens
 // inside the batch job's startup, as in the paper's experiments).
 func (c *Container) start() {
-	c.toGM = c.mgrEV.NewBridge(c.rt.gm.inbox(), 0)
+	c.toGM = c.mgrEV.NewBridge(c.rt.managerFor(c).inbox(), 0)
 	if c.rt.cfg.MonitorSampleEvery > 0 || c.rt.cfg.MonitorAggregateN > 1 {
 		c.probe = monitor.NewProbe(c.toGM)
 		c.probe.Every = c.rt.cfg.MonitorSampleEvery
@@ -240,7 +247,7 @@ func (c *Container) heartbeatLoop(p *sim.Proc) {
 	interval := c.rt.cfg.Policy.Interval
 	for {
 		p.Sleep(interval)
-		if c.state == StateOffline || c.rt.gm.ctl.Closed() {
+		if c.state == StateOffline || c.rt.managerFor(c).ctl.Closed() {
 			return
 		}
 		if !c.Active() || c.input == nil {
@@ -384,6 +391,9 @@ func (r *replica) process(p *sim.Proc, m *datatap.Meta) {
 	c := r.c
 	sp := c.rt.tracer.Begin(m.Span, "core", "compute").
 		Container(c.spec.Name).Node(r.node.ID).Step(m.Step)
+	if c.shard >= 0 {
+		sp.AttrInt("shard", int64(c.shard))
+	}
 	// A stalled node freezes mid-step: the process is alive but makes no
 	// progress until the stall window closes (nil-safe; 0 without faults).
 	if d := c.rt.mach.Faults().StallRemaining(r.node.ID); d > 0 {

@@ -78,8 +78,9 @@ func (gm *GlobalManager) standbyLoop(p *sim.Proc) {
 			return
 		}
 		// No heartbeat yet means the primary hasn't started beating;
-		// give it the grace period from t=0.
-		if p.Now()-gm.lastPrimaryBeat <= grace {
+		// give it the grace period from t=0. A meta-manager PromoteNotice
+		// (sharded runs) short-circuits the silence detector.
+		if !gm.promoteNow && p.Now()-gm.lastPrimaryBeat <= grace {
 			continue
 		}
 		gm.takeOver(p)
@@ -97,7 +98,11 @@ func (gm *GlobalManager) standbyLoop(p *sim.Proc) {
 // owners).
 func (gm *GlobalManager) takeOver(p *sim.Proc) {
 	rt := gm.rt
-	rt.gm = gm
+	if gm.shard >= 0 {
+		rt.shardPrimary[gm.shard] = gm
+	} else {
+		rt.gm = gm
+	}
 	gm.standbyMode = false
 	if rt.fencingOn() {
 		// Fence above everything this standby has seen: its own epoch and
@@ -115,7 +120,7 @@ func (gm *GlobalManager) takeOver(p *sim.Proc) {
 		gm.epoch = gm.peerEpoch
 	}
 	var failed []string
-	for _, c := range rt.containers {
+	for _, c := range gm.managed() {
 		if c.State() != StateOnline {
 			continue
 		}
@@ -135,7 +140,11 @@ func (gm *GlobalManager) takeOver(p *sim.Proc) {
 			gm.markSuspect(p, name)
 		}
 	}
-	gm.spare = rt.unownedStagingNodes()
+	if gm.shard >= 0 {
+		gm.spare = rt.unownedShardNodes(gm.shard)
+	} else {
+		gm.spare = rt.unownedStagingNodes()
+	}
 	gm.record(p, Action{T: p.Now(), Kind: "failover", Target: "global-manager",
 		N: len(gm.spare), Detail: "standby took over"})
 }
@@ -153,6 +162,27 @@ func (rt *Runtime) unownedStagingNodes() []*cluster.Node {
 	var out []*cluster.Node
 	for _, n := range rt.stagingNodes {
 		if !owned[n.ID] && n.Up() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// unownedShardNodes recomputes one shard's spare pool: the staging nodes
+// the directory assigns to that shard, minus nodes owned by a container,
+// minus the dead. Cross-shard steals rehome nodes in the directory at
+// release time, so a promoted standby never adopts a node another shard
+// now holds.
+func (rt *Runtime) unownedShardNodes(shard int) []*cluster.Node {
+	owned := map[int]bool{}
+	for _, c := range rt.containers {
+		for _, n := range c.nodes {
+			owned[n.ID] = true
+		}
+	}
+	var out []*cluster.Node
+	for _, n := range rt.stagingNodes {
+		if rt.dir.NodeShard(n.ID) == shard && !owned[n.ID] && n.Up() {
 			out = append(out, n)
 		}
 	}

@@ -169,6 +169,8 @@ func (gm *GlobalManager) runDeposed(p *sim.Proc) {
 // RoundRecord logs one control-round send attempt for the chaos
 // single-writer oracle: at most one manager node may issue rounds within
 // any given epoch.
+//
+//iocheck:allow ctlmsg oracle log record, never travels the overlay; Seq+Shard here identify the logged round
 type RoundRecord struct {
 	T      sim.Time
 	Epoch  int64
@@ -177,6 +179,9 @@ type RoundRecord struct {
 	Target string
 	Kind   string
 	Retry  int
+	// Shard is the issuing manager's shard (-1 on legacy single-manager
+	// runs); epochs are per-shard, so the oracle keys on (Shard, Epoch).
+	Shard int
 }
 
 // noteRound appends to the runtime-wide round log (shared across manager

@@ -218,6 +218,24 @@ type GlobalManager struct {
 	toDeposed   *evpath.Stone
 	fencedPeer  bool
 
+	// Sharded control plane state (see shard.go). shard is this manager's
+	// shard ID (-1 on legacy single-manager runs); scope is the subset of
+	// containers it manages (nil = all); toMeta bridges to the
+	// meta-manager; shardSeq numbers outbound shard round messages;
+	// stealPending latches at-most-one in-flight cross-shard steal;
+	// promoteNow is set by a meta PromoteNotice; crackRelayed dedupes the
+	// crack relay; peerBridges caches bridges to other managers' inboxes
+	// (peerOrder keeps close deterministic).
+	shard        int
+	scope        []*Container
+	toMeta       *evpath.Stone
+	shardSeq     int64
+	stealPending bool
+	promoteNow   bool
+	crackRelayed bool
+	peerBridges  map[*evpath.Stone]*evpath.Stone
+	peerOrder    []*evpath.Stone
+
 	actions []Action
 }
 
@@ -249,6 +267,7 @@ func newGlobalManager(rt *Runtime, node int, policy PolicyConfig, spare []*clust
 		node:          node,
 		policy:        policy,
 		spare:         spare,
+		shard:         -1,
 		toContainer:   make(map[string]*evpath.Stone),
 		overflowTicks: make(map[string]int),
 		suspect:       make(map[string]bool),
@@ -303,6 +322,12 @@ func (gm *GlobalManager) closeBridges() {
 	if gm.toDeposed != nil {
 		gm.toDeposed.CloseBridge()
 	}
+	if gm.toMeta != nil {
+		gm.toMeta.CloseBridge()
+	}
+	for _, b := range gm.peerOrder {
+		b.CloseBridge()
+	}
 }
 
 // run is the global manager process: pump monitoring/control traffic and
@@ -321,6 +346,9 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 			gm.toStandby.Submit(p, &evpath.Event{Type: msgGMHeartbeat,
 				Size: ctlMsgBytes,
 				Data: &GMHeartbeat{At: p.Now(), Epoch: gm.epoch, Inbox: gm.root}})
+		}
+		if gm.toMeta != nil {
+			gm.beatMeta(p)
 		}
 		deadline := p.Now() + gm.policy.Interval
 		for p.Now() < deadline {
@@ -366,6 +394,10 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 //
 //iocheck:nonblocking
 func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
+	//iocheck:allow vtblock shardDispatch submits only over peer bridges (courier path); see its own audit
+	if gm.shardDispatch(p, ev) {
+		return
+	}
 	switch data := ev.Data.(type) {
 	case monitor.Sample:
 		gm.agg.Ingest(data)
@@ -373,12 +405,22 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 	case *CrackNotice:
 		gm.crackSeen = true
 		gm.lastHeard[data.From] = p.Now()
+		//iocheck:allow vtblock relayCrack submits over the toMeta bridge (courier path); see its own audit
+		gm.relayCrack(p, data)
 	case *GapNotice:
 		gm.lastHeard[data.From] = p.Now()
 		if up, ok := gm.resendRoute[data.From]; ok {
-			// Defer the round to the tick: dispatch must not park, and a
-			// synchronous round does.
-			gm.pendingResend[up] = true
+			if _, local := gm.toContainer[up]; !local && gm.toMeta != nil {
+				// Cross-shard gap: the upstream container belongs to
+				// another shard, so the writer-side manager must issue the
+				// ResendReq round. Relay through the meta-manager.
+				//iocheck:allow vtblock relayGap submits over the toMeta bridge (courier path); see its own audit
+				gm.relayGap(p, up)
+			} else {
+				// Defer the round to the tick: dispatch must not park, and
+				// a synchronous round does.
+				gm.pendingResend[up] = true
+			}
 		}
 	case *GMHeartbeat:
 		gm.lastPrimaryBeat = data.At
@@ -447,6 +489,13 @@ func (gm *GlobalManager) grantSpare(p *sim.Proc, req *SpareReq) {
 		grant = append(grant, gm.spare[:take]...)
 		gm.spare = gm.spare[take:]
 	}
+	if take < req.N {
+		// The pool could not cover the request. Ask the meta-manager for
+		// nodes from another shard so the next heal can be served in full
+		// (fire-and-forget; no-op on legacy runs).
+		//iocheck:allow vtblock requestSteal submits over the toMeta bridge (courier path); see its own audit
+		gm.requestSteal(p, req.N-take)
+	}
 	//iocheck:allow vtblock toContainer stones are control bridges: handle() takes the forward() courier path, which enqueues without parking
 	stone.Submit(p, &evpath.Event{Type: msgSpareGrant, Size: ctlMsgBytes,
 		Data: &SpareGrant{Seq: req.Seq, Nodes: grant}})
@@ -511,10 +560,14 @@ func (gm *GlobalManager) callRound(p *sim.Proc, target string, mk func(seq int64
 		sp := gm.rt.tracer.Begin(0, "ctl", "round."+kind).
 			Container(target).Node(gm.node).
 			AttrInt("attempt", int64(attempt)).AttrInt("seq", gm.seq)
+		if gm.shard >= 0 {
+			sp.AttrInt("shard", int64(gm.shard))
+		}
 		ev := &evpath.Event{Type: msgTypeFor(req), Size: ctlMsgBytes, Data: req}
 		ev.Span = sp.ID()
 		gm.rt.noteRound(RoundRecord{T: p.Now(), Epoch: gm.epoch, Seq: gm.seq,
-			Node: gm.node, Target: target, Kind: kind, Retry: attempt})
+			Node: gm.node, Target: target, Kind: kind, Retry: attempt,
+			Shard: gm.shard})
 		stone.Submit(p, ev)
 		deadline := p.Now() + timeout
 		for {
@@ -790,7 +843,7 @@ func (gm *GlobalManager) probeSilent(p *sim.Proc) {
 		return
 	}
 	patience := sim.Time(gm.policy.SilencePatience) * gm.policy.Interval
-	for _, c := range gm.rt.containers {
+	for _, c := range gm.managed() {
 		name := c.Name()
 		if !c.Active() || gm.suspect[name] {
 			continue
@@ -858,7 +911,7 @@ func (gm *GlobalManager) tick(p *sim.Proc) {
 // pressure, ordered by descending average latency.
 func (gm *GlobalManager) findBottlenecks() []*Container {
 	var candidates []string
-	for _, c := range gm.rt.containers {
+	for _, c := range gm.managed() {
 		if !c.Active() || gm.suspect[c.Name()] {
 			continue
 		}
@@ -888,6 +941,11 @@ func (gm *GlobalManager) gather(p *sim.Proc, bneck *Container, want int, unattai
 	grant = append(grant, gm.spare[:take]...)
 	gm.spare = gm.spare[take:]
 	want -= take
+	if want > 0 && !unattainable {
+		// Replenish from another shard's pool for later ticks
+		// (fire-and-forget; no-op on legacy runs).
+		gm.requestSteal(p, want)
+	}
 	if want <= 0 || unattainable || gm.policy.DisableStealing {
 		return grant
 	}
@@ -949,7 +1007,7 @@ func (gm *GlobalManager) tradeTxn(p *sim.Proc, victim, bneck *Container) bool {
 func (gm *GlobalManager) mostOverProvisioned(p *sim.Proc, bneck *Container) (*Container, int) {
 	var best *Container
 	bestSurplus := 0
-	for _, c := range gm.rt.containers {
+	for _, c := range gm.managed() {
 		if c == bneck || c.State() != StateOnline || len(c.nodes) == 0 ||
 			gm.suspect[c.Name()] {
 			continue
@@ -996,10 +1054,19 @@ func (gm *GlobalManager) offlineCascade(p *sim.Proc, bneck *Container) {
 			pending = append(pending, c.Name())
 		}
 	}
+	// Cross-shard edges: the cascade only touches containers this manager
+	// has a bridge to. A neighbor in another shard keeps running; its own
+	// manager handles it (on legacy runs every container is local, so the
+	// guards never fire).
 	if up := gm.rt.upstreamOf(bneck); up != nil {
-		gm.SetOutput(p, up.Name(), strings.Join(pending, ","))
+		if _, local := gm.toContainer[up.Name()]; local {
+			gm.SetOutput(p, up.Name(), strings.Join(pending, ","))
+		}
 	}
 	for _, c := range affected {
+		if _, local := gm.toContainer[c.Name()]; !local {
+			continue
+		}
 		gm.Offline(p, c.Name())
 	}
 }
@@ -1009,7 +1076,7 @@ func (gm *GlobalManager) offlineCascade(p *sim.Proc, bneck *Container) {
 // stage, CNA, to start reading data").
 func (gm *GlobalManager) branch(p *sim.Proc) {
 	gm.branchDone = true
-	for _, c := range gm.rt.containers {
+	for _, c := range gm.managed() {
 		if c.State() != StateOnline {
 			continue
 		}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/evpath"
+	"repro/internal/shardmgr"
+	"repro/internal/sim"
+)
+
+// MetaManager is the thin top of the sharded control plane. It owns no
+// containers and issues no synchronous rounds; everything it does is
+// slow-path: watch ShardBeat liveness heartbeats, broker cross-shard
+// node steals, route cross-shard gap and crack relays, and promote a
+// standby when a shard primary stops beating. All of its sends are
+// pump-side bridge submissions, so the meta-manager can never wedge the
+// control plane it supervises.
+type MetaManager struct {
+	rt       *Runtime
+	node     int
+	ev       *evpath.Manager
+	ctl      *evpath.Mailbox
+	interval sim.Time
+	shards   int
+	seq      int64
+	dead     bool
+
+	// Per-shard view, all keyed by shard ID and iterated by integer
+	// range (0..shards-1), never by map order.
+	lastBeat     map[int]sim.Time
+	shardEpoch   map[int]int64
+	shardSpare   map[int]int
+	shardInbox   map[int]*evpath.Stone // acting manager, from the last beat
+	standbyInbox map[int]*evpath.Stone // wired at build time
+	promoted     map[int]bool          // promotion is one-shot per shard
+
+	crackSeen      bool
+	stealsBrokered int
+	relays         int
+
+	bridges     map[*evpath.Stone]*evpath.Stone
+	bridgeOrder []*evpath.Stone
+
+	actions []Action
+}
+
+// newMetaManager builds the meta-manager on the given staging node.
+func newMetaManager(rt *Runtime, node, shards int, interval sim.Time) *MetaManager {
+	mm := &MetaManager{
+		rt:           rt,
+		node:         node,
+		interval:     interval,
+		shards:       shards,
+		lastBeat:     make(map[int]sim.Time, shards),
+		shardEpoch:   make(map[int]int64, shards),
+		shardSpare:   make(map[int]int, shards),
+		shardInbox:   make(map[int]*evpath.Stone, shards),
+		standbyInbox: make(map[int]*evpath.Stone, shards),
+		promoted:     make(map[int]bool, shards),
+		bridges:      make(map[*evpath.Stone]*evpath.Stone),
+	}
+	mm.ev = evpath.NewManager(rt.eng, rt.mach, node)
+	mm.ev.SetTracer(rt.tracer)
+	mm.ctl = evpath.NewMailbox(mm.ev, 0)
+	return mm
+}
+
+// inbox is the stone shard managers bridge their upward traffic to.
+func (mm *MetaManager) inbox() *evpath.Stone { return mm.ctl.Stone }
+
+// Node returns the staging node hosting the meta-manager.
+func (mm *MetaManager) Node() int { return mm.node }
+
+// Dead reports whether the meta-manager's node crashed.
+func (mm *MetaManager) Dead() bool { return mm.dead }
+
+// Actions returns the meta-manager's slow-path decisions (promotions and
+// brokered steals).
+func (mm *MetaManager) Actions() []Action { return append([]Action(nil), mm.actions...) }
+
+// StealsBrokered returns how many cross-shard steals the meta-manager
+// has brokered.
+func (mm *MetaManager) StealsBrokered() int { return mm.stealsBrokered }
+
+// run is the meta-manager process: pump relays and beats, then check
+// shard liveness each interval.
+func (mm *MetaManager) run(p *sim.Proc) {
+	for {
+		if mm.dead {
+			return
+		}
+		deadline := p.Now() + mm.interval
+		for p.Now() < deadline {
+			ev, ok := mm.ctl.RecvTimeout(p, deadline-p.Now())
+			if !ok {
+				if mm.ctl.Closed() {
+					return
+				}
+				break
+			}
+			if mm.dead {
+				return
+			}
+			mm.dispatch(p, ev)
+		}
+		if mm.ctl.Closed() || mm.dead {
+			return
+		}
+		mm.tick(p)
+	}
+}
+
+// dispatch routes one shard round message. Like the shard managers'
+// pump, handling an event must never park the meta-manager process.
+//
+//iocheck:nonblocking
+func (mm *MetaManager) dispatch(p *sim.Proc, ev *evpath.Event) {
+	switch data := ev.Data.(type) {
+	case *ShardBeat:
+		mm.lastBeat[data.Shard] = data.At
+		mm.shardSpare[data.Shard] = data.Spare
+		if data.Epoch > mm.shardEpoch[data.Shard] {
+			mm.shardEpoch[data.Shard] = data.Epoch
+		}
+		if data.Inbox != nil {
+			mm.shardInbox[data.Shard] = data.Inbox
+		}
+	case *StealReq:
+		//iocheck:allow vtblock brokerSteal submits over meta peer bridges (courier path); see its own audit
+		mm.brokerSteal(p, data)
+	case *GapRelay:
+		//iocheck:allow vtblock routeGap submits over meta peer bridges (courier path); see its own audit
+		mm.routeGap(p, ev, data)
+	case *CrackRelay:
+		//iocheck:allow vtblock broadcastCrack submits over meta peer bridges (courier path); see its own audit
+		mm.broadcastCrack(p, data)
+	}
+}
+
+// brokerSteal picks a donor shard for a dry requester and forwards the
+// steal as a StealNotice. A stale request (below the highest epoch heard
+// for that shard) is dropped; with no donor, an empty StealGrant goes
+// straight back so the requester's pending-steal latch clears.
+//
+//iocheck:nonblocking
+func (mm *MetaManager) brokerSteal(p *sim.Proc, req *StealReq) {
+	if req.Epoch < mm.shardEpoch[req.Shard] || req.Inbox == nil {
+		return // a deposed shard manager's request; its successor re-asks
+	}
+	donor := shardmgr.PickDonor(mm.shardSpare, req.Shard)
+	seq, _ := shardMsgSeq(req)
+	if donor < 0 || mm.shardInbox[donor] == nil {
+		//iocheck:allow vtblock meta bridges take the forward() courier path, which enqueues without parking
+		mm.bridgeTo(req.Inbox).Submit(p, &evpath.Event{Type: msgStealGrant,
+			Size: ctlMsgBytes,
+			Data: &StealGrant{Seq: req.Seq, Epoch: req.Epoch, Shard: -1}})
+		mm.rt.tracer.Instant(0, "ctl", "steal-dry").Node(mm.node).
+			AttrInt("shard", int64(req.Shard)).AttrInt("seq", seq).End()
+		return
+	}
+	// Debit the advertised pool so back-to-back requests inside one beat
+	// window spread across donors; the donor's next beat re-syncs it.
+	mm.shardSpare[donor] -= req.N
+	if mm.shardSpare[donor] < 0 {
+		mm.shardSpare[donor] = 0
+	}
+	mm.stealsBrokered++
+	mm.record(p, Action{T: p.Now(), Kind: "steal-broker",
+		Target: fmt.Sprintf("shard-%d", req.Shard), N: req.N,
+		Detail: fmt.Sprintf("donor shard %d", donor)})
+	mm.rt.tracer.Instant(0, "ctl", "steal-broker").Node(mm.node).
+		AttrInt("shard", int64(req.Shard)).AttrInt("donor", int64(donor)).
+		AttrInt("seq", seq).End()
+	//iocheck:allow vtblock meta bridges take the forward() courier path, which enqueues without parking
+	mm.bridgeTo(mm.shardInbox[donor]).Submit(p, &evpath.Event{
+		Type: msgStealNotice, Size: ctlMsgBytes,
+		Data: &StealNotice{Seq: req.Seq, Epoch: req.Epoch, Shard: req.Shard,
+			N: req.N, Inbox: req.Inbox}})
+}
+
+// routeGap forwards a cross-shard GapRelay to the shard managing the
+// upstream container. An unknown upstream (or a shard that has never
+// beaten) drops the relay; the consumer channel's gap detector will
+// notice again.
+//
+//iocheck:nonblocking
+func (mm *MetaManager) routeGap(p *sim.Proc, ev *evpath.Event, data *GapRelay) {
+	s := mm.rt.dir.ShardOf(data.Upstream)
+	if s < 0 || mm.shardInbox[s] == nil {
+		return
+	}
+	mm.relays++
+	//iocheck:allow vtblock meta bridges take the forward() courier path, which enqueues without parking
+	mm.bridgeTo(mm.shardInbox[s]).Submit(p, &evpath.Event{Type: msgGapRelay,
+		Size: ctlMsgBytes, Data: data})
+	_ = ev
+}
+
+// broadcastCrack fans the first crack relay out to every shard (acting
+// managers and standbys) so each runs its own branch activation. Later
+// relays are duplicates and are dropped.
+//
+//iocheck:nonblocking
+func (mm *MetaManager) broadcastCrack(p *sim.Proc, data *CrackRelay) {
+	if mm.crackSeen {
+		return
+	}
+	mm.crackSeen = true
+	for s := 0; s < mm.shards; s++ {
+		fwd := &CrackRelay{Seq: data.Seq, Epoch: data.Epoch, Shard: s,
+			From: data.From, Step: data.Step}
+		if inbox := mm.shardInbox[s]; inbox != nil {
+			//iocheck:allow vtblock meta bridges take the forward() courier path, which enqueues without parking
+			mm.bridgeTo(inbox).Submit(p, &evpath.Event{Type: msgCrackRelay,
+				Size: ctlMsgBytes, Data: fwd})
+		}
+		if inbox := mm.standbyInbox[s]; inbox != nil {
+			//iocheck:allow vtblock meta bridges take the forward() courier path, which enqueues without parking
+			mm.bridgeTo(inbox).Submit(p, &evpath.Event{Type: msgCrackRelay,
+				Size: ctlMsgBytes, Data: fwd})
+		}
+	}
+}
+
+// tick checks shard liveness: a shard silent for three intervals whose
+// standby exists gets a one-shot PromoteNotice. The grace period runs
+// from t=0 for shards that have never beaten, exactly like the legacy
+// standby's own silence detector.
+func (mm *MetaManager) tick(p *sim.Proc) {
+	grace := 3 * mm.interval
+	for s := 0; s < mm.shards; s++ {
+		if mm.promoted[s] {
+			continue
+		}
+		if p.Now()-mm.lastBeat[s] <= grace {
+			continue
+		}
+		inbox := mm.standbyInbox[s]
+		if inbox == nil {
+			continue
+		}
+		mm.promoted[s] = true
+		mm.record(p, Action{T: p.Now(), Kind: "promote",
+			Target: fmt.Sprintf("shard-%d", s),
+			Detail: fmt.Sprintf("primary silent for %s; promoting standby", grace)})
+		mm.rt.tracer.Instant(0, "ctl", "promote").Node(mm.node).
+			AttrInt("shard", int64(s)).End()
+		mm.seq++
+		//iocheck:allow vtblock meta bridges take the forward() courier path, which enqueues without parking
+		mm.bridgeTo(inbox).Submit(p, &evpath.Event{Type: msgPromote,
+			Size: ctlMsgBytes,
+			Data: &PromoteNotice{Seq: mm.seq, Epoch: mm.shardEpoch[s], Shard: s}})
+	}
+}
+
+// bridgeTo returns (creating and caching on first use) a bridge to a
+// peer inbox, with an insertion-ordered list for deterministic close.
+func (mm *MetaManager) bridgeTo(inbox *evpath.Stone) *evpath.Stone {
+	if b, ok := mm.bridges[inbox]; ok {
+		return b
+	}
+	b := mm.ev.NewBridge(inbox, 0)
+	mm.bridges[inbox] = b
+	mm.bridgeOrder = append(mm.bridgeOrder, b)
+	return b
+}
+
+func (mm *MetaManager) record(p *sim.Proc, a Action) {
+	if mm.dead {
+		return
+	}
+	mm.actions = append(mm.actions, a)
+	mm.rt.rec.Mark(a.T, fmt.Sprintf("%s %s %d %s", a.Kind, a.Target, a.N, a.Detail))
+}
+
+// close drains the meta-manager's couriers and mailbox at shutdown.
+func (mm *MetaManager) close() {
+	for _, b := range mm.bridgeOrder {
+		b.CloseBridge()
+	}
+	mm.ctl.Close()
+}

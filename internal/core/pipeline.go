@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/adios"
 	"repro/internal/cluster"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/lammps"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/shardmgr"
 	"repro/internal/sim"
 	"repro/internal/smartpointer"
 	"repro/internal/trace"
@@ -86,6 +88,18 @@ type Config struct {
 	// TraceSteps records each step's per-stage completion times in
 	// Result.StepTrace (diagnostic; off by default).
 	TraceSteps bool
+	// Shards > 1 replaces the single global manager with the sharded
+	// hierarchical control plane: containers are assigned to Shards
+	// shard managers by a seeded consistent-hash ring, with a
+	// meta-manager above them for shard liveness, cross-shard steals,
+	// and standby promotion (see shard.go / meta.go). 0 or 1 keeps the
+	// legacy single manager, byte-identical to pre-shard behavior.
+	Shards int
+	// ShardSeed seeds the assignment ring (default: Seed), so placement
+	// can be varied independently of the run's randomness.
+	ShardSeed int64
+	// ShardStandbys deploys a standby manager per shard (0 or 1).
+	ShardStandbys int
 	// Faults injects a deterministic fault schedule (node crashes, link
 	// degradation, partitions, control-message loss) into the run. Nil or
 	// empty means a fault-free machine; see the fault package.
@@ -127,6 +141,9 @@ func (c Config) withDefaults() Config {
 	if c.Sizes == nil {
 		c.Sizes = map[string]int{}
 	}
+	if c.Shards > 1 && c.ShardSeed == 0 {
+		c.ShardSeed = c.Seed
+	}
 	c.Policy = c.Policy.withDefaults(c.OutputPeriod, c.QueueCap)
 	return c
 }
@@ -160,6 +177,17 @@ type Runtime struct {
 	standby      *GlobalManager
 	stagingNodes []*cluster.Node
 	rec          *metrics.Recorder
+
+	// Sharded control plane (all nil/empty on legacy runs; rt.gm is nil
+	// when sharded). shardPrimary tracks the acting manager per shard
+	// (reassigned on standby promotion); shardMgrs lists every manager in
+	// creation order (primaries, then standbys) for shutdown and oracles;
+	// dir is the container/node ownership ledger.
+	meta         *MetaManager
+	shardPrimary []*GlobalManager
+	shardStandby []*GlobalManager
+	shardMgrs    []*GlobalManager
+	dir          *shardmgr.Directory
 
 	producerDone bool
 	emitted      int
@@ -240,6 +268,12 @@ func Build(cfg Config) (*Runtime, error) {
 	// container's replicas topologically close) or interleaved when
 	// SpreadPlacement is set; leftovers are spare.
 	stagingNodes := staging.Nodes()
+	if cfg.Shards > 1 {
+		if err := rt.buildSharded(cfg, stagingNodes); err != nil {
+			return nil, err
+		}
+		return rt, nil
+	}
 	if cfg.SpreadPlacement {
 		stagingNodes = interleave(stagingNodes, len(cfg.Specs))
 	}
@@ -393,6 +427,229 @@ func Build(cfg Config) (*Runtime, error) {
 	return rt, nil
 }
 
+// buildSharded assembles the sharded hierarchical control plane: staging
+// node 0 hosts the meta-manager, nodes 1..S the shard primaries, the next
+// S·k the shard standbys (shard-major), and the rest the container
+// region. Containers map to shards by the seeded consistent-hash ring;
+// each shard manager runs the full round machinery over its scope, while
+// the meta-manager does only slow-path work — shard liveness, cross-shard
+// steal brokering, standby promotion (see shard.go / meta.go).
+func (rt *Runtime) buildSharded(cfg Config, stagingNodes []*cluster.Node) error {
+	S := cfg.Shards
+	k := cfg.ShardStandbys
+	if k < 0 || k > 1 {
+		return fmt.Errorf("core: ShardStandbys must be 0 or 1, got %d", k)
+	}
+	if cfg.StandbyGM {
+		return fmt.Errorf("core: StandbyGM is the legacy failover knob; use ShardStandbys with Shards > 1")
+	}
+	if cfg.Policy.KillGMAt > 0 {
+		return fmt.Errorf("core: Policy.KillGMAt targets the legacy single manager; crash shard managers via a fault schedule")
+	}
+	mgrCount := 1 + S*(1+k)
+	if mgrCount >= len(stagingNodes) {
+		return fmt.Errorf("core: %d control-plane nodes (meta + %d shards ×%d) leave no staging nodes for containers (%d total)",
+			mgrCount, S, 1+k, len(stagingNodes))
+	}
+	rt.stagingNodes = stagingNodes
+	region := stagingNodes[mgrCount:]
+	if cfg.SpreadPlacement {
+		region = interleave(region, len(cfg.Specs))
+	}
+	next := 0
+	nodesFor := map[string][]*cluster.Node{}
+	for _, spec := range cfg.Specs {
+		n := cfg.Sizes[spec.Name]
+		if n <= 0 {
+			n = 1
+		}
+		if next+n > len(region) {
+			return fmt.Errorf("core: container sizes exceed %d staging nodes", len(region))
+		}
+		nodesFor[spec.Name] = region[next : next+n]
+		next += n
+	}
+	leftover := region[next:]
+
+	// Ring + directory: container→shard by seeded consistent hash, spare
+	// nodes round-robin into per-shard pools.
+	ring := shardmgr.NewRing(cfg.ShardSeed, S)
+	names := make([]string, 0, len(cfg.Specs))
+	for _, spec := range cfg.Specs {
+		names = append(names, spec.Name)
+	}
+	rt.dir = shardmgr.NewDirectory(ring, names)
+	for _, spec := range cfg.Specs {
+		s := rt.dir.ShardOf(spec.Name)
+		for _, n := range nodesFor[spec.Name] {
+			rt.dir.SetNodeShard(n.ID, s)
+		}
+	}
+	pools := cluster.SplitPool(leftover, S)
+	for s, pool := range pools {
+		for _, n := range pool {
+			rt.dir.SetNodeShard(n.ID, s)
+		}
+	}
+
+	rt.meta = newMetaManager(rt, stagingNodes[0].ID, S, cfg.Policy.Interval)
+	rt.shardPrimary = make([]*GlobalManager, S)
+	rt.shardStandby = make([]*GlobalManager, S)
+	for s := 0; s < S; s++ {
+		gm := newGlobalManager(rt, stagingNodes[1+s].ID, cfg.Policy, pools[s])
+		gm.shard = s
+		gm.epoch = 1
+		rt.shardPrimary[s] = gm
+		rt.shardMgrs = append(rt.shardMgrs, gm)
+	}
+	for s := 0; s < S && k > 0; s++ {
+		sb := newGlobalManager(rt, stagingNodes[1+S+s].ID, cfg.Policy, nil)
+		sb.shard = s
+		sb.peerEpoch = 1 // the shard primary's starting epoch
+		rt.shardStandby[s] = sb
+		rt.shardMgrs = append(rt.shardMgrs, sb)
+		primary := rt.shardPrimary[s]
+		primary.toStandby = primary.ev.NewBridge(sb.inbox(), 0)
+		rt.meta.standbyInbox[s] = sb.inbox()
+	}
+	// Every shard manager — standbys included, since a promoted standby
+	// inherits the beat/steal duties — gets an upward bridge to the meta.
+	for _, gm := range rt.shardMgrs {
+		gm.toMeta = gm.ev.NewBridge(rt.meta.inbox(), 0)
+	}
+
+	// Channels and containers: same wiring as the legacy build, plus the
+	// shard assignment on each container.
+	branched := len(cfg.Specs) == 4 && cfg.Specs[3].ActivateOnCrack
+	nChannels := len(cfg.Specs)
+	if branched {
+		nChannels = 3
+	}
+	rt.channels = make([]*datatap.Channel, nChannels)
+	for i := range rt.channels {
+		consumer := cfg.Specs[i].Name
+		home := nodesFor[consumer][0].ID
+		rt.channels[i] = datatap.NewChannel(rt.eng, rt.mach,
+			fmt.Sprintf("ch.%d.%s", i, consumer),
+			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes,
+				HomeNode: home, Delivery: cfg.Delivery})
+		rt.channels[i].SetTracer(rt.tracer)
+	}
+	for i, spec := range cfg.Specs {
+		var input, output *datatap.Channel
+		var downstream string
+		switch {
+		case branched && i >= 2:
+			input = rt.channels[2]
+		case branched && i == 1:
+			input, output = rt.channels[1], rt.channels[2]
+			downstream = cfg.Specs[2].Name
+		default:
+			input = rt.channels[i]
+			if i+1 < len(rt.channels) {
+				output = rt.channels[i+1]
+				downstream = cfg.Specs[i+1].Name
+			}
+		}
+		c, err := rt.newContainer(spec, nodesFor[spec.Name], input, output, downstream)
+		if err != nil {
+			return err
+		}
+		c.shard = rt.dir.ShardOf(spec.Name)
+		rt.containers = append(rt.containers, c)
+		rt.byName[spec.Name] = c
+	}
+	if cfg.CheckpointEvery > 0 {
+		nCkpt := cfg.CheckpointNodes
+		if nCkpt <= 0 {
+			nCkpt = 1
+		}
+		cs := ring.Assign("checkpoint")
+		rt.dir.SetShardOf("checkpoint", cs)
+		owner := rt.shardPrimary[cs]
+		if nCkpt > len(owner.spare) {
+			return fmt.Errorf("core: checkpoint container needs %d nodes, shard %d has %d spare",
+				nCkpt, cs, len(owner.spare))
+		}
+		ckptNodes := owner.spare[:nCkpt]
+		owner.spare = owner.spare[nCkpt:]
+		models := smartpointer.DefaultCostModels()
+		spec := ComponentSpec{
+			Name:       "checkpoint",
+			Kind:       smartpointer.KindHelper,
+			Model:      smartpointer.ModelTree,
+			Cost:       models[smartpointer.KindHelper],
+			Essential:  true,
+			DiskOutput: true,
+			SLAPeriods: cfg.CheckpointEvery,
+		}
+		rt.ckptChannel = datatap.NewChannel(rt.eng, rt.mach, "ch.ckpt",
+			datatap.Config{QueueCap: cfg.QueueCap, WriterBufBytes: cfg.WriterBufBytes,
+				HomeNode: ckptNodes[0].ID})
+		rt.ckptChannel.SetTracer(rt.tracer)
+		c, err := rt.newContainer(spec, ckptNodes, rt.ckptChannel, nil, "")
+		if err != nil {
+			return err
+		}
+		c.shard = cs
+		rt.containers = append(rt.containers, c)
+		rt.byName[spec.Name] = c
+		rt.channels = append(rt.channels, rt.ckptChannel)
+	}
+
+	// Each shard manager's scope: its shard's containers, in stage order.
+	// Standbys share the slice — it is read-only after build.
+	for s := 0; s < S; s++ {
+		var scope []*Container
+		for _, c := range rt.containers {
+			if c.shard == s {
+				scope = append(scope, c)
+			}
+		}
+		rt.shardPrimary[s].scope = scope
+		if sb := rt.shardStandby[s]; sb != nil {
+			sb.scope = scope
+		}
+	}
+
+	// Gap routes live on the READER's shard manager: the GapNotice lands
+	// there, and if the upstream belongs to another shard the manager
+	// relays it through the meta (see relayGap / routeGap).
+	for _, c := range rt.containers {
+		if c.input == nil {
+			continue
+		}
+		c := c
+		c.input.SetGapHandler(func(p *sim.Proc, missing int64) { c.noteGap(p, missing) })
+		if up := rt.upstreamOf(c); up != nil {
+			rt.shardPrimary[c.shard].resendRoute[c.Name()] = up.Name()
+			if sb := rt.shardStandby[c.shard]; sb != nil {
+				sb.resendRoute[c.Name()] = up.Name()
+			}
+		}
+	}
+	for _, c := range rt.containers {
+		c.start()
+		rt.shardPrimary[c.shard].connect(c)
+		if sb := rt.shardStandby[c.shard]; sb != nil {
+			sb.connect(c)
+		}
+		if rt.faults != nil && !cfg.Policy.DisableSelfHealing {
+			c := c
+			rt.eng.Go(c.spec.Name+"-watch", c.replicaWatchLoop)
+		}
+	}
+	rt.eng.Go("meta-manager", rt.meta.run)
+	for s := 0; s < S; s++ {
+		rt.eng.Go(fmt.Sprintf("shard-%d-manager", s), rt.shardPrimary[s].run)
+		if sb := rt.shardStandby[s]; sb != nil {
+			rt.eng.Go(fmt.Sprintf("shard-%d-standby", s), sb.standbyLoop)
+		}
+	}
+	rt.eng.Go("lammps-producer", rt.producer)
+	return nil
+}
+
 // producer drives the simulated LAMMPS run into the first channel.
 func (rt *Runtime) producer(p *sim.Proc) {
 	group := rt.io.DeclareGroup("lammps.out")
@@ -469,6 +726,18 @@ func (rt *Runtime) shutdown() {
 		gm.ctl.Close()
 		gm.rsp.Close()
 	}
+	for _, gm := range rt.shardMgrs {
+		if closed[gm] {
+			continue
+		}
+		closed[gm] = true
+		gm.closeBridges()
+		gm.ctl.Close()
+		gm.rsp.Close()
+	}
+	if rt.meta != nil {
+		rt.meta.close()
+	}
 }
 
 // interleave reorders nodes with stride k so consecutive assignment
@@ -497,6 +766,9 @@ func (rt *Runtime) Shutdown() {
 // TakeSpare removes up to n nodes from the global manager's spare pool
 // (for experiments that drive resize protocols directly).
 func (rt *Runtime) TakeSpare(n int) []*cluster.Node {
+	if rt.gm == nil {
+		return nil
+	}
 	if n > len(rt.gm.spare) {
 		n = len(rt.gm.spare)
 	}
@@ -551,6 +823,14 @@ func (rt *Runtime) onNodeCrash(id int) {
 	}
 	if rt.standby != nil && rt.standby.node == id {
 		rt.standby.dead = true
+	}
+	for _, gm := range rt.shardMgrs {
+		if gm.node == id {
+			gm.dead = true
+		}
+	}
+	if rt.meta != nil && rt.meta.node == id {
+		rt.meta.dead = true
 	}
 }
 
@@ -746,12 +1026,28 @@ type Result struct {
 	// DeliveryLost lists steps the data plane knowingly failed to deliver
 	// (refused writes on live channels), bounded at maxLostSteps.
 	DeliveryLost []LostStep
+	// Shards holds the per-shard control-plane summary on sharded runs
+	// (nil on legacy single-manager runs).
+	Shards []ShardSummary
+}
+
+// ShardSummary is one shard's row in the sharded run's control-plane
+// summary table. Spare/Epoch/Actions/Suspects reflect the shard's acting
+// manager at run end (the promoted standby after a failover).
+type ShardSummary struct {
+	Shard      int
+	Containers int
+	Spare      int
+	Epoch      int64
+	StolenIn   int
+	StolenOut  int
+	Actions    int
+	Suspects   int
 }
 
 func (rt *Runtime) result() *Result {
 	res := &Result{
 		Recorder:         rt.rec,
-		Actions:          rt.gm.Actions(),
 		Emitted:          rt.emitted,
 		ProducerFinished: rt.producerDone,
 		Exits:            rt.exits,
@@ -759,11 +1055,16 @@ func (rt *Runtime) result() *Result {
 		WriterBlocked:    rt.channels[0].Stats().WriterBlocked,
 		States:           map[string]string{},
 		FinalSizes:       map[string]int{},
-		Spare:            rt.gm.Spare(),
 		Provenance:       map[string]string{},
 	}
 	res.StepTrace = rt.stepTrace
-	res.Suspects = rt.gm.Suspects()
+	if rt.dir == nil {
+		res.Actions = rt.gm.Actions()
+		res.Spare = rt.gm.Spare()
+		res.Suspects = rt.gm.Suspects()
+	} else {
+		rt.shardResult(res)
+	}
 	for _, ch := range rt.channels {
 		res.Delivery = append(res.Delivery, ch.DeliverySnapshot())
 	}
@@ -785,6 +1086,45 @@ func (rt *Runtime) result() *Result {
 	return res
 }
 
+// shardResult merges the per-shard control planes into the run summary —
+// actions across every manager plus the meta, time-ordered; spare and
+// suspects aggregated — and attaches the per-shard table.
+func (rt *Runtime) shardResult(res *Result) {
+	var acts []Action
+	for _, gm := range rt.shardMgrs {
+		acts = append(acts, gm.Actions()...)
+	}
+	acts = append(acts, rt.meta.Actions()...)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].T < acts[j].T })
+	res.Actions = acts
+	seen := map[string]bool{}
+	for _, gm := range rt.shardMgrs {
+		for _, name := range gm.Suspects() {
+			if !seen[name] {
+				seen[name] = true
+				res.Suspects = append(res.Suspects, name)
+			}
+		}
+	}
+	sort.Strings(res.Suspects)
+	for s := 0; s < rt.cfg.Shards; s++ {
+		acting := rt.shardPrimary[s]
+		in, out := rt.dir.Steals(s)
+		res.Spare += acting.Spare()
+		nc := 0
+		for _, c := range rt.containers {
+			if c.shard == s {
+				nc++
+			}
+		}
+		res.Shards = append(res.Shards, ShardSummary{
+			Shard: s, Containers: nc, Spare: acting.Spare(),
+			Epoch: acting.Epoch(), StolenIn: in, StolenOut: out,
+			Actions: len(acting.Actions()), Suspects: len(acting.Suspects()),
+		})
+	}
+}
+
 // Container returns a container by name (for tests and experiments).
 func (rt *Runtime) Container(name string) *Container { return rt.byName[name] }
 
@@ -794,8 +1134,50 @@ func (rt *Runtime) Containers() []*Container {
 	return append([]*Container(nil), rt.containers...)
 }
 
-// GM returns the currently active global manager.
+// GM returns the currently active global manager (nil on sharded runs —
+// use ShardManager / Managers there).
 func (rt *Runtime) GM() *GlobalManager { return rt.gm }
+
+// Sharded reports whether the run uses the sharded control plane.
+func (rt *Runtime) Sharded() bool { return rt.dir != nil }
+
+// Meta returns the meta-manager (nil on legacy runs).
+func (rt *Runtime) Meta() *MetaManager { return rt.meta }
+
+// Directory returns the shard ownership ledger (nil on legacy runs).
+func (rt *Runtime) Directory() *shardmgr.Directory { return rt.dir }
+
+// ShardManager returns shard s's acting manager (the promoted standby
+// after a failover).
+func (rt *Runtime) ShardManager(s int) *GlobalManager { return rt.shardPrimary[s] }
+
+// Managers returns every global-manager instance: on legacy runs the
+// distinct primary/active/standby, on sharded runs every shard primary
+// and standby in creation order. The meta-manager is separate (Meta).
+func (rt *Runtime) Managers() []*GlobalManager {
+	if rt.dir != nil {
+		return append([]*GlobalManager(nil), rt.shardMgrs...)
+	}
+	var out []*GlobalManager
+	seen := map[*GlobalManager]bool{}
+	for _, gm := range []*GlobalManager{rt.primary, rt.gm, rt.standby} {
+		if gm == nil || seen[gm] {
+			continue
+		}
+		seen[gm] = true
+		out = append(out, gm)
+	}
+	return out
+}
+
+// managerFor returns the manager responsible for c's control rounds at
+// build time (the shard primary on sharded runs, rt.gm otherwise).
+func (rt *Runtime) managerFor(c *Container) *GlobalManager {
+	if c.shard >= 0 {
+		return rt.shardPrimary[c.shard]
+	}
+	return rt.gm
+}
 
 // Primary returns the manager that started the run as primary (it may be
 // dead or deposed by now — rt.GM() is the active one).

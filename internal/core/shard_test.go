@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/shardmgr"
+	"repro/internal/sim"
+)
+
+// shardedConfig is the Fig. 7 pipeline under the sharded control plane:
+// 1 meta + shards primaries (+ standbys) on the first staging nodes, the
+// 13 container nodes and the leftovers behind them.
+func shardedConfig(shards, standbys, stagingNodes int) Config {
+	return Config{
+		SimNodes:      256,
+		StagingNodes:  stagingNodes,
+		Sizes:         DefaultSizes(13),
+		Steps:         20,
+		CrackStep:     -1,
+		Seed:          42,
+		Shards:        shards,
+		ShardStandbys: standbys,
+	}
+}
+
+// splitSeed returns a ShardSeed under which the four default stages do
+// not all land in one shard and some consumer's upstream is in another
+// shard (so cross-shard routing paths are exercised).
+func splitSeed(t *testing.T, shards int) int64 {
+	t.Helper()
+	names := []string{"helper", "bonds", "csym", "cna"}
+	pairs := [][2]string{{"helper", "bonds"}, {"bonds", "csym"}, {"bonds", "cna"}}
+	for seed := int64(1); seed <= 200; seed++ {
+		ring := shardmgr.NewRing(seed, shards)
+		of := map[string]int{}
+		for _, n := range names {
+			of[n] = ring.Assign(n)
+		}
+		for _, p := range pairs {
+			if of[p[0]] != of[p[1]] {
+				return seed
+			}
+		}
+	}
+	t.Fatal("no ShardSeed splits the default stages across shards")
+	return 0
+}
+
+func TestShardedRunCompletes(t *testing.T) {
+	cfg := shardedConfig(2, 1, 24) // 5 manager nodes, 13 container, 6 spare
+	cfg.ShardSeed = splitSeed(t, 2)
+	rt, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != 20 || res.Exits != 20 {
+		t.Fatalf("sharded run damaged: emitted=%d exits=%d", res.Emitted, res.Exits)
+	}
+	if len(res.Shards) != 2 {
+		t.Fatalf("want 2 shard summaries, got %v", res.Shards)
+	}
+	nc := 0
+	for _, s := range res.Shards {
+		nc += s.Containers
+		if s.Epoch < 1 {
+			t.Fatalf("shard %d never had a fenced primary: %+v", s.Shard, s)
+		}
+	}
+	if nc != len(rt.Containers()) {
+		t.Fatalf("shard summaries cover %d containers, pipeline has %d", nc, len(rt.Containers()))
+	}
+	// Node conservation: the container region (staging minus the five
+	// control-plane nodes) is exactly owned + spare.
+	total := res.Spare
+	for _, n := range res.FinalSizes {
+		total += n
+	}
+	if want := cfg.StagingNodes - 5; total != want {
+		t.Fatalf("nodes %d != %d (sizes %v spare %d)", total, want, res.FinalSizes, res.Spare)
+	}
+	// Scope isolation: every control round was issued by the manager of
+	// the target's own shard.
+	dir := rt.Directory()
+	for _, r := range res.Rounds {
+		if s := dir.ShardOf(r.Target); s != r.Shard {
+			t.Fatalf("round %q on %s issued by shard %d, container belongs to shard %d",
+				r.Kind, r.Target, r.Shard, s)
+		}
+	}
+	if rt.GM() != nil {
+		t.Fatal("sharded run must not have a legacy global manager")
+	}
+}
+
+func TestShardedRunDeterministic(t *testing.T) {
+	cfg := shardedConfig(2, 1, 24)
+	cfg.ShardSeed = splitSeed(t, 2)
+	a := runScenario(t, cfg)
+	b := runScenario(t, cfg)
+	if fmt.Sprint(a.Actions) != fmt.Sprint(b.Actions) {
+		t.Fatalf("actions differ between identical runs:\n%v\n%v", a.Actions, b.Actions)
+	}
+	if fmt.Sprint(a.Shards) != fmt.Sprint(b.Shards) {
+		t.Fatalf("shard summaries differ:\n%v\n%v", a.Shards, b.Shards)
+	}
+}
+
+// A GapNotice lands at the READER's shard manager, but the answering
+// ResendReq round must be issued by the WRITER's shard manager — exactly
+// once, not once per manager that hears about the gap.
+func TestCrossShardGapRoutesToWriterShard(t *testing.T) {
+	cfg := shardedConfig(2, 0, 24)
+	cfg.ShardSeed = splitSeed(t, 2)
+	rt, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a consumer whose upstream lives in another shard.
+	var reader, writer *Container
+	for _, c := range rt.Containers() {
+		up := rt.upstreamOf(c)
+		if up != nil && up.shard != c.shard {
+			reader, writer = c, up
+			break
+		}
+	}
+	if reader == nil {
+		t.Fatal("splitSeed produced no cross-shard consumer/upstream pair")
+	}
+	rt.eng.Go("test-gap", func(p *sim.Proc) {
+		p.Sleep(30 * sim.Second)
+		reader.noteGap(p, 1)
+	})
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resends := 0
+	for _, r := range res.Rounds {
+		if r.Kind != "resend" {
+			continue
+		}
+		if r.Target != writer.Name() {
+			t.Fatalf("resend round aimed at %q, want upstream %q", r.Target, writer.Name())
+		}
+		if r.Shard != writer.shard {
+			t.Fatalf("resend issued by shard %d, want writer shard %d (reader shard %d)",
+				r.Shard, writer.shard, reader.shard)
+		}
+		resends++
+	}
+	if resends == 0 {
+		t.Fatalf("gap was never relayed into a resend round: %v", res.Rounds)
+	}
+	if resends > 1 {
+		t.Fatalf("one gap produced %d resend rounds, want exactly 1", resends)
+	}
+}
+
+// A shard whose pool runs dry mid-heal asks the meta-manager for nodes;
+// the donor releases from its pool and the ledger records the transfer.
+func TestCrossShardStealOnDryHeal(t *testing.T) {
+	// 19 staging nodes: 5 control-plane + 13 container + 1 leftover. The
+	// round-robin pools give shard 0 the single spare node and shard 1
+	// nothing, so a crash in a shard-1 container forces a cross-shard
+	// steal.
+	cfg := shardedConfig(2, 1, 19)
+	// Find a seed where some stage is managed by the dry shard 1.
+	seed := int64(-1)
+	var victimName string
+	for s := int64(1); s <= 200 && seed < 0; s++ {
+		ring := shardmgr.NewRing(s, 2)
+		for _, n := range []string{"helper", "bonds", "csym", "cna"} {
+			if ring.Assign(n) == 1 {
+				seed, victimName = s, n
+				break
+			}
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed maps a stage to shard 1")
+	}
+	cfg.ShardSeed = seed
+	probe, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := probe.Container(victimName)
+	// Crash a non-manager replica (node 0 hosts the local manager; a
+	// container without its manager cannot run the restart protocol).
+	crashNode := victim.Nodes()[1].ID
+	probe.Shutdown()
+
+	cfg.Faults = &fault.Config{Crashes: []fault.Crash{{Node: crashNode, At: 60 * sim.Second}}}
+	res := runScenario(t, cfg)
+	if !hasAction(res, "steal-broker", "shard-1") {
+		t.Fatalf("meta never brokered the steal: %v", res.Actions)
+	}
+	if !hasAction(res, "steal-out", "shard-1") {
+		t.Fatalf("donor never released nodes: %v", res.Actions)
+	}
+	if !hasAction(res, "steal-in", "shard-1") {
+		t.Fatalf("requester never adopted the stolen nodes: %v", res.Actions)
+	}
+	found := false
+	for _, s := range res.Shards {
+		if s.Shard == 1 && s.StolenIn > 0 {
+			found = true
+		}
+		if s.Shard == 0 && s.StolenOut == 0 {
+			t.Fatalf("donor shard 0 shows no StolenOut: %+v", res.Shards)
+		}
+	}
+	if !found {
+		t.Fatalf("ledger shows no steal into shard 1: %+v", res.Shards)
+	}
+}
+
+// Killing a shard primary's node promotes that shard's standby via the
+// meta-manager's PromoteNotice; the other shard is untouched.
+func TestMetaPromotesShardStandby(t *testing.T) {
+	cfg := shardedConfig(2, 1, 24)
+	cfg.ShardSeed = splitSeed(t, 2)
+	probe, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryNode := probe.ShardManager(0).node
+	standby := probe.shardStandby[0]
+	probe.Shutdown()
+
+	cfg.Faults = &fault.Config{Crashes: []fault.Crash{{Node: primaryNode, At: 60 * sim.Second}}}
+	rt, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasAction(res, "promote", "shard-0") {
+		t.Fatalf("meta never promoted shard 0's standby: %v", res.Actions)
+	}
+	if !hasAction(res, "failover", "global-manager") {
+		t.Fatalf("standby never took over: %v", res.Actions)
+	}
+	if rt.ShardManager(0) == rt.shardMgrs[0] {
+		t.Fatal("shard 0's acting manager is still the dead primary")
+	}
+	if rt.ShardManager(0).InStandby() {
+		t.Fatal("promoted standby still marked standby")
+	}
+	if rt.ShardManager(0).Epoch() <= 1 {
+		t.Fatalf("takeover did not fence above the primary: epoch %d", rt.ShardManager(0).Epoch())
+	}
+	// Shard 1's primary was never disturbed.
+	for _, a := range res.Actions {
+		if a.Kind == "promote" && a.Target == "shard-1" {
+			t.Fatalf("healthy shard 1 promoted: %v", res.Actions)
+		}
+	}
+	_ = standby
+}

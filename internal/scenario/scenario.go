@@ -61,12 +61,25 @@ type File struct {
 	// Delivery selects the data plane's delivery guarantee and tunes its
 	// retry/spill machinery (nil = best-effort, the legacy semantics).
 	Delivery *Delivery `json:"delivery,omitempty"`
+	// Shards enables the sharded hierarchical control plane (nil or
+	// count ≤ 1 = the legacy single global manager).
+	Shards *ShardsSpec `json:"shards,omitempty"`
 	// Faults schedules deterministic fault injection (nil = none).
 	Faults *Faults `json:"faults"`
 	// Chaos marks a chaos-search artifact (a shrunk regression emitted by
 	// iochaos). The runtime ignores it; the regression replay harness
 	// reads it to know which oracle the schedule must violate.
 	Chaos *ChaosMeta `json:"chaos,omitempty"`
+}
+
+// ShardsSpec configures the sharded control plane: Count shard managers
+// under one meta-manager, containers assigned by a consistent-hash ring
+// seeded with Seed (0 = the scenario seed), and Standbys (0 or 1) standby
+// managers per shard.
+type ShardsSpec struct {
+	Count    int   `json:"count"`
+	Seed     int64 `json:"seed,omitempty"`
+	Standbys int   `json:"standbys,omitempty"`
 }
 
 // ChaosMeta is the provenance block iochaos stamps on emitted regression
@@ -405,6 +418,19 @@ func (f *File) ToConfig() (core.Config, error) {
 				f.Policy.TradeVoteTimeoutSec * float64(sim.Second)),
 			DisableFencing: f.Policy.DisableFencing,
 		},
+	}
+	if f.Shards != nil {
+		if f.Shards.Count < 0 {
+			return cfg, fmt.Errorf("scenario: field %q: %d is negative",
+				"shards.count", f.Shards.Count)
+		}
+		if f.Shards.Standbys < 0 || f.Shards.Standbys > 1 {
+			return cfg, fmt.Errorf("scenario: field %q: %d outside [0,1]",
+				"shards.standbys", f.Shards.Standbys)
+		}
+		cfg.Shards = f.Shards.Count
+		cfg.ShardSeed = f.Shards.Seed
+		cfg.ShardStandbys = f.Shards.Standbys
 	}
 	if f.Delivery != nil {
 		dc, err := f.Delivery.toConfig()

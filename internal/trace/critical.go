@@ -38,6 +38,15 @@ type ContainerCost struct {
 	Segments  int
 }
 
+// ShardCost aggregates critical-path contribution per control-plane
+// shard (sharded runs label compute and round spans with a "shard"
+// attribute; legacy runs produce none).
+type ShardCost struct {
+	Shard    string
+	Total    sim.Time
+	Segments int
+}
+
 // CriticalPath is the full analysis result.
 type CriticalPath struct {
 	Steps []StepPath // ascending by step
@@ -45,6 +54,12 @@ type CriticalPath struct {
 	// Dominant is the container with the largest aggregate contribution
 	// ("" when no step-scoped spans exist).
 	Dominant string
+	// Shards is the per-shard contribution breakdown, largest first
+	// (empty on legacy single-manager traces).
+	Shards []ShardCost
+	// HotShard is the shard with the largest aggregate contribution ("")
+	// when the trace carries no shard labels).
+	HotShard string
 }
 
 // AnalyzeCriticalPath reconstructs per-step critical paths from recs and
@@ -73,6 +88,7 @@ func AnalyzeCriticalPath(recs []Record) *CriticalPath {
 	}
 	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
 	costs := map[string]*ContainerCost{}
+	shardCosts := map[string]*ShardCost{}
 	for _, step := range steps {
 		var chain []Record
 		seen := map[SpanID]bool{}
@@ -110,6 +126,15 @@ func AnalyzeCriticalPath(recs []Record) *CriticalPath {
 			}
 			c.Total += contrib
 			c.Segments++
+			if shard := r.Attr("shard"); shard != "" {
+				sc := shardCosts[shard]
+				if sc == nil {
+					sc = &ShardCost{Shard: shard}
+					shardCosts[shard] = sc
+				}
+				sc.Total += contrib
+				sc.Segments++
+			}
 		}
 		if len(sp.Segs) > 0 {
 			sp.Total = sp.Segs[len(sp.Segs)-1].Rec.End - sp.Segs[0].Rec.Start
@@ -128,6 +153,18 @@ func AnalyzeCriticalPath(recs []Record) *CriticalPath {
 	if len(cp.Costs) > 0 {
 		cp.Dominant = cp.Costs[0].Container
 	}
+	for _, sc := range shardCosts {
+		cp.Shards = append(cp.Shards, *sc)
+	}
+	sort.Slice(cp.Shards, func(i, j int) bool {
+		if cp.Shards[i].Total != cp.Shards[j].Total {
+			return cp.Shards[i].Total > cp.Shards[j].Total
+		}
+		return cp.Shards[i].Shard < cp.Shards[j].Shard
+	})
+	if len(cp.Shards) > 0 {
+		cp.HotShard = cp.Shards[0].Shard
+	}
 	return cp
 }
 
@@ -142,6 +179,13 @@ func (cp *CriticalPath) WriteReport(w io.Writer) error {
 	fmt.Fprintln(w, "per-container contribution:")
 	for _, c := range cp.Costs {
 		fmt.Fprintf(w, "  %-24s %12s  (%d segments)\n", c.Container, c.Total, c.Segments)
+	}
+	if cp.HotShard != "" {
+		fmt.Fprintf(w, "\nhot shard: %s\n", cp.HotShard)
+		fmt.Fprintln(w, "per-shard contribution:")
+		for _, s := range cp.Shards {
+			fmt.Fprintf(w, "  shard %-18s %12s  (%d segments)\n", s.Shard, s.Total, s.Segments)
+		}
 	}
 	// Show the slowest step's full chain as the worked example.
 	worst := cp.Steps[0]

@@ -101,6 +101,51 @@ func TestCriticalPathEmptyAndOrphans(t *testing.T) {
 	}
 }
 
+// TestCriticalPathHotShard checks the per-shard rollup: spans labeled
+// with a "shard" attribute aggregate into ShardCost rows, unlabeled
+// (legacy) traces produce none and the report stays silent about shards.
+func TestCriticalPathHotShard(t *testing.T) {
+	eng := newEngine(t)
+	r := New(eng, Config{})
+	eng.Go("w", func(p *sim.Proc) {
+		w := r.Begin(0, "core", "write").Container("lammps").Step(0).AttrInt("shard", 1)
+		p.Sleep(sim.Millisecond)
+		w.End()
+		comp := r.Begin(w.ID(), "core", "compute").Container("bonds").Step(0).AttrInt("shard", 0)
+		p.Sleep(9 * sim.Millisecond)
+		comp.End()
+	})
+	eng.Run()
+	cp := AnalyzeCriticalPath(r.Records())
+	if cp.HotShard != "0" {
+		t.Fatalf("HotShard = %q, want 0 (compute dominates)", cp.HotShard)
+	}
+	if len(cp.Shards) != 2 || cp.Shards[0].Total != 9*sim.Millisecond ||
+		cp.Shards[1].Shard != "1" || cp.Shards[1].Total != sim.Millisecond {
+		t.Fatalf("shard costs = %+v", cp.Shards)
+	}
+	var buf bytes.Buffer
+	if err := cp.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hot shard: 0") {
+		t.Fatalf("report missing hot shard line:\n%s", buf.String())
+	}
+
+	// Legacy trace: no shard labels, no shard section.
+	cp = AnalyzeCriticalPath(buildStepChain(t))
+	if cp.HotShard != "" || len(cp.Shards) != 0 {
+		t.Fatalf("legacy trace grew shard costs: %+v", cp.Shards)
+	}
+	buf.Reset()
+	if err := cp.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "hot shard") {
+		t.Fatalf("legacy report mentions shards:\n%s", buf.String())
+	}
+}
+
 func TestCriticalPathReport(t *testing.T) {
 	cp := AnalyzeCriticalPath(buildStepChain(t))
 	var buf bytes.Buffer
