@@ -39,14 +39,17 @@ lint-baseline:
 # (cmd/iochaos: 64 seeds over the failover scenario, the hand-written
 # fault schedule, the at-least-once data plane with writer-node crashes
 # and descriptor-drop windows as fair targets, and the sharded control
-# plane with meta/shard-manager crashes as fair targets), smokes the
-# 1,000-container sharded scenario on a reduced seed set, then replays
-# the checked-in shrunk reproducers in scenarios/regressions/.
+# plane with meta/shard-manager crashes as fair targets, and the
+# 2,000-subscriber dashboard fleet with subscriber crashes and reconnect
+# storms as fair targets), smokes the 1,000-container sharded scenario
+# on a reduced seed set, then replays the checked-in shrunk reproducers
+# in scenarios/regressions/.
 chaos:
 	$(GO) run ./cmd/iochaos -scenario scenarios/chaos-failover.json -seeds 64
 	$(GO) run ./cmd/iochaos -scenario scenarios/faults.json -seeds 64
 	$(GO) run ./cmd/iochaos -scenario scenarios/delivery.json -seeds 64
 	$(GO) run ./cmd/iochaos -scenario scenarios/chaos-shards.json -seeds 64
+	$(GO) run ./cmd/iochaos -scenario scenarios/dashboards.json -seeds 64
 	$(GO) run ./cmd/iochaos -scenario scenarios/shards-1k.json -seeds 8
 	$(GO) test ./internal/chaos/ -run TestRegressionsReplay
 
@@ -73,7 +76,7 @@ bench:
 # every ablation's allocs/op in the baseline.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
-	$(GO) run ./cmd/benchjson -assert-allocs 'Ablation,Fig5,Fig10,IocheckHotalloc' < bench.out > /dev/null
+	$(GO) run ./cmd/benchjson -assert-allocs 'Ablation,Fig5,Fig10,IocheckHotalloc,StreamingFanout' < bench.out > /dev/null
 	rm -f bench.out
 
 # trace-smoke runs one traced fig7 scenario and fails unless the exported

@@ -1,0 +1,55 @@
+package iocontainer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// BenchmarkStreamingFanout pins the fan-out subsystem's SLA: a
+// 1,000-subscriber dashboard fleet with Zipf-distributed read rates
+// (scenarios/dashboards.json, fleet capped at 1k) rides the whole
+// robustness ladder — per-subscriber staged buffers, tail eviction to
+// the provenance-stamped spill store, disk-bandwidth catch-up — while
+// the simulation's writers never stall on any of it. The benchmark
+// fails outright if a writer parked for even one tick of virtual time,
+// if Publish ever blocked, or if any subscriber's conservation ledger
+// has a hole.
+func BenchmarkStreamingFanout(b *testing.B) {
+	b.ReportAllocs()
+	cfg, err := scenario.LoadFile("scenarios/dashboards.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := *cfg.Subscribers
+	subs.Count = 1000
+	cfg.Subscribers = &subs
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		rt, err := core.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WriterStalled != 0 {
+			b.Fatalf("writers stalled %v under the subscriber fleet (SLA: zero)", res.WriterStalled)
+		}
+		if res.SubHub.PublishStall != 0 {
+			b.Fatalf("Publish parked a writer for %v", res.SubHub.PublishStall)
+		}
+		var unaccounted int64
+		for _, s := range res.Subscribers {
+			unaccounted += s.Unaccounted()
+		}
+		if unaccounted != 0 {
+			b.Fatalf("%d sequences unaccounted across the fleet", unaccounted)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.SubHub.Delivered), "delivered")
+	b.ReportMetric(float64(last.SubHub.SpillReads), "spill-reads")
+}

@@ -1,9 +1,10 @@
 // Command iochaos explores randomized fault schedules against a base
 // scenario and audits every run with the chaos invariant oracles (chunk
 // conservation, single-writer epochs, D2T same-decision, convergence,
-// heal completeness, trace-DAG connectivity). Failing schedules are
-// delta-debugged to a minimal fault set and, with -emit, written out as
-// runnable regression scenarios.
+// heal completeness, trace-DAG connectivity, delivery, dual ownership,
+// per-subscriber conservation, and the subscriber never-block SLA).
+// Failing schedules are delta-debugged to a minimal fault set and, with
+// -emit, written out as runnable regression scenarios.
 //
 // Usage:
 //

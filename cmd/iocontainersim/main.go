@@ -195,6 +195,7 @@ func runAndReport(cfg core.Config) {
 
 	printShards(res)
 	printDelivery(res)
+	printSubscribers(res)
 
 	if trig, ok := rt.Tracer().Triggered(); ok && flightPath != "" {
 		fmt.Printf("flight recorder: triggered (%s), dump in %s\n", trig, flightPath)
@@ -256,6 +257,32 @@ func printDelivery(res *core.Result) {
 			fmt.Printf("  %-8s step=%d reason=%s\n", l.Container, l.Step, l.Reason)
 		}
 	}
+}
+
+// printSubscribers summarizes the streaming fan-out fleet on runs that
+// attach one (nothing is printed otherwise): the hub-wide counters, the
+// fleet's worst lag, and the conservation balance.
+func printSubscribers(res *core.Result) {
+	if len(res.Subscribers) == 0 {
+		return
+	}
+	hs := res.SubHub
+	var crashed int
+	var maxLag, unaccounted int64
+	for _, s := range res.Subscribers {
+		if s.Crashed {
+			crashed++
+		}
+		if s.MaxLag > maxLag {
+			maxLag = s.MaxLag
+		}
+		unaccounted += s.Unaccounted()
+	}
+	fmt.Printf("subscribers (%d, %d crashed): published=%d delivered=%d dropped=%d spilled=%d spill-reads=%d resumes=%d replays=%d\n",
+		len(res.Subscribers), crashed, hs.Published, hs.Delivered, hs.Dropped,
+		hs.Spilled, hs.SpillReads, hs.Resumes, hs.Replays)
+	fmt.Printf("  max-lag=%d unaccounted=%d writer-stalled=%s publish-stall=%s\n",
+		maxLag, unaccounted, res.WriterStalled, hs.PublishStall)
 }
 
 // exportChrome writes the recorder contents as Chrome trace_event JSON.

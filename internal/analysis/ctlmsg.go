@@ -40,6 +40,17 @@ import (
 // can drop stale instances. They are EXEMPT from the container-round
 // rules above even when their name ends in Req/Resp: a StealReq is
 // pump-to-pump traffic between managers, never served by managerLoop.
+//
+// Subscriber round messages — structs carrying `Seq int64` and `SubID
+// string` (the SubNotice/SubResume/SubReplay family of the streaming
+// fan-out's reconnect protocol) — form a third family layered on top:
+// each must be registered in the subMsgSeq switch, reach a dispatch arm
+// (dispatch, managerLoop, or respSeq — notices are pump messages, the
+// Req/Resp pairs full container rounds), and carry `Epoch int64` so a
+// deposed manager cannot revive cursors. The Req/Resp members also
+// satisfy the container-round rules above; the family check is what makes
+// a pump-only notice like SubNotice, which no Req/Resp rule ever sees,
+// impossible to leave half-wired.
 var CtlMsg = &Analyzer{
 	Name: "ctlmsg",
 	Doc:  "protocol Req/Resp types must be dispatched in reqSeq/msgTypeFor/managerLoop/respSeq and carry the fencing epoch",
@@ -54,10 +65,12 @@ var CtlMsg = &Analyzer{
 func runCtlMsg(pass *Pass) {
 	reqs, resps := protocolMessageTypes(pass)
 	shardMsgs := shardRoundMessageTypes(pass)
-	if len(reqs) == 0 && len(resps) == 0 && len(shardMsgs) == 0 {
+	subMsgs := subRoundMessageTypes(pass)
+	if len(reqs) == 0 && len(resps) == 0 && len(shardMsgs) == 0 && len(subMsgs) == 0 {
 		return
 	}
 	checkShardMessages(pass, shardMsgs)
+	checkSubMessages(pass, subMsgs)
 	inReqSeq := switchCaseTypes(pass, "reqSeq")
 	inMsgTypeFor := switchCaseTypes(pass, "msgTypeFor")
 	inManagerLoop, haveManagerLoop := switchCaseTypesOpt(pass, "managerLoop")
@@ -136,6 +149,35 @@ func checkShardMessages(pass *Pass, shardMsgs []*types.TypeName) {
 	}
 }
 
+// checkSubMessages enforces the subscriber-round contract: registry
+// entry, a dispatch arm somewhere on the round path, fencing epoch.
+func checkSubMessages(pass *Pass, subMsgs []*types.TypeName) {
+	if len(subMsgs) == 0 {
+		return
+	}
+	inSubSeq := switchCaseTypes(pass, "subMsgSeq")
+	inDispatch := switchCaseTypes(pass, "dispatch")
+	inManagerLoop := switchCaseTypes(pass, "managerLoop")
+	inRespSeq := switchCaseTypes(pass, "respSeq")
+	for _, m := range subMsgs {
+		if !inSubSeq[m] {
+			pass.Reportf(m.Pos(),
+				"subscriber round message %s is missing from the subMsgSeq registry switch",
+				m.Name())
+		}
+		if !inDispatch[m] && !inManagerLoop[m] && !inRespSeq[m] {
+			pass.Reportf(m.Pos(),
+				"subscriber round message %s is not handled by any subscriber dispatch switch (dispatch/managerLoop/respSeq): it would be silently dropped",
+				m.Name())
+		}
+		if !hasEpochField(structOf(m)) {
+			pass.Reportf(m.Pos(),
+				"subscriber round message %s carries no Epoch int64 field: the fence cannot reject a deposed manager's cursor mutations",
+				m.Name())
+		}
+	}
+}
+
 func structOf(tn *types.TypeName) *types.Struct {
 	st, _ := tn.Type().Underlying().(*types.Struct)
 	return st
@@ -192,6 +234,29 @@ func shardRoundMessageTypes(pass *Pass) []*types.TypeName {
 	return out
 }
 
+// subRoundMessageTypes returns the package's subscriber round family —
+// named structs with both Seq int64 and SubID string — in
+// declaration-name order. Membership overlaps the container-round family
+// for the Req/Resp members; both contracts apply.
+func subRoundMessageTypes(pass *Pass) []*types.TypeName {
+	scope := pass.Pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	var out []*types.TypeName
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || !hasSeqField(st) || !hasSubIDField(st) {
+			continue
+		}
+		out = append(out, tn)
+	}
+	return out
+}
+
 func hasSuffix(s, suf string) bool {
 	return len(s) > len(suf) && s[len(s)-len(suf):] == suf
 }
@@ -210,6 +275,24 @@ func hasShardField(st *types.Struct) bool {
 			continue
 		}
 		if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.Int {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSubIDField reports a plain `SubID string` field (the subscriber-family
+// tag).
+func hasSubIDField(st *types.Struct) bool {
+	if st == nil {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "SubID" {
+			continue
+		}
+		if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.String {
 			return true
 		}
 	}

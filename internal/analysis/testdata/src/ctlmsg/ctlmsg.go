@@ -60,6 +60,36 @@ type StealReq struct {
 	Shard int
 }
 
+// NoticeMsg is a fully registered subscriber round message: a pump
+// notice, handled by dispatch rather than served as a round.
+type NoticeMsg struct {
+	Seq   int64
+	Epoch int64
+	SubID string
+}
+
+// StraySubMsg never made it into the subscriber registry or a dispatch
+// arm.
+type StraySubMsg struct { // want "missing from the subMsgSeq" "not handled by any subscriber dispatch"
+	Seq   int64
+	Epoch int64
+	SubID string
+}
+
+// BareSubMsg is registered and dispatched but unfenced.
+type BareSubMsg struct { // want "carries no Epoch int64 field"
+	Seq   int64
+	SubID string
+}
+
+// SubPingReq carries SubID and ends in Req: a full container round that
+// must satisfy BOTH the container-round and subscriber-family contracts.
+type SubPingReq struct {
+	Seq   int64
+	Epoch int64
+	SubID string
+}
+
 func shardMsgSeq(v any) (int64, bool) {
 	switch r := v.(type) {
 	case *BeatMsg:
@@ -80,11 +110,33 @@ func shardDispatch(v any) bool {
 	return false
 }
 
+func subMsgSeq(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *NoticeMsg:
+		return r.Seq, true
+	case *BareSubMsg:
+		return r.Seq, true
+	case *SubPingReq:
+		return r.Seq, true
+	}
+	return 0, false
+}
+
+func dispatch(v any) bool {
+	switch v.(type) {
+	case *NoticeMsg, *BareSubMsg:
+		return true
+	}
+	return false
+}
+
 func reqSeq(v any) (int64, bool) {
 	switch r := v.(type) {
 	case *PingReq:
 		return r.Seq, true
 	case *EpochlessReq:
+		return r.Seq, true
+	case *SubPingReq:
 		return r.Seq, true
 	}
 	return 0, false
@@ -106,6 +158,8 @@ func msgTypeFor(req any) string {
 		return "ctl.ping"
 	case *EpochlessReq:
 		return "ctl.epochless"
+	case *SubPingReq:
+		return "ctl.sub_ping"
 	}
 	return "ctl.unknown"
 }
@@ -120,6 +174,10 @@ func (s *server) managerLoop(v any) any {
 		return resp
 	case *EpochlessReq:
 		resp := &EpochlessResp{Seq: req.Seq}
+		s.served[req.Seq] = resp
+		return resp
+	case *SubPingReq:
+		resp := &PingResp{Seq: req.Seq, Epoch: req.Epoch}
 		s.served[req.Seq] = resp
 		return resp
 	}

@@ -129,6 +129,6 @@ func Summarize(f *scenario.Faults) string {
 	if f == nil {
 		return "no faults"
 	}
-	return fmt.Sprintf("%d crash(es), %d link window(s), %d partition(s), %d drop window(s), %d data-drop window(s), %d stall(s)",
-		len(f.Crashes), len(f.Links), len(f.Partitions), len(f.Drops), len(f.DataDrops), len(f.Stalls))
+	return fmt.Sprintf("%d crash(es), %d link window(s), %d partition(s), %d drop window(s), %d data-drop window(s), %d stall(s), %d subscriber crash(es)",
+		len(f.Crashes), len(f.Links), len(f.Partitions), len(f.Drops), len(f.DataDrops), len(f.Stalls), len(f.SubCrashes))
 }

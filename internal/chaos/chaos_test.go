@@ -140,3 +140,40 @@ func TestRegressionRoundTrips(t *testing.T) {
 		t.Fatalf("fault schedule lost in round trip:\n%+v\n%+v", f.Faults, faults)
 	}
 }
+
+// TestSubConservationOracleCatchesSeededCursorSkip is the smoke test for
+// the per-subscriber conservation oracle: with the deliberately seeded
+// cursor-skip bug enabled (every n-th spill catch-up read advances the
+// cursor without delivering), the oracle must fire; without it, the same
+// dashboards run is clean. This proves the oracle audits the ledger
+// rather than vacuously passing.
+func TestSubConservationOracleCatchesSeededCursorSkip(t *testing.T) {
+	base, err := scenario.ReadFile("../../scenarios/dashboards.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the fleet so the smoke run stays fast; the Zipf tail still
+	// lags far past the shared tail and exercises the spill catch-up
+	// path the seeded bug lives on.
+	subs := *base.Subscribers
+	subs.Count = 24
+	base.Subscribers = &subs
+
+	ri := RunSchedule(base, &scenario.Faults{})
+	if vs := CheckOracles(ri, DefaultOracles()); len(vs) != 0 {
+		t.Fatalf("clean dashboards run violated oracles: %v", vs)
+	}
+
+	subs.InjectCursorSkip = 3
+	ri = RunSchedule(base, &scenario.Faults{})
+	vs := CheckOracles(ri, DefaultOracles())
+	found := false
+	for _, v := range vs {
+		if v.Oracle == "sub-conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded cursor-skip bug escaped the sub-conservation oracle; violations: %v", vs)
+	}
+}

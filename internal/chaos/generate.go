@@ -103,6 +103,42 @@ func Generate(seed int64, base *scenario.File, gc GenConfig) *scenario.Faults {
 	out := &scenario.Faults{Seed: seed}
 	crashed := map[int]bool{} // avoid double-crashing one node
 	n := 1 + r.Intn(maxFaults)
+
+	// Subscriber-fleet bases draw subscriber faults only: single crashes
+	// with (or without) reconnect, and reconnect storms that kill a batch
+	// of subscribers at once and bring them all back within a narrow
+	// window. The SLA acceptance for these scenarios is zero writer stall
+	// on every seed — the fleet itself is the chaos target, and node or
+	// link faults would legitimately park writers. Legacy bases never
+	// enter this branch, so every historical seed's draw sequence (and
+	// thus its schedule) stays byte-identical.
+	if base.Subscribers != nil && base.Subscribers.Count > 0 {
+		subs := base.Subscribers.Count
+		for i := 0; i < n; i++ {
+			switch pick := r.Intn(100); {
+			case pick < 35: // reconnect storm
+				k := 2 + r.Intn(14)
+				if k > subs {
+					k = subs
+				}
+				at := 1 + r.Intn(horizon-4)
+				rec := at + 1 + r.Intn(3)
+				for _, idx := range r.Perm(subs)[:k] {
+					out.SubCrashes = append(out.SubCrashes, scenario.SubCrashFault{
+						Index: idx, AtSec: float64(at), ReconnectAtSec: float64(rec)})
+				}
+			case pick < 80: // single crash, later reconnect
+				at := 1 + r.Intn(horizon-4)
+				out.SubCrashes = append(out.SubCrashes, scenario.SubCrashFault{
+					Index: r.Intn(subs), AtSec: float64(at),
+					ReconnectAtSec: float64(at + 1 + r.Intn(horizon/4+1))})
+			default: // permanent crash: the subscriber never comes back
+				out.SubCrashes = append(out.SubCrashes, scenario.SubCrashFault{
+					Index: r.Intn(subs), AtSec: float64(1 + r.Intn(horizon-2))})
+			}
+		}
+		return out
+	}
 	for i := 0; i < n; i++ {
 		switch pick := r.Intn(100); {
 		case pick < 25: // node crash

@@ -22,6 +22,8 @@ func DefaultOracles() []Oracle {
 		{Name: "trace-dag", Check: checkTraceDAG},
 		{Name: "delivery", Check: checkDelivery},
 		{Name: "dual-ownership", Check: checkDualOwnership},
+		{Name: "sub-conservation", Check: checkSubConservation},
+		{Name: "sub-sla", Check: checkSubSLA},
 	}
 }
 
@@ -92,6 +94,55 @@ func checkDelivery(info *RunInfo) []string {
 				"channel %s: best-effort transport lost data (%d rejected write(s), %d live invalidation(s))",
 				d.Channel, d.WriteRejected, d.InvalidatedLive))
 		}
+	}
+	return out
+}
+
+// checkSubConservation audits each streaming subscriber's ledger on runs
+// with a subscriber fleet: every sequence published past a subscriber's
+// join point must be delivered, knowingly dropped, staged in its buffer,
+// pending in the hub's shared tail, or resident in the spill store —
+// exact per-subscriber accounting, crashes and reconnects included.
+// Runs without a subscribers section never attached a hub and are skipped.
+func checkSubConservation(info *RunInfo) []string {
+	if info.File.Subscribers == nil {
+		return nil
+	}
+	var out []string
+	for _, s := range info.Res.Subscribers {
+		if n := s.Unaccounted(); n != 0 {
+			out = append(out, fmt.Sprintf(
+				"subscriber %s: %d sequence(s) unaccounted (published %d, delivered %d, dropped %d, buffered %d, tail %d, spill %d)",
+				s.ID, n, s.Published, s.Delivered, s.Dropped, s.Buffered,
+				s.TailPending, s.SpillResident))
+		}
+	}
+	return out
+}
+
+// checkSubSLA audits the fan-out's never-block-the-simulation guarantee.
+// Publish takes no process handle, so its stall time must be structurally
+// zero on every run; and on schedules whose only faults are subscriber
+// crashes, the simulation writer must never have parked at all — no
+// subscriber, however slow, crashed, or storm-reconnecting, may slow the
+// producer. Node, link, and drop faults can legitimately park a writer
+// (dead consumers, full queues, push retries), so the writer-stall term
+// is audited only on subscriber-only schedules.
+func checkSubSLA(info *RunInfo) []string {
+	if info.File.Subscribers == nil {
+		return nil
+	}
+	var out []string
+	if st := info.Res.SubHub.PublishStall; st != 0 {
+		out = append(out, fmt.Sprintf("subscriber fan-out parked writers for %v", st))
+	}
+	f := info.File.Faults
+	subOnly := f == nil || (len(f.Crashes) == 0 && len(f.Links) == 0 &&
+		len(f.Partitions) == 0 && len(f.Drops) == 0 && len(f.DataDrops) == 0 &&
+		len(f.Stalls) == 0)
+	if subOnly && info.Res.WriterStalled != 0 {
+		out = append(out, fmt.Sprintf(
+			"writer stalled %v on a subscriber-only schedule", info.Res.WriterStalled))
 	}
 	return out
 }

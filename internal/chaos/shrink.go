@@ -20,6 +20,7 @@ func cloneFaults(f *scenario.Faults) *scenario.Faults {
 	out.Drops = append([]scenario.DropFault(nil), f.Drops...)
 	out.DataDrops = append([]scenario.DropFault(nil), f.DataDrops...)
 	out.Stalls = append([]scenario.StallFault(nil), f.Stalls...)
+	out.SubCrashes = append([]scenario.SubCrashFault(nil), f.SubCrashes...)
 	return out
 }
 
@@ -29,12 +30,12 @@ func FaultCount(f *scenario.Faults) int {
 		return 0
 	}
 	return len(f.Crashes) + len(f.Links) + len(f.Partitions) +
-		len(f.Drops) + len(f.DataDrops) + len(f.Stalls)
+		len(f.Drops) + len(f.DataDrops) + len(f.Stalls) + len(f.SubCrashes)
 }
 
 // removeFault returns a copy of the schedule with flattened entry i
 // deleted. Entries are indexed crashes, then links, partitions, drops,
-// data drops, stalls.
+// data drops, stalls, subscriber crashes.
 func removeFault(f *scenario.Faults, i int) *scenario.Faults {
 	out := cloneFaults(f)
 	if out == nil {
@@ -75,7 +76,14 @@ func removeFault(f *scenario.Faults, i int) *scenario.Faults {
 	default:
 		i -= len(out.DataDrops)
 	}
-	out.Stalls = append(out.Stalls[:i:i], out.Stalls[i+1:]...)
+	switch {
+	case i < len(out.Stalls):
+		out.Stalls = append(out.Stalls[:i:i], out.Stalls[i+1:]...)
+		return out
+	default:
+		i -= len(out.Stalls)
+	}
+	out.SubCrashes = append(out.SubCrashes[:i:i], out.SubCrashes[i+1:]...)
 	return out
 }
 

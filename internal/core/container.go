@@ -67,6 +67,11 @@ type Container struct {
 	// edge for offline cascades); empty for terminal stages.
 	downstream string
 
+	// subHub is the subscriber fan-out hub this container serves
+	// SubResume/SubReplay rounds for (nil unless the run configures a
+	// subscriber fleet on this container's input channel).
+	subHub *datatap.SubHub
+
 	// shard is the control-plane shard managing this container (-1 on
 	// legacy single-manager runs). It picks the upward bridge target and
 	// labels compute spans so the critical-path analyzer can name the

@@ -69,6 +69,10 @@ func reqEpoch(v any) (int64, bool) {
 		return r.Epoch, true
 	case *RehomeReq:
 		return r.Epoch, true
+	case *SubResumeReq:
+		return r.Epoch, true
+	case *SubReplayReq:
+		return r.Epoch, true
 	}
 	return 0, false
 }
@@ -96,6 +100,10 @@ func stampReqEpoch(v any, epoch int64) {
 		r.Epoch = epoch
 	case *RehomeReq:
 		r.Epoch = epoch
+	case *SubResumeReq:
+		r.Epoch = epoch
+	case *SubReplayReq:
+		r.Epoch = epoch
 	}
 }
 
@@ -120,6 +128,10 @@ func stampRespEpoch(v any, epoch int64) {
 	case *ResendResp:
 		r.Epoch = epoch
 	case *RehomeResp:
+		r.Epoch = epoch
+	case *SubResumeResp:
+		r.Epoch = epoch
+	case *SubReplayResp:
 		r.Epoch = epoch
 	case *FenceResp:
 		r.Epoch = epoch

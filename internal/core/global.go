@@ -192,6 +192,9 @@ type GlobalManager struct {
 	resendRoute map[string]string
 	// pendingResend marks upstream containers owed a ResendReq round.
 	pendingResend map[string]bool
+	// pendingSubs dedupes reconnect notices per subscriber (keeping the
+	// highest generation); each owes a SubResume round at the next tick.
+	pendingSubs map[string]*SubNotice
 	// dead is set when this manager's node crashes or KillGMAt fires; a
 	// dead manager abandons whatever it is doing, including mid-call.
 	dead bool
@@ -274,6 +277,7 @@ func newGlobalManager(rt *Runtime, node int, policy PolicyConfig, spare []*clust
 		lastHeard:     make(map[string]sim.Time),
 		resendRoute:   make(map[string]string),
 		pendingResend: make(map[string]bool),
+		pendingSubs:   make(map[string]*SubNotice),
 	}
 	if policy.KillGMAt > 0 {
 		// Death is an engine event, not a loop-top check: the manager can
@@ -371,8 +375,9 @@ func (gm *GlobalManager) run(p *sim.Proc) {
 			continue // the loop top demotes to the passive pump
 		}
 		// Data-plane repair is not a policy decision: gap-triggered resends
-		// run even when management is disabled.
+		// and subscriber reconnects run even when management is disabled.
 		gm.issueResends(p)
+		gm.issueSubResumes(p)
 		if gm.policy.DisableManagement {
 			continue
 		}
@@ -447,6 +452,17 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 	case *DemoteNotice:
 		if gm.rt.fencingOn() && data.Epoch > gm.epoch {
 			gm.depose(p, data.Epoch, "demote notice")
+		}
+	case *SubNotice:
+		gm.lastHeard[data.From] = p.Now()
+		seq, _ := subMsgSeq(data)
+		gm.rt.tracer.Instant(ev.Ctx(), "ctl", "sub-notice").
+			Container(data.From).Node(gm.node).AttrInt("seq", seq).End()
+		// Dedupe per subscriber on the reconnect generation: a reconnect
+		// storm collapses to one resume round per subscriber. Defer the
+		// round to the tick — dispatch must not park.
+		if cur, ok := gm.pendingSubs[data.SubID]; !ok || data.Seq > cur.Seq {
+			gm.pendingSubs[data.SubID] = data
 		}
 	case *SpareReq:
 		//iocheck:allow vtblock grantSpare submits only to container control bridges (courier path); see its own audit
@@ -682,6 +698,10 @@ func msgTypeFor(req any) string {
 		return msgResend
 	case *RehomeReq:
 		return msgRehome
+	case *SubResumeReq:
+		return msgSubResume
+	case *SubReplayReq:
+		return msgSubReplay
 	}
 	return "ctl.unknown"
 }
@@ -707,6 +727,10 @@ func respSeq(v any) (int64, bool) {
 	case *ResendResp:
 		return r.Seq, true
 	case *RehomeResp:
+		return r.Seq, true
+	case *SubResumeResp:
+		return r.Seq, true
+	case *SubReplayResp:
 		return r.Seq, true
 	case *FenceResp:
 		return r.Seq, true

@@ -100,9 +100,14 @@ type Config struct {
 	ShardSeed int64
 	// ShardStandbys deploys a standby manager per shard (0 or 1).
 	ShardStandbys int
+	// Subscribers attaches a streaming fan-out fleet — thousands of
+	// simulated dashboards with Zipf-distributed read rates — to one stage
+	// channel (see subscribe.go). Nil means no subscribers.
+	Subscribers *SubscribersConfig
 	// Faults injects a deterministic fault schedule (node crashes, link
-	// degradation, partitions, control-message loss) into the run. Nil or
-	// empty means a fault-free machine; see the fault package.
+	// degradation, partitions, control-message loss, subscriber crashes)
+	// into the run. Nil or empty means a fault-free machine; see the fault
+	// package.
 	Faults *fault.Config
 	// Trace enables the causal tracing subsystem: spans from every layer
 	// land in a flight-recorder ring that auto-dumps on SLA violation,
@@ -188,6 +193,12 @@ type Runtime struct {
 	shardStandby []*GlobalManager
 	shardMgrs    []*GlobalManager
 	dir          *shardmgr.Directory
+
+	// Subscriber fan-out (nil without Config.Subscribers): the hub on the
+	// fanned-out stage channel and the container serving its control
+	// rounds.
+	subHub  *datatap.SubHub
+	subHost *Container
 
 	producerDone bool
 	emitted      int
@@ -419,6 +430,9 @@ func Build(cfg Config) (*Runtime, error) {
 			rt.eng.Go(c.spec.Name+"-watch", c.replicaWatchLoop)
 		}
 	}
+	if err := rt.buildSubscribers(cfg); err != nil {
+		return nil, err
+	}
 	rt.eng.Go("global-manager", rt.gm.run)
 	if rt.standby != nil {
 		rt.eng.Go("standby-manager", rt.standby.standbyLoop)
@@ -638,6 +652,9 @@ func (rt *Runtime) buildSharded(cfg Config, stagingNodes []*cluster.Node) error 
 			c := c
 			rt.eng.Go(c.spec.Name+"-watch", c.replicaWatchLoop)
 		}
+	}
+	if err := rt.buildSubscribers(cfg); err != nil {
+		return err
 	}
 	rt.eng.Go("meta-manager", rt.meta.run)
 	for s := 0; s < S; s++ {
@@ -991,6 +1008,12 @@ type Result struct {
 	// blocked (the application-blocking metric containers exist to
 	// minimize).
 	WriterBlocked sim.Time
+	// WriterStalled is only the *parked* portion of the simulation
+	// writer's time — pause waits, buffer-space waits, full-queue waits,
+	// push retry backoff — excluding transfer costs. The subscriber SLA
+	// oracle asserts it stays zero under subscriber-only faults: no
+	// dashboard, however slow or dead, may ever stall the simulation.
+	WriterStalled sim.Time
 	// States maps container name to final state ("online"/"offline").
 	States map[string]string
 	// FinalSizes maps container name to final node count.
@@ -1029,6 +1052,12 @@ type Result struct {
 	// Shards holds the per-shard control-plane summary on sharded runs
 	// (nil on legacy single-manager runs).
 	Shards []ShardSummary
+	// Subscribers snapshots each subscriber's conservation ledger at run
+	// end (chaos sub-conservation oracle); nil without a subscriber fleet.
+	Subscribers []datatap.SubSnapshot
+	// SubHub aggregates the fan-out hub's counters (zero value without a
+	// subscriber fleet).
+	SubHub datatap.SubHubStats
 }
 
 // ShardSummary is one shard's row in the sharded run's control-plane
@@ -1053,6 +1082,7 @@ func (rt *Runtime) result() *Result {
 		Exits:            rt.exits,
 		Dropped:          rt.dropped,
 		WriterBlocked:    rt.channels[0].Stats().WriterBlocked,
+		WriterStalled:    rt.channels[0].Stats().WriterStalled,
 		States:           map[string]string{},
 		FinalSizes:       map[string]int{},
 		Provenance:       map[string]string{},
@@ -1069,6 +1099,8 @@ func (rt *Runtime) result() *Result {
 		res.Delivery = append(res.Delivery, ch.DeliverySnapshot())
 	}
 	res.DeliveryLost = append([]LostStep(nil), rt.deliveryLost...)
+	res.Subscribers = rt.subHub.Snapshots()
+	res.SubHub = rt.subHub.Stats()
 	res.Rounds = append([]RoundRecord(nil), rt.rounds...)
 	res.Trades = append([]TradeRecord(nil), rt.trades...)
 	res.CrashVictims = append([]CrashVictim(nil), rt.crashVictims...)

@@ -303,6 +303,14 @@ func (c *Container) managerLoop(p *sim.Proc) {
 				n = c.output.RedeliverLost(p)
 			}
 			resp = &ResendResp{Seq: req.Seq, Redelivered: n}
+		case *SubResumeReq:
+			cursor, lag, fromSpill, ok := c.serveSubResume(req.SubID)
+			resp = &SubResumeResp{Seq: req.Seq, SubID: req.SubID, Cursor: cursor,
+				Lag: lag, FromSpill: fromSpill,
+				NeedReplay: ok && lag > 0 && !fromSpill, Ok: ok}
+		case *SubReplayReq:
+			staged, ok := c.serveSubReplay(req.SubID, req.Cursor)
+			resp = &SubReplayResp{Seq: req.Seq, SubID: req.SubID, Staged: staged, Ok: ok}
 		case *RehomeReq:
 			// Keep the previous upward bridge alive: it is the only path a
 			// FenceResp can take back to the manager it is deposing.
@@ -355,6 +363,10 @@ func reqSeq(v any) (int64, bool) {
 	case *ResendReq:
 		return r.Seq, true
 	case *RehomeReq:
+		return r.Seq, true
+	case *SubResumeReq:
+		return r.Seq, true
+	case *SubReplayReq:
 		return r.Seq, true
 	}
 	return 0, false

@@ -85,7 +85,21 @@ type Stats struct {
 	MaxQueue         int
 	// WriterBlocked accumulates total virtual time writers spent blocked
 	// on a full queue or full buffer — the "application blocking" metric.
+	// It includes transfer costs (buffer copy, descriptor push), so it is
+	// nonzero even on a healthy run.
 	WriterBlocked sim.Time
+	// WriterStalled accumulates only the *parked* portion of writer time:
+	// pause-window waits, buffer-space waits, full-queue waits, and
+	// descriptor-push retry backoff. Unlike WriterBlocked it excludes
+	// modeled transfer costs, so a healthy run reports exactly zero — the
+	// "simulation never blocks" SLA the subscriber fan-out must preserve.
+	WriterStalled sim.Time
+	// Requeued counts descriptors returned to the queue by Requeue;
+	// RequeuedPaused counts the subset that landed while the channel was
+	// paused (they re-enter the queue — the pause handshake only stops
+	// *writers* — but the accounting must see them, not lose them).
+	Requeued       int64
+	RequeuedPaused int64
 	// PauseWait accumulates time spent waiting for writers to pause.
 	PauseWait sim.Time
 	// Invalidated counts descriptors whose payload could not be pulled
@@ -189,6 +203,11 @@ type Channel struct {
 	gapNoted       bool
 	lastGapNote    sim.Time
 	removedWriters []*Writer
+
+	// hub, when attached, fans every accepted write out to streaming
+	// subscribers (nil on channels without subscribers; every call site is
+	// nil-safe).
+	hub *SubHub
 }
 
 // NewChannel creates a channel. mach may be nil for cost-free tests.
@@ -232,6 +251,10 @@ func (c *Channel) QueuedBytes() int64 {
 
 // QueueCap returns the metadata queue bound (0 = unbounded).
 func (c *Channel) QueueCap() int { return c.cfg.QueueCap }
+
+// HomeNode returns the node hosting the metadata queue (the reader side);
+// subscriber hubs live there too.
+func (c *Channel) HomeNode() int { return c.cfg.HomeNode }
 
 // Full reports whether the metadata queue is at capacity (a Put would
 // block). Lossy observers check this to drop rather than stall.
@@ -288,6 +311,23 @@ func (c *Channel) Requeue(m *Meta) bool {
 	}
 	c.stats.StepsPulled--
 	c.stats.BytesPulled -= m.Size
+	c.stats.Requeued++
+	// A requeue is a queue *insertion*: it must participate in the same
+	// high-water accounting as Write, or a pause window full of requeues
+	// reports a stale MaxQueue and the overflow trigger never fires.
+	if l := c.meta.Len(); l > c.stats.MaxQueue {
+		c.stats.MaxQueue = l
+	}
+	if c.paused {
+		// Pause stops writers, not requeues — an aborted in-flight step may
+		// legitimately land mid-pause so it is not lost. Count it so the
+		// pause accounting sees the insertion instead of silently absorbing
+		// it.
+		c.stats.RequeuedPaused++
+		if c.Full() {
+			c.tracer.Trigger(c.overflowReason)
+		}
+	}
 	if c.alo() && m.writer != nil {
 		// The descriptor is claimable again; without this the next fetch
 		// would filter it as an in-flight duplicate.
@@ -304,6 +344,7 @@ func (c *Channel) Requeue(m *Meta) bool {
 func (c *Channel) Close() {
 	c.closed = true
 	c.meta.Close()
+	c.hub.Close()
 	for _, w := range c.writers {
 		// Wake any Acquire waiter; the subsequent Put fails cleanly.
 		w.buf.Grow(1 << 61)
@@ -387,9 +428,12 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 		sp.Attr("paused", "1")
 		w.ch.resume.Wait(p)
 	}
+	w.ch.stats.WriterStalled += w.ch.eng.Now() - start
 	w.busy = true
 	// Reserve buffer space (may block on backlog).
+	bufWait := w.ch.eng.Now()
 	w.buf.Acquire(p, int(size))
+	w.ch.stats.WriterStalled += w.ch.eng.Now() - bufWait
 	// Local buffer copy at memory bandwidth (10x NIC rate approximation).
 	if w.ch.mach != nil {
 		w.ch.mach.Send(p, w.node, w.node, size)
@@ -422,7 +466,9 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 		// block the application. Preserve the lead-up in the flight ring.
 		w.ch.tracer.Trigger(w.ch.overflowReason)
 	}
+	putWait := w.ch.eng.Now()
 	ok := w.ch.meta.Put(p, m)
+	w.ch.stats.WriterStalled += w.ch.eng.Now() - putWait
 	if !ok {
 		m.releaseBuf()
 		w.finishWrite(start)
@@ -434,6 +480,7 @@ func (w *Writer) WriteTraced(p *sim.Proc, step int64, size int64, data any, pare
 	if l := w.ch.meta.Len(); l > w.ch.stats.MaxQueue {
 		w.ch.stats.MaxQueue = l
 	}
+	w.ch.hub.Publish(m)
 	w.finishWrite(start)
 	sp.End()
 	return true

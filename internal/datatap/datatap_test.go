@@ -532,6 +532,82 @@ func TestRequeuePreservesStep(t *testing.T) {
 	}
 }
 
+// TestRequeueDuringPausePinsQueueStats is the regression for the
+// Pause/Requeue interaction: a requeue landing inside a pause window is
+// a queue insertion, so it must decrement the pull ledger, count as a
+// paused requeue, and participate in the MaxQueue high-water — the bug
+// was a stale MaxQueue (and a silent overflow trigger) when every
+// insertion during the pause came from Requeue rather than Write.
+func TestRequeueDuringPausePinsQueueStats(t *testing.T) {
+	eng, _, ch := newTestChannel(0, 0)
+	w := ch.NewWriter(0)
+	r := ch.NewReader(1)
+	eng.Go("driver", func(p *sim.Proc) {
+		// Write/fetch strictly alternated: the queue never holds more
+		// than one descriptor, so the Write-side high-water is 1.
+		var held []*Meta
+		for i := int64(0); i < 3; i++ {
+			if !w.Write(p, i, 1<<20, nil) {
+				t.Error("write failed")
+				return
+			}
+			m, ok := r.Fetch(p)
+			if !ok {
+				t.Error("fetch failed")
+				return
+			}
+			held = append(held, m)
+		}
+		st := ch.Stats()
+		if st.StepsPulled != 3 || st.BytesPulled != 3<<20 {
+			t.Errorf("pre-pause ledger: pulled=%d bytes=%d", st.StepsPulled, st.BytesPulled)
+		}
+		if st.MaxQueue != 1 {
+			t.Errorf("pre-pause MaxQueue=%d, want 1", st.MaxQueue)
+		}
+
+		ch.Pause(p)
+		for _, m := range held {
+			if !ch.Requeue(m) {
+				t.Error("requeue failed mid-pause")
+				return
+			}
+		}
+		st = ch.Stats()
+		if st.Requeued != 3 || st.RequeuedPaused != 3 {
+			t.Errorf("mid-pause requeued=%d paused=%d, want 3/3", st.Requeued, st.RequeuedPaused)
+		}
+		if st.StepsPulled != 0 || st.BytesPulled != 0 {
+			t.Errorf("mid-pause ledger not unwound: pulled=%d bytes=%d", st.StepsPulled, st.BytesPulled)
+		}
+		// The three requeues alone must raise the high-water past the
+		// Write-side peak of 1.
+		if st.MaxQueue != 3 {
+			t.Errorf("mid-pause MaxQueue=%d, want 3", st.MaxQueue)
+		}
+
+		ch.Resume()
+		for i := int64(0); i < 3; i++ {
+			m, ok := r.Fetch(p)
+			if !ok {
+				t.Error("refetch failed")
+				return
+			}
+			if m.Step != i {
+				t.Errorf("refetch order: got step %d, want %d", m.Step, i)
+			}
+		}
+		st = ch.Stats()
+		if st.StepsPulled != 3 || st.BytesPulled != 3<<20 {
+			t.Errorf("post-resume ledger: pulled=%d bytes=%d", st.StepsPulled, st.BytesPulled)
+		}
+		if st.Requeued != 3 || st.RequeuedPaused != 3 {
+			t.Errorf("post-resume requeued=%d paused=%d changed", st.Requeued, st.RequeuedPaused)
+		}
+	})
+	eng.Run()
+}
+
 func TestRequeueAfterCloseFails(t *testing.T) {
 	eng, _, ch := newTestChannel(0, 0)
 	w := ch.NewWriter(0)

@@ -302,6 +302,9 @@ func (w *Writer) pushDescriptor(p *sim.Proc) bool {
 			return false
 		}
 		w.ch.stats.PushRetried++
+		// Retry backoff parks the application, not the interconnect: it
+		// counts as writer stall, unlike the transfer costs around it.
+		w.ch.stats.WriterStalled += backoff
 		p.Sleep(backoff)
 		backoff *= 2
 	}
@@ -383,6 +386,9 @@ func (w *Writer) writeALO(p *sim.Proc, step, size int64, data any, parent trace.
 	if l := w.ch.meta.Len(); l > w.ch.stats.MaxQueue {
 		w.ch.stats.MaxQueue = l
 	}
+	// Every *accepted* write fans out to subscribers, spilled or not: the
+	// hub's sequence stream mirrors StepsWritten exactly.
+	w.ch.hub.Publish(m)
 	w.finishWrite(start)
 	if spill != "" {
 		sp.Attr("spill", spill)

@@ -57,6 +57,12 @@ type Config struct {
 	// Stalls lists windows during which a node is frozen: resident
 	// processes make no progress but are not dead.
 	Stalls []Stall
+	// SubCrashes lists streaming-subscriber crashes (a dashboard process
+	// dying, not a machine node): the subscriber's staged buffer is lost,
+	// its durable cursor survives, and — when ReconnectAt is set — it
+	// reconnects and catches up through the manager's SubResume rounds.
+	// Interpreted by the core runtime's subscriber fleet, not the machine.
+	SubCrashes []SubCrash
 }
 
 // Crash is a permanent node failure at time At.
@@ -93,6 +99,15 @@ type Stall struct {
 	From, Until sim.Time
 }
 
+// SubCrash kills streaming subscriber Index at At; with ReconnectAt > At
+// it reconnects then and catches up from its durable cursor. ReconnectAt
+// of zero means the subscriber never comes back.
+type SubCrash struct {
+	Index       int
+	At          sim.Time
+	ReconnectAt sim.Time
+}
+
 // Validate rejects obviously malformed configurations.
 func (c *Config) Validate() error {
 	if c == nil {
@@ -118,6 +133,15 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("fault: data-drop probability %v outside [0,1]", d.Prob)
 		}
 	}
+	for _, sc := range c.SubCrashes {
+		if sc.Index < 0 {
+			return fmt.Errorf("fault: subscriber crash index %d negative", sc.Index)
+		}
+		if sc.ReconnectAt != 0 && sc.ReconnectAt <= sc.At {
+			return fmt.Errorf("fault: subscriber %d reconnect %v not after crash %v",
+				sc.Index, sc.ReconnectAt, sc.At)
+		}
+	}
 	return nil
 }
 
@@ -128,7 +152,8 @@ func (c *Config) Empty() bool {
 	}
 	return len(c.Crashes) == 0 && len(c.Links) == 0 &&
 		len(c.Partitions) == 0 && len(c.Drops) == 0 &&
-		len(c.DataDrops) == 0 && len(c.Stalls) == 0
+		len(c.DataDrops) == 0 && len(c.Stalls) == 0 &&
+		len(c.SubCrashes) == 0
 }
 
 // Stats counts fault activity for experiment reporting.

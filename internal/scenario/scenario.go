@@ -64,6 +64,9 @@ type File struct {
 	// Shards enables the sharded hierarchical control plane (nil or
 	// count ≤ 1 = the legacy single global manager).
 	Shards *ShardsSpec `json:"shards,omitempty"`
+	// Subscribers attaches a streaming subscriber fleet — dashboards,
+	// ad-hoc readers — to one stage channel's fan-out hub (nil = none).
+	Subscribers *SubscribersSpec `json:"subscribers,omitempty"`
 	// Faults schedules deterministic fault injection (nil = none).
 	Faults *Faults `json:"faults"`
 	// Chaos marks a chaos-search artifact (a shrunk regression emitted by
@@ -80,6 +83,68 @@ type ShardsSpec struct {
 	Count    int   `json:"count"`
 	Seed     int64 `json:"seed,omitempty"`
 	Standbys int   `json:"standbys,omitempty"`
+}
+
+// SubscribersSpec configures the streaming fan-out fleet: Count
+// subscribers on the Stage channel's hub, with read rates Zipf-distributed
+// so a handful keep up at the live edge while a long tail lags into the
+// spill tier.
+type SubscribersSpec struct {
+	Count int `json:"count"`
+	// Stage indexes the stage whose input channel is fanned out (default
+	// 0, the simulation's own output stream).
+	Stage int `json:"stage,omitempty"`
+	// BufCap / TailCap tune the hub buffers (0 = package defaults).
+	BufCap  int `json:"bufCap,omitempty"`
+	TailCap int `json:"tailCap,omitempty"`
+	// DisableSpill turns the degrade tier off: lagging subscribers take
+	// knowing drops instead of spill reads.
+	DisableSpill bool `json:"disableSpill,omitempty"`
+	// ZipfS is the read-rate Zipf exponent (0 = default 1.0): subscriber i
+	// reads every baseInterval·(i+1)^zipfS.
+	ZipfS float64 `json:"zipfS,omitempty"`
+	// BaseIntervalSec is the fastest subscriber's read period (0 = 1 s).
+	BaseIntervalSec float64 `json:"baseIntervalSec,omitempty"`
+	// InjectCursorSkip seeds the deliberate conservation bug the chaos
+	// smoke test uses to prove the sub-conservation oracle fires. Never
+	// set outside tests.
+	InjectCursorSkip int `json:"injectCursorSkip,omitempty"`
+}
+
+// toConfig validates the section; stage bounds are checked later at build
+// time, when the pipeline's channel list exists.
+func (s *SubscribersSpec) toConfig() (*core.SubscribersConfig, error) {
+	if s.Count < 0 {
+		return nil, fmt.Errorf("scenario: field %q: %d is negative", "subscribers.count", s.Count)
+	}
+	if s.Stage < 0 {
+		return nil, fmt.Errorf("scenario: field %q: %d is negative", "subscribers.stage", s.Stage)
+	}
+	if s.BufCap < 0 {
+		return nil, fmt.Errorf("scenario: field %q: %d is negative", "subscribers.bufCap", s.BufCap)
+	}
+	if s.TailCap < 0 {
+		return nil, fmt.Errorf("scenario: field %q: %d is negative", "subscribers.tailCap", s.TailCap)
+	}
+	if s.ZipfS < 0 {
+		return nil, fmt.Errorf("scenario: field %q: %g is negative", "subscribers.zipfS", s.ZipfS)
+	}
+	if s.BaseIntervalSec < 0 {
+		return nil, fmt.Errorf("scenario: field %q: %g is negative", "subscribers.baseIntervalSec", s.BaseIntervalSec)
+	}
+	if s.InjectCursorSkip < 0 {
+		return nil, fmt.Errorf("scenario: field %q: %d is negative", "subscribers.injectCursorSkip", s.InjectCursorSkip)
+	}
+	return &core.SubscribersConfig{
+		Count:            s.Count,
+		Stage:            s.Stage,
+		BufCap:           s.BufCap,
+		TailCap:          s.TailCap,
+		DisableSpill:     s.DisableSpill,
+		ZipfS:            s.ZipfS,
+		BaseInterval:     sim.Time(s.BaseIntervalSec * float64(sim.Second)),
+		InjectCursorSkip: s.InjectCursorSkip,
+	}, nil
 }
 
 // ChaosMeta is the provenance block iochaos stamps on emitted regression
@@ -177,6 +242,7 @@ type Faults struct {
 	Drops      []DropFault      `json:"drops,omitempty"`
 	DataDrops  []DropFault      `json:"dataDrops,omitempty"`
 	Stalls     []StallFault     `json:"stalls,omitempty"`
+	SubCrashes []SubCrashFault  `json:"subCrashes,omitempty"`
 }
 
 // NodeRef names one machine node, absolutely or staging-relative.
@@ -226,6 +292,14 @@ type StallFault struct {
 	NodeRef
 	FromSec  float64 `json:"fromSec"`
 	UntilSec float64 `json:"untilSec"`
+}
+
+// SubCrashFault kills the subscriber at Index at a time; with a reconnect
+// time it comes back and catches up from its durable cursor (0 = never).
+type SubCrashFault struct {
+	Index          int     `json:"index"`
+	AtSec          float64 `json:"atSec"`
+	ReconnectAtSec float64 `json:"reconnectAtSec,omitempty"`
 }
 
 // toConfig resolves the schedule to machine node IDs. Each entry is
@@ -284,6 +358,18 @@ func (f *Faults) toConfig(simNodes int) (*fault.Config, error) {
 		}
 		fc.Stalls = append(fc.Stalls, fault.Stall{
 			Node: s.resolve(simNodes), From: sec(s.FromSec), Until: sec(s.UntilSec)})
+	}
+	for i, s := range f.SubCrashes {
+		if s.Index < 0 {
+			return nil, fmt.Errorf("scenario: field %q: %d is negative",
+				fmt.Sprintf("faults.subCrashes[%d].index", i), s.Index)
+		}
+		if s.ReconnectAtSec != 0 && s.ReconnectAtSec <= s.AtSec {
+			return nil, fmt.Errorf("scenario: field %q: reconnect %gs not after crash %gs",
+				fmt.Sprintf("faults.subCrashes[%d]", i), s.ReconnectAtSec, s.AtSec)
+		}
+		fc.SubCrashes = append(fc.SubCrashes, fault.SubCrash{
+			Index: s.Index, At: sec(s.AtSec), ReconnectAt: sec(s.ReconnectAtSec)})
 	}
 	if err := fc.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: field \"faults\": %w", err)
@@ -438,6 +524,13 @@ func (f *File) ToConfig() (core.Config, error) {
 			return cfg, err
 		}
 		cfg.Delivery = dc
+	}
+	if f.Subscribers != nil {
+		sc, err := f.Subscribers.toConfig()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Subscribers = sc
 	}
 	if f.Faults != nil {
 		fc, err := f.Faults.toConfig(f.SimNodes)
