@@ -8,7 +8,7 @@ import (
 
 // BenchmarkIocheckModule is the wall-time budget for `iocheck ./...`: one
 // iteration loads and type-checks the whole module, builds the CFG and
-// CHA call-graph layer, and runs all eleven analyzers. It rides in `make
+// CHA call-graph layer, and runs all thirteen analyzers. It rides in `make
 // bench` so a regression in the whole-program analysis (an unbounded
 // summary fixpoint, a quadratic CFG walk) shows up in BENCH_baseline.json
 // next to the scenario benchmarks.
@@ -50,6 +50,30 @@ func BenchmarkIocheckHotalloc(b *testing.B) {
 		diags := analysis.Run(pkgs, []*analysis.Analyzer{analysis.HotAlloc, analysis.HotBox})
 		if n := len(analysis.Unsuppressed(diags)); n != 0 {
 			b.Fatalf("module has %d unsuppressed perf findings", n)
+		}
+	}
+}
+
+// BenchmarkIocheckRoundflow budgets the protocol-lifecycle layer alone:
+// the interprocedural round-summary fixpoint over the CHA call graph
+// plus the roundflow/roundterm CFG passes over the whole module. Module
+// loading is paid inside the loop, matching `iocheck -rules
+// roundflow,roundterm`, so this tracks the end-to-end cost of a
+// lifecycle-only lint pass.
+func BenchmarkIocheckRoundflow(b *testing.B) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analysis.LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags := analysis.Run(pkgs, []*analysis.Analyzer{analysis.RoundFlow, analysis.RoundTerm})
+		if n := len(analysis.Unsuppressed(diags)); n != 0 {
+			b.Fatalf("module has %d unsuppressed lifecycle findings", n)
 		}
 	}
 }

@@ -21,13 +21,20 @@
 // <reason>` on the flagged line or the line above; -v prints suppressed
 // findings too.
 //
-// -baseline compares the per-rule suppression counts against a checked-in
-// ratchet file: growth in audited exceptions fails the run the same way a
-// new unsuppressed finding does, so allows cannot accumulate silently.
-// -write-baseline regenerates that file from the current tree.
+// -baseline compares the tree against a checked-in per-rule ratchet file
+// with two maps: "findings" (unsuppressed diagnostics each rule is
+// grandfathered) and "suppressed" (audited //iocheck:allow exceptions
+// each rule is permitted). Finding growth fails the run; finding
+// shrinkage also fails — the baseline is stale and must be ratcheted
+// down with -write-baseline (`make lint-baseline`), so the debt level
+// can only be consciously moved. Suppression counts fail only on growth.
+// A baseline without a "findings" key reads as all-zero, which keeps old
+// suppression-only files working. -write-baseline regenerates the file
+// from the current tree.
 //
-// Exit codes: 0 clean, 1 findings (unsuppressed diagnostics or ratchet
-// growth), 2 usage or load errors.
+// Exit codes: 0 clean, 1 findings (unsuppressed diagnostics beyond the
+// baseline, a stale baseline, or ratchet growth), 2 usage or load
+// errors.
 package main
 
 import (
@@ -53,8 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("v", false, "also print suppressed diagnostics")
 	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := fs.Bool("json", false, "print all diagnostics (suppressed included) as a JSON array")
-	baseline := fs.String("baseline", "", "suppression-count ratchet file; growth fails the run")
-	writeBaseline := fs.String("write-baseline", "", "write current suppression counts to this file")
+	baseline := fs.String("baseline", "", "per-rule ratchet file; finding growth fails, finding shrinkage demands regeneration")
+	writeBaseline := fs.String("write-baseline", "", "write current per-rule finding and suppression counts to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -127,12 +134,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(stderr, "iocheck: %d unsuppressed finding(s)\n", failures)
-		return 1
-	}
 	if *baseline != "" {
-		grown, err := checkBaseline(*baseline, diags)
+		grown, stale, err := checkBaseline(*baseline, diags)
 		if err != nil {
 			fmt.Fprintf(stderr, "iocheck: %v\n", err)
 			return 2
@@ -141,57 +144,110 @@ func run(args []string, stdout, stderr io.Writer) int {
 			for _, g := range grown {
 				fmt.Fprintln(stderr, "iocheck: "+g)
 			}
-			fmt.Fprintln(stderr, "iocheck: audited suppressions grew past the baseline; justify and regenerate with -write-baseline, or remove the allow")
+			fmt.Fprintln(stderr, "iocheck: findings grew past the baseline; fix them, or audit with //iocheck:allow and regenerate with -write-baseline")
 			return 1
 		}
+		if len(stale) > 0 {
+			for _, s := range stale {
+				fmt.Fprintln(stderr, "iocheck: "+s)
+			}
+			fmt.Fprintln(stderr, "iocheck: stale baseline: finding counts shrank; ratchet down with `make lint-baseline`")
+			return 1
+		}
+		if failures > 0 {
+			fmt.Fprintf(stderr, "iocheck: %d unsuppressed finding(s) grandfathered by the baseline\n", failures)
+		}
+		return 0
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "iocheck: %d unsuppressed finding(s)\n", failures)
+		return 1
 	}
 	return 0
 }
 
-// baselineFile is the checked-in suppression ratchet: how many audited
-// //iocheck:allow exceptions each rule is permitted.
+// baselineFile is the checked-in per-rule ratchet: how many unsuppressed
+// findings each rule is grandfathered (a debt level that may only move
+// by regenerating the file) and how many audited //iocheck:allow
+// exceptions each rule is permitted. A file without a "findings" key —
+// the old suppression-only format — reads as all-zero findings.
 type baselineFile struct {
+	Findings   map[string]int `json:"findings"`
 	Suppressed map[string]int `json:"suppressed"`
 }
 
-func suppressionCounts(diags []analysis.Diagnostic) map[string]int {
-	counts := make(map[string]int)
+func baselineCounts(diags []analysis.Diagnostic) baselineFile {
+	b := baselineFile{Findings: make(map[string]int), Suppressed: make(map[string]int)}
 	for _, d := range diags {
 		if d.Suppressed {
-			counts[d.Rule]++
+			b.Suppressed[d.Rule]++
+		} else {
+			b.Findings[d.Rule]++
 		}
 	}
-	return counts
+	return b
 }
 
 func writeBaselineFile(path string, diags []analysis.Diagnostic) error {
-	data, err := json.MarshalIndent(baselineFile{Suppressed: suppressionCounts(diags)}, "", "  ")
+	data, err := json.MarshalIndent(baselineCounts(diags), "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// checkBaseline returns a message per rule whose suppression count grew
-// past the ratchet. Shrinkage is fine (and a reason to regenerate).
-func checkBaseline(path string, diags []analysis.Diagnostic) ([]string, error) {
+// checkBaseline diffs the tree's per-rule counts against the ratchet
+// file. grown collects finding growth and suppression growth (both fail
+// outright); stale collects finding shrinkage (the baseline must be
+// ratcheted down so the improvement cannot silently regress). Shrinking
+// suppression counts is fine — retiring an audit needs no ceremony.
+func checkBaseline(path string, diags []analysis.Diagnostic) (grown, stale []string, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var base baselineFile
 	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+		return nil, nil, fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	counts := suppressionCounts(diags)
-	var grown []string
-	for rule, n := range counts {
-		if allowed := base.Suppressed[rule]; n > allowed {
+	counts := baselineCounts(diags)
+	for _, rule := range ruleUnion(counts.Findings, base.Findings) {
+		n, allowed := counts.Findings[rule], base.Findings[rule]
+		switch {
+		case n > allowed:
+			grown = append(grown, fmt.Sprintf("rule %s has %d unsuppressed finding(s), baseline grandfathers %d", rule, n, allowed))
+		case n < allowed:
+			stale = append(stale, fmt.Sprintf("rule %s has %d unsuppressed finding(s), baseline still records %d", rule, n, allowed))
+		}
+	}
+	for _, rule := range ruleUnion(counts.Suppressed, base.Suppressed) {
+		if n, allowed := counts.Suppressed[rule], base.Suppressed[rule]; n > allowed {
 			grown = append(grown, fmt.Sprintf("rule %s has %d suppression(s), baseline allows %d", rule, n, allowed))
 		}
 	}
 	sort.Strings(grown)
-	return grown, nil
+	sort.Strings(stale)
+	return grown, stale, nil
+}
+
+// ruleUnion returns the sorted union of both maps' keys.
+func ruleUnion(a, b map[string]int) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for rule := range a {
+		if !seen[rule] {
+			seen[rule] = true
+			out = append(out, rule)
+		}
+	}
+	for rule := range b {
+		if !seen[rule] {
+			seen[rule] = true
+			out = append(out, rule)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // jsonDiag is the -json wire form of one diagnostic. Fields marshal in

@@ -273,3 +273,191 @@ func Stamp2() int64 { return time.Now().UnixNano() }
 		t.Fatalf("missing baseline exit = %d, want 2", code)
 	}
 }
+
+// TestFindingsBaselineRatchet pins the per-rule findings half of the
+// ratchet: equal counts are grandfathered, growth fails, and shrinkage
+// fails too until the baseline is regenerated downward.
+func TestFindingsBaselineRatchet(t *testing.T) {
+	violation := `package clock
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+	files := map[string]string{
+		"go.mod":                  "module ratchetdown\n\ngo 1.22\n",
+		"internal/clock/clock.go": violation,
+	}
+	root := writeModule(t, files)
+	base := filepath.Join(root, "lint-baseline.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-write-baseline", base, root + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("write-baseline with findings exit = %d, want 1 (still a finding without -baseline)", code)
+	}
+
+	// Equal to baseline: grandfathered, exit 0, but the debt is announced.
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, root + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("at-baseline exit = %d, want 0; stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "grandfathered") {
+		t.Errorf("grandfathered run should announce the debt, stderr=%q", errOut.String())
+	}
+
+	// One more finding: growth fails.
+	files["internal/clock/more.go"] = `package clock
+
+import "time"
+
+func Stamp2() int64 { return time.Now().UnixNano() }
+`
+	grownRoot := writeModule(t, files)
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, grownRoot + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("grown findings exit = %d, want 1; stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "baseline grandfathers 1") {
+		t.Errorf("growth message missing counts: %q", errOut.String())
+	}
+
+	// Fixing the finding makes the baseline stale: the run fails until
+	// the ratchet is moved down.
+	delete(files, "internal/clock/more.go")
+	files["internal/clock/clock.go"] = `package clock
+
+func Stamp() int64 { return 0 }
+`
+	fixedRoot := writeModule(t, files)
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, fixedRoot + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("stale baseline exit = %d, want 1; stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "stale baseline") || !strings.Contains(errOut.String(), "lint-baseline") {
+		t.Errorf("stale message should point at make lint-baseline: %q", errOut.String())
+	}
+	if code := run([]string{"-write-baseline", base, fixedRoot + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("regenerate exit = %d", code)
+	}
+	if code := run([]string{"-baseline", base, fixedRoot + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("after ratchet-down exit = %d, want 0; stderr=%q", code, errOut.String())
+	}
+}
+
+// TestBaselineOldFormatReadsAsZeroFindings keeps pre-findings baseline
+// files working: no "findings" key means nothing is grandfathered.
+func TestBaselineOldFormatReadsAsZeroFindings(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module oldbase\n\ngo 1.22\n",
+		"internal/clock/clock.go": `package clock
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	base := filepath.Join(root, "old.json")
+	if err := os.WriteFile(base, []byte(`{"suppressed": {"simtime": 3}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", base, root + "/..."}, &out, &errOut); code != 1 {
+		t.Fatalf("old-format baseline exit = %d, want 1 (finding not grandfathered); stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "baseline grandfathers 0") {
+		t.Errorf("old-format growth message: %q", errOut.String())
+	}
+}
+
+// roundViolation seeds one function that violates both protocol-lifecycle
+// rules: a round Req sent with no deadline, no retry budget, and no
+// terminal state.
+const roundViolation = `package rounds
+
+type Event struct {
+	Type string
+	Data any
+}
+
+type PingReq struct {
+	Seq   int64
+	Epoch int64
+}
+
+type stone struct{ q []*Event }
+
+func (s *stone) Submit(ev *Event) { s.q = append(s.q, ev) }
+
+type mgr struct{ out *stone }
+
+func (m *mgr) fire(seq int64) {
+	req := &PingReq{Seq: seq}
+	m.out.Submit(&Event{Type: "ping", Data: req})
+}
+`
+
+// TestJSONRoundRules covers -json for the two protocol-lifecycle rules:
+// both report on the seeded violation, entries are position-sorted and
+// stable, and two runs are byte-identical.
+func TestJSONRoundRules(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                    "module rounds\n\ngo 1.22\n",
+		"internal/rounds/rounds.go": roundViolation,
+	})
+	render := func() string {
+		var out, errOut strings.Builder
+		if code := run([]string{"-json", "-rules", "roundflow,roundterm", root + "/..."}, &out, &errOut); code != 1 {
+			t.Fatalf("exit = %d, want 1; stderr=%q", code, errOut.String())
+		}
+		return out.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("json output not byte-identical across runs:\n%q\n%q", first, second)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(first), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, first)
+	}
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+		if d.Line == 0 || d.File == "" {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+	}
+	if byRule["roundflow"] != 2 {
+		t.Errorf("roundflow entries = %d, want 2 (deadline + retry budget): %+v", byRule["roundflow"], diags)
+	}
+	if byRule["roundterm"] != 1 {
+		t.Errorf("roundterm entries = %d, want 1 (dropped round): %+v", byRule["roundterm"], diags)
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Col < diags[j].Col
+	}) {
+		t.Errorf("json diagnostics not position-sorted: %+v", diags)
+	}
+}
+
+// TestRosterThirteenRules pins the CLI side of the roster: all thirteen
+// rule names resolve through -rules, including the two protocol-lifecycle
+// rules.
+func TestRosterThirteenRules(t *testing.T) {
+	names := []string{"simtime", "maprange", "nilrecv", "ctlmsg",
+		"vtblock", "epochset", "nilflow", "maprange-deep", "dropresult",
+		"hotalloc", "hotbox", "roundflow", "roundterm"}
+	got, err := selectAnalyzers(strings.Join(names, ","))
+	if err != nil {
+		t.Fatalf("selectAnalyzers rejected the full roster: %v", err)
+	}
+	if len(got) != 13 {
+		t.Fatalf("roster has %d analyzers, want 13", len(got))
+	}
+	for i, a := range got {
+		if a.Name != names[i] {
+			t.Errorf("analyzer[%d] = %q, want %q", i, a.Name, names[i])
+		}
+	}
+}

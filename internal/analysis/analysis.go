@@ -78,10 +78,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Analyzers returns the full suite in a stable order: the four
 // syntactic rules from the original suite, the four interprocedural
 // rules built on the CFG/call-graph layer, the delivery-contract rule
-// from the at-least-once data plane, then the two heat-propagated perf
-// rules.
+// from the at-least-once data plane, the two heat-propagated perf
+// rules, then the two protocol-lifecycle rules built on the round
+// summaries.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg, VTBlock, EpochSet, NilFlow, MapRangeDeep, DropResult, HotAlloc, HotBox}
+	return []*Analyzer{SimTime, MapRange, NilRecv, CtlMsg, VTBlock, EpochSet, NilFlow, MapRangeDeep, DropResult, HotAlloc, HotBox, RoundFlow, RoundTerm}
 }
 
 // Run executes the given analyzers over the packages and returns all

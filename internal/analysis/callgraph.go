@@ -38,6 +38,9 @@ type Program struct {
 	nilsafe map[*types.TypeName]bool
 	// heatDone: the lazy heat propagation (heat.go) has run.
 	heatDone bool
+	// roundsDone: the lazy round-summary fixpoint (roundsummary.go) has
+	// run.
+	roundsDone bool
 }
 
 // NilSafeType reports whether tn carries the iocheck:nilsafe marker.
@@ -108,6 +111,13 @@ type FuncNode struct {
 	// returned.
 	ParamEscape  []Escape
 	ResultEscape []Escape
+
+	// Round holds the protocol-lifecycle summaries (roundsummary.go;
+	// valid after ensureRounds): issues-request, registers-deadline/
+	// retries, dedupes-by-Seq, fence-checks-epoch, applies-state,
+	// terminates-round, plus the per-param request-stamp bits the
+	// roundflow/roundterm analyzers track values through.
+	Round RoundSummary
 
 	// seeds, kept separate so fixpoint recomputation is idempotent
 	summariesInit   bool

@@ -19,9 +19,13 @@ type CFG struct {
 	Exit   *Block
 	Blocks []*Block
 	// Defers lists the function's defer statements in source order. Defer
-	// bodies also appear inline at their statement position (an
-	// over-approximation of run-at-exit that is conservative for every
-	// analysis built here), so most analyses need not treat them specially.
+	// statements appear inline at their registration position AND in the
+	// Exit block's node list (in reverse registration order, matching the
+	// runtime's LIFO execution). The inline copy is an over-approximation
+	// of run-at-exit that is conservative for must-analyses; the Exit
+	// copy is what lets forward analyses see `defer sp.End()` effects at
+	// every return — without it a defer registered inside a loop is
+	// invisible to the exit paths entirely.
 	Defers []*ast.DeferStmt
 }
 
@@ -122,6 +126,13 @@ func buildCFGFromBlock(body *ast.BlockStmt) *CFG {
 		if lc, ok := b.labels[g.label]; ok {
 			b.edge(g.from, lc.block, nil, false)
 		}
+	}
+	// Surface deferred statements at the exit, in LIFO order. Every
+	// return edges into Exit, so a forward analysis observes the deferred
+	// calls on each exit path even when the defer was registered inside a
+	// loop or branch the path never revisits.
+	for i := len(b.cfg.Defers) - 1; i >= 0; i-- {
+		b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, b.cfg.Defers[i])
 	}
 	return b.cfg
 }

@@ -131,6 +131,146 @@ func TestCFGDefer(t *testing.T) {
 	}
 }
 
+// cfgReachable returns the block indices reachable from Entry.
+func cfgReachable(cfg *CFG) map[int]bool {
+	seen := map[int]bool{cfg.Entry.Index: true}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To.Index] {
+				seen[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// TestCFGPumpLoop pins the `for { select { ... } }` event-pump shape the
+// lifecycle analyses walk constantly: every comm clause must hang off the
+// loop body, a falling-through clause must rejoin the back edge, and a
+// returning clause must reach Exit — no node may end up in an orphaned
+// block.
+func TestCFGPumpLoop(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	ch := make(chan int)
+	done := make(chan struct{})
+	n := 0
+	for {
+		select {
+		case v := <-ch:
+			n += v
+		case <-done:
+			return n
+		}
+	}`)
+	if !hasBackEdge(cfg) {
+		t.Fatal("pump loop should produce a back edge")
+	}
+	reach := cfgReachable(cfg)
+	for _, b := range cfg.Blocks {
+		if len(b.Nodes) > 0 && !reach[b.Index] {
+			t.Errorf("block %d holds nodes but is unreachable from entry", b.Index)
+		}
+	}
+	if !reach[cfg.Exit.Index] {
+		t.Fatal("the returning comm clause should reach Exit")
+	}
+}
+
+// TestCFGPumpLoopLabeledBreak pins the labeled-break variant: `break loop`
+// inside a comm clause must target the for loop's exit (not the select's),
+// making the statements after the loop reachable.
+func TestCFGPumpLoopLabeledBreak(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	ch := make(chan int)
+	n := 0
+loop:
+	for {
+		select {
+		case v := <-ch:
+			if v < 0 {
+				break loop
+			}
+			n += v
+		}
+	}
+	n++
+	return n`)
+	if !hasBackEdge(cfg) {
+		t.Fatal("pump loop should produce a back edge")
+	}
+	reach := cfgReachable(cfg)
+	for _, b := range cfg.Blocks {
+		if len(b.Nodes) > 0 && !reach[b.Index] {
+			t.Errorf("block %d holds nodes but is unreachable from entry", b.Index)
+		}
+	}
+	if !reach[cfg.Exit.Index] {
+		t.Fatal("break loop should make the post-loop statements reach Exit")
+	}
+}
+
+// TestCFGDeferInLoop pins defer-inside-loop: the defer registers inline in
+// the loop body (back edge intact, body reachable) AND surfaces in the
+// Exit block, so exit-path analyses see the deferred call even though the
+// registration point is off the return paths.
+func TestCFGDeferInLoop(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	n := 0
+	for i := 0; i < 3; i++ {
+		defer println(i)
+		n++
+	}
+	return n`)
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(cfg.Defers))
+	}
+	if !hasBackEdge(cfg) {
+		t.Fatal("loop around the defer should keep its back edge")
+	}
+	reach := cfgReachable(cfg)
+	for _, b := range cfg.Blocks {
+		if len(b.Nodes) > 0 && !reach[b.Index] {
+			t.Errorf("block %d holds nodes but is unreachable from entry", b.Index)
+		}
+	}
+	found := false
+	for _, n := range cfg.Exit.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deferred statement should surface in Exit.Nodes for exit-path analyses")
+	}
+}
+
+// TestCFGDefersAtExitLIFO pins the ordering contract: Exit.Nodes lists the
+// defers in reverse registration order, matching runtime LIFO execution.
+func TestCFGDefersAtExitLIFO(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	defer println(1)
+	defer println(2)
+	return 0`)
+	var order []int
+	for _, n := range cfg.Exit.Nodes {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			lit := ds.Call.Args[0].(*ast.BasicLit)
+			if lit.Value == "1" {
+				order = append(order, 1)
+			} else {
+				order = append(order, 2)
+			}
+		}
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("Exit defers = %v, want [2 1] (LIFO)", order)
+	}
+}
+
 func TestCFGRangeBodyIsolated(t *testing.T) {
 	// WalkCFGNode must not descend into a RangeStmt's body (the body has
 	// its own blocks) but must still visit the ranged expression.

@@ -40,15 +40,15 @@ func TestModuleSelfCheck(t *testing.T) {
 	}
 }
 
-// TestSuiteIsComplete pins the suite roster: all eleven rules — the four
-// syntactic ones, the four interprocedural ones built on the CFG and
-// call-graph layer, the delivery-contract rule, and the two
-// heat-propagated perf rules — must be registered, in deterministic
-// order.
+// TestSuiteIsComplete pins the suite roster: all thirteen rules — the
+// four syntactic ones, the four interprocedural ones built on the CFG
+// and call-graph layer, the delivery-contract rule, the two
+// heat-propagated perf rules, and the two protocol-lifecycle rules —
+// must be registered, in deterministic order.
 func TestSuiteIsComplete(t *testing.T) {
 	want := []string{"simtime", "maprange", "nilrecv", "ctlmsg",
 		"vtblock", "epochset", "nilflow", "maprange-deep", "dropresult",
-		"hotalloc", "hotbox"}
+		"hotalloc", "hotbox", "roundflow", "roundterm"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,96 @@
+// Package fencestrip is the chaos cross-check fixture for roundflow: a
+// distilled copy of the container manager's serve loop, with the epoch
+// fence guard the split-brain fix added sitting directly above the serve
+// dispatch. The companion test verifies the loop is clean as written,
+// then strips the guard block and asserts roundflow reports the missing
+// fence at the guard's own line.
+package fencestrip
+
+type Event struct {
+	Type string
+	Data any
+}
+
+type IncreaseReq struct {
+	Seq   int64
+	Epoch int64
+	N     int
+}
+
+type IncreaseResp struct {
+	Seq   int64
+	Epoch int64
+	Size  int
+}
+
+type queue struct{ q []*Event }
+
+func (q *queue) Recv() *Event {
+	if len(q.q) == 0 {
+		return nil
+	}
+	ev := q.q[0]
+	q.q = q.q[1:]
+	return ev
+}
+
+type manager struct {
+	fencedEpoch int64
+	served      map[int64]any
+	size        int
+	out         []*Event
+}
+
+func reqSeq(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *IncreaseReq:
+		return r.Seq, true
+	}
+	return 0, false
+}
+
+func reqEpoch(v any) (int64, bool) {
+	switch r := v.(type) {
+	case *IncreaseReq:
+		return r.Epoch, true
+	}
+	return 0, false
+}
+
+func (m *manager) reply(resp any) {
+	m.out = append(m.out, &Event{Type: "resp", Data: resp})
+}
+
+// serveLoop is the distilled manager loop: dedupe retried rounds from
+// the served cache, refuse rounds from deposed manager epochs, then
+// serve.
+func (m *manager) serveLoop(in *queue) {
+	for {
+		ev := in.Recv()
+		if ev == nil {
+			return
+		}
+		seq, hasSeq := reqSeq(ev.Data)
+		if hasSeq {
+			if cached, dup := m.served[seq]; dup {
+				m.reply(cached)
+				continue
+			}
+		}
+		if e, fenced := reqEpoch(ev.Data); fenced {
+			if e < m.fencedEpoch {
+				continue
+			}
+			if e > m.fencedEpoch {
+				m.fencedEpoch = e
+			}
+		}
+		switch req := ev.Data.(type) {
+		case *IncreaseReq:
+			m.size += req.N
+			resp := &IncreaseResp{Seq: req.Seq, Epoch: m.fencedEpoch, Size: m.size}
+			m.served[seq] = resp
+			m.reply(resp)
+		}
+	}
+}

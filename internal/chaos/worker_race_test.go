@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWorkerPoolVerdictsIdentical mirrors the iochaos CLI's worker pool
+// (-seeds 16 -workers 4): the rendered verdict stream — seed, schedule
+// summary, and every oracle violation — must be byte-identical whatever
+// the worker count. `make race-smoke` runs this under the race detector,
+// so cross-worker sharing inside the engine surfaces as a race report
+// and any scheduling-dependent divergence as a byte diff.
+func TestWorkerPoolVerdictsIdentical(t *testing.T) {
+	base := baseFile(t)
+	render := func(workers int) string {
+		var sb strings.Builder
+		results := Search(SearchConfig{Base: base, Seeds: 16,
+			Gen: GenConfig{MaxFaults: 4}, Workers: workers})
+		for _, r := range results {
+			fmt.Fprintf(&sb, "seed %d (%s)", r.Seed, Summarize(r.Faults))
+			for _, v := range r.Violations {
+				fmt.Fprintf(&sb, " %s", v)
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	if serial == "" {
+		t.Fatal("empty verdict stream")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); got != serial {
+			t.Errorf("workers=%d verdicts diverge from the serial run:\n%s---\n%s", workers, got, serial)
+		}
+	}
+}

@@ -403,6 +403,12 @@ func (gm *GlobalManager) dispatch(p *sim.Proc, ev *evpath.Event) {
 	if gm.shardDispatch(p, ev) {
 		return
 	}
+	// The notice pump is not a round handler: SubNotices dedupe per
+	// subscriber inside the arm (latest reconnect generation wins, so a
+	// reconnect storm collapses to one resume round), and the rounds they
+	// trigger are deferred to the tick and issued through gm.call, whose
+	// responses are seq-deduped and epoch-fenced there. Audited 2026-08.
+	//iocheck:allow roundflow sub-notices dedupe per-subscriber in the arm; triggered rounds go through the fully fenced gm.call path
 	switch data := ev.Data.(type) {
 	case monitor.Sample:
 		gm.agg.Ingest(data)
